@@ -1,0 +1,98 @@
+"""Ablation: conservative-state formation strategies (paper Figure 3 and
+section 3.3).
+
+Figure 3's trade-off: merging everything into one uber-conservative
+state converges fastest but over-approximates most; keeping clustered or
+exact state sets simulates more paths but reports tighter exercisable
+sets.  Also demonstrates the CSM's constraint files (section 3.3 / [15])
+on inSort, where constraints stop fictitious pointer drift from marking
+peripherals exercisable.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.csm import Clustered, ExactSet, UberConservative
+from repro.reporting.tables import render_table
+from repro.reporting.runner import run_one
+
+BENCH = "binSearch"
+DESIGN = "omsp430"
+
+STRATEGIES = [
+    ("uber (paper default)", UberConservative),
+    ("clustered k=2", lambda: Clustered(k=2)),
+    ("clustered k=4", lambda: Clustered(k=4)),
+]
+
+
+@pytest.fixture(scope="module")
+def strategy_results():
+    return {name: run_one(DESIGN, BENCH, strategy=factory())
+            for name, factory in STRATEGIES}
+
+
+def test_strategy_tradeoff_table(benchmark, strategy_results,
+                                 artifact_dir):
+    rows = [[name, r.paths_created, r.paths_skipped, r.simulated_cycles,
+             r.exercisable_gate_count]
+            for name, r in strategy_results.items()]
+    text = ("Figure 3 ablation: conservative state formation "
+            f"({DESIGN} / {BENCH})\n" + render_table(
+                ["Strategy", "Paths", "Skipped", "Cycles",
+                 "Exercisable gates"], rows))
+    emit(artifact_dir, "ablation_csm_strategies.txt", text)
+
+
+def test_finer_strategies_never_more_conservative(benchmark,
+                                                   strategy_results):
+    """More states per PC can only tighten (or match) the exercisable
+    set, at equal-or-higher path cost (the Figure 3 trade-off)."""
+    uber = strategy_results["uber (paper default)"]
+    for name, r in strategy_results.items():
+        if name == "uber (paper default)":
+            continue
+        assert r.exercisable_gate_count <= uber.exercisable_gate_count
+        assert r.paths_created >= uber.paths_created
+
+
+def test_exact_set_on_tiny_space(benchmark):
+    """ExactSet is only tractable for small control spaces -- compare on
+    the single-split mult/dr5 run, where it must agree with uber."""
+    uber = run_one("dr5", "mult", strategy=UberConservative())
+    exact = run_one("dr5", "mult", strategy=ExactSet())
+    assert exact.exercisable_gate_count <= uber.exercisable_gate_count
+
+
+def test_constraints_reduce_overapproximation(benchmark, artifact_dir):
+    """Section 3.3: constraint files reduce conservative
+    over-approximation (and, here, also path count)."""
+    with_c = run_one("omsp430", "inSort", use_constraints=True)
+    without = run_one("omsp430", "inSort", use_constraints=False)
+    rows = [
+        ["constrained (r2/r5 bounded)", with_c.paths_created,
+         with_c.exercisable_gate_count,
+         f"{with_c.reduction_percent:.1f}"],
+        ["unconstrained", without.paths_created,
+         without.exercisable_gate_count,
+         f"{without.reduction_percent:.1f}"],
+    ]
+    text = ("Section 3.3 ablation: CSM constraints (omsp430 / inSort)\n"
+            + render_table(["CSM mode", "Paths", "Exercisable gates",
+                            "% reduction"], rows))
+    emit(artifact_dir, "ablation_csm_constraints.txt", text)
+    assert with_c.exercisable_gate_count < without.exercisable_gate_count
+    # unconstrained merging drags peripheral logic into the set
+    ex = without.profile.exercised_nets()
+    nl = without.profile.netlist
+    assert any(ex[n] for n in nl.find_nets("mpy_op1"))
+    exc = with_c.profile.exercised_nets()
+    nlc = with_c.profile.netlist
+    assert not any(exc[n] for n in nlc.find_nets("mpy_op1"))
+
+
+def test_strategy_runtime(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_one(DESIGN, BENCH, strategy=Clustered(k=2)),
+        rounds=1, iterations=1)
+    assert result.paths_created >= 1

@@ -1,0 +1,105 @@
+"""Ablation: simulation engine throughput (the "scalable" in the title).
+
+The event-driven kernel reproduces the paper's iverilog architecture;
+the vectorized levelized engine is what makes whole-core co-analysis
+tractable in Python.  This bench quantifies the gap in
+gate-evaluations/second on the largest core (bm32) and on a small
+circuit where the event kernel's sparseness wins back some ground.
+"""
+
+import pytest
+
+from repro.logic import Logic, LVec
+from repro.rtl import Design
+from repro.sim import CompiledNetlist, CycleSim, EventSim
+from repro.workloads import built_core
+
+CYCLES_BIG = 50
+CYCLES_SMALL = 200
+
+
+def _counter(width=8):
+    d = Design("cnt")
+    r = d.reg(width, "c", reset=True)
+    s, _ = r.q.add(d.const(1, width))
+    r.drive(s)
+    d.output("y", r.q)
+    return d.finalize()
+
+
+def test_cycle_engine_on_bm32(benchmark):
+    nl, _ = built_core("bm32")
+    compiled = CompiledNetlist(nl)
+
+    def run():
+        sim = CycleSim(compiled, record_activity=False)
+        sim.set_input("rst", Logic.L1)
+        sim.set_input("pmem_data", LVec.zeros(32))
+        sim.set_input("dmem_rdata", LVec.zeros(32))
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        for _ in range(CYCLES_BIG):
+            sim.step()
+        return sim
+
+    sim = benchmark(run)
+    assert sim.cycle == CYCLES_BIG + 1
+    gate_evals = nl.gate_count() * CYCLES_BIG
+    print(f"\n  bm32: {nl.gate_count()} gates x {CYCLES_BIG} cycles = "
+          f"{gate_evals} gate-evals per round")
+
+
+def test_event_engine_on_bm32(benchmark):
+    nl, _ = built_core("bm32")
+
+    def run():
+        sim = EventSim(nl)
+        sim.poke_by_name("rst", Logic.L1)
+        for i in range(32):
+            sim.poke_by_name(f"pmem_data[{i}]", Logic.L0)
+            sim.poke_by_name(f"dmem_rdata[{i}]", Logic.L0)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        for _ in range(5):   # the event kernel is the slow faithful path
+            sim.tick()
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sim.cycle == 6
+
+
+def test_cycle_engine_small_circuit(benchmark):
+    nl = _counter()
+    compiled = CompiledNetlist(nl)
+
+    def run():
+        sim = CycleSim(compiled, record_activity=False)
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        for _ in range(CYCLES_SMALL):
+            sim.step()
+        return sim
+
+    assert benchmark(run).cycle == CYCLES_SMALL + 1
+
+
+def test_event_engine_small_circuit(benchmark):
+    nl = _counter()
+
+    def run():
+        sim = EventSim(nl)
+        sim.poke_by_name("rst", Logic.L1)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        for _ in range(CYCLES_SMALL):
+            sim.tick()
+        return sim
+
+    assert benchmark(run).cycle == CYCLES_SMALL + 1
+
+
+def test_compile_cost(benchmark):
+    nl, _ = built_core("bm32")
+    compiled = benchmark(lambda: CompiledNetlist(nl))
+    assert compiled.n_nets == len(nl.nets)

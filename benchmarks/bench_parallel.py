@@ -1,0 +1,67 @@
+"""Ablation: parallel path exploration (paper section 3.3).
+
+"Since each branch of the simulation can be run by a separate process,
+launching these processes in parallel can drastically improve simulation
+time."  Times the wave-parallel explorer against the serial engine on a
+path-heavy run and checks result equivalence.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.coanalysis.parallel import (ParallelCoAnalysis,
+                                       WorkloadTargetFactory)
+from repro.reporting.runner import run_one
+from repro.reporting.tables import render_table
+
+DESIGN, BENCH = "omsp430", "Div"
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_one(DESIGN, BENCH)
+
+
+@pytest.fixture(scope="module")
+def parallel_results(serial_result):
+    out = {}
+    for workers in (1, 2, 4):
+        engine = ParallelCoAnalysis(
+            WorkloadTargetFactory(DESIGN, BENCH),
+            workers=workers, application=BENCH)
+        out[workers] = engine.run()
+    return out
+
+
+def test_parallel_matches_serial(benchmark, serial_result,
+                                 parallel_results, artifact_dir):
+    rows = [["serial", "-", serial_result.paths_created,
+             serial_result.exercisable_gate_count,
+             f"{serial_result.wall_seconds:.2f}"]]
+    for workers, r in parallel_results.items():
+        rows.append(["parallel", workers, r.paths_created,
+                     r.exercisable_gate_count, f"{r.wall_seconds:.2f}"])
+    text = (f"Section 3.3 ablation: parallel paths ({DESIGN} / {BENCH})\n"
+            + render_table(["Mode", "Workers", "Paths",
+                            "Exercisable gates", "Wall (s)"], rows))
+    emit(artifact_dir, "ablation_parallel.txt", text)
+    for r in parallel_results.values():
+        assert r.exercisable_gate_count == \
+            serial_result.exercisable_gate_count
+        assert r.paths_created == serial_result.paths_created
+
+
+def test_parallel_run_timed(benchmark):
+    def run():
+        return ParallelCoAnalysis(
+            WorkloadTargetFactory(DESIGN, BENCH),
+            workers=2, application=BENCH).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.paths_created >= 1
+
+
+def test_worker_validation(benchmark):
+    with pytest.raises(ValueError):
+        ParallelCoAnalysis(WorkloadTargetFactory(DESIGN, BENCH),
+                           workers=0)

@@ -1,0 +1,104 @@
+"""Extension bench: power/energy payoff of the bespoke methodology.
+
+The paper's motivation is ultra-low power; the enabled analyses of prior
+work [5, 6] quantify it.  This bench reports, per (design, benchmark):
+
+* bespoke leakage and total-energy savings on a representative concrete
+  run (prior work [4]'s payoff), and
+* the input-independent peak switching bound from symbolic activity
+  (prior work [5]) next to the measured concrete peak, which must never
+  exceed it.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import (analyze_peak_power, compare_power,
+                            concrete_peak)
+from repro.bespoke import generate_bespoke
+from repro.reporting.tables import render_table
+from repro.workloads import WORKLOADS, build_target
+
+PAIRS = [("omsp430", "tea8"), ("omsp430", "mult"), ("bm32", "Div"),
+         ("dr5", "binSearch")]
+
+
+@pytest.fixture(scope="module")
+def power_rows(grid):
+    rows = []
+    for design, bench in PAIRS:
+        result = grid[design][bench]
+        workload = WORKLOADS[bench]
+        original = build_target(design, workload)
+        bespoke_nl = generate_bespoke(original.netlist, result.profile)
+        bespoke = build_target(design, workload, netlist=bespoke_nl)
+        savings = compare_power(original, bespoke, workload.cases[0])
+        rows.append([design, bench,
+                     f"{savings.original.total_energy:.0f}",
+                     f"{savings.bespoke.total_energy:.0f}",
+                     f"{savings.energy_saving_percent:.1f}",
+                     f"{savings.leakage_saving_percent:.1f}"])
+    return rows
+
+
+def test_bespoke_power_savings(benchmark, power_rows, artifact_dir):
+    text = ("Extension: bespoke power payoff (normalized units)\n"
+            + render_table(
+                ["Design", "Benchmark", "Energy (orig)",
+                 "Energy (bespoke)", "% energy saved",
+                 "% leakage saved"], power_rows))
+    emit(artifact_dir, "power_savings.txt", text)
+    for row in power_rows:
+        assert float(row[4]) > 0    # energy saving
+        assert float(row[5]) > 0    # leakage saving
+
+
+def test_peak_power_bound_table(benchmark, artifact_dir):
+    rows = []
+    for design, bench in PAIRS[:2]:
+        workload = WORKLOADS[bench]
+        target = build_target(design, workload)
+        peak = analyze_peak_power(target, application=bench)
+        worst_concrete = max(concrete_peak(target, case)
+                             for case in workload.cases)
+        rows.append([design, bench, f"{peak.peak_bound:.0f}",
+                     f"{worst_concrete:.0f}",
+                     f"{100 * worst_concrete / peak.peak_bound:.0f}%"])
+        assert worst_concrete <= peak.peak_bound + 1e-9
+    text = ("Extension: input-independent peak switching bounds "
+            "(prior work [5])\n"
+            + render_table(
+                ["Design", "Benchmark", "Symbolic bound",
+                 "Worst concrete", "Bound utilization"], rows))
+    emit(artifact_dir, "peak_power.txt", text)
+
+
+def test_power_gating_opportunity(benchmark, artifact_dir):
+    """Module-oblivious power gating (prior work [6]): beyond the
+    never-exercised prune set, gates exercised on only *some* execution
+    paths can sleep whenever execution avoids them."""
+    from repro.analysis import analyze_gating
+    rows = []
+    for design, bench in (("omsp430", "binSearch"), ("dr5", "Div")):
+        target = build_target(design, WORKLOADS[bench])
+        rep = analyze_gating(target, application=bench)
+        rows.append([design, bench, rep.paths_considered,
+                     len(rep.always), len(rep.sometimes),
+                     len(rep.never),
+                     f"{rep.gateable_area_percent:.1f}"])
+        assert rep.paths_considered >= 2
+    text = ("Extension: power-gating opportunity (prior work [6])\n"
+            + render_table(
+                ["Design", "Benchmark", "Executions", "Always on",
+                 "Sometimes", "Never", "Gateable area %"], rows))
+    emit(artifact_dir, "power_gating.txt", text)
+
+
+def test_power_measurement_runtime(benchmark):
+    workload = WORKLOADS["tea8"]
+    target = build_target("dr5", workload)
+    from repro.analysis import measure_concrete_run
+    report = benchmark.pedantic(
+        lambda: measure_concrete_run(target, workload.cases[0]),
+        rounds=1, iterations=1)
+    assert report.cycles > 0

@@ -1,0 +1,80 @@
+"""Extension bench: the "scalable" in the paper's title.
+
+Sweeps application length (TEA round count) on each core and reports
+simulated cycles and wall time per run: co-analysis cost must grow
+linearly with execution length for straight-line applications (one path,
+no state explosion), which is what makes whole-application analysis
+tractable.
+"""
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.coanalysis import CoAnalysisEngine
+from repro.reporting.tables import render_table
+from repro.workloads import build_target
+from repro.workloads.catalog import make_tea_workload
+
+ROUNDS = [2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    per_design = {}
+    for design in ("omsp430", "dr5"):
+        per_design[design] = []
+        for rounds in ROUNDS:
+            workload = make_tea_workload(rounds)
+            target = build_target(design, workload)
+            t0 = time.perf_counter()
+            result = CoAnalysisEngine(
+                target, application=workload.name).run()
+            wall = time.perf_counter() - t0
+            rows.append([design, rounds, result.paths_created,
+                         result.simulated_cycles, f"{wall:.2f}"])
+            per_design[design].append(
+                (rounds, result.simulated_cycles, wall))
+    return rows, per_design
+
+
+def test_scaling_table(benchmark, sweep, artifact_dir):
+    rows, _ = sweep
+    text = ("Extension: co-analysis cost vs application length "
+            "(TEA rounds)\n"
+            + render_table(
+                ["Design", "Rounds", "Paths", "Cycles", "Wall (s)"],
+                rows))
+    emit(artifact_dir, "scaling.txt", text)
+
+
+def test_straight_line_apps_stay_single_path(benchmark, sweep):
+    rows, _ = sweep
+    assert all(row[2] == 1 for row in rows)
+
+
+def test_cycles_scale_linearly(benchmark, sweep):
+    """Doubling the rounds should roughly double the simulated cycles
+    (within the fixed prologue/epilogue overhead)."""
+    _, per_design = sweep
+    for design, points in per_design.items():
+        cycles = {rounds: cyc for rounds, cyc, _ in points}
+        growth = (cycles[8] - cycles[4]) / max(1, cycles[4] - cycles[2])
+        assert 1.5 <= growth <= 2.5, (design, cycles)
+
+
+def test_tea_variants_compute_correctly(benchmark):
+    from repro.coanalysis.concrete import run_concrete
+    from repro.workloads import built_core
+    for design in ("omsp430", "dr5"):
+        _, meta = built_core(design)
+        workload = make_tea_workload(4)
+        target = build_target(design, workload)
+        case = workload.cases[0]
+        run = run_concrete(target, case, max_cycles=4000)
+        assert run.finished
+        for addr, want in workload.expected(case,
+                                            meta.word_width).items():
+            assert target.read_dmem_int(run.final_sim, addr) == want

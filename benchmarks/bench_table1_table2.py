@@ -1,0 +1,55 @@
+"""Regenerates paper Table 1 (benchmark applications) and Table 2
+(target platform characterization).
+
+These tables are metadata, so the timed quantity is the pipeline that
+produces their contents: assembling all benchmark programs (Table 1's
+artifacts) and elaborating all three cores (Table 2's artifacts).
+"""
+
+from conftest import emit
+
+from repro.processors import BUILDERS
+from repro.reporting import table1, table2
+from repro.workloads import (WORKLOAD_ORDER, WORKLOADS, assemble_workload,
+                             built_core)
+
+
+def test_table1_benchmarks(benchmark, artifact_dir):
+    def assemble_all():
+        return [assemble_workload(d, WORKLOADS[w])
+                for d in ("omsp430", "bm32", "dr5")
+                for w in WORKLOAD_ORDER]
+
+    programs = benchmark(assemble_all)
+    assert len(programs) == 18
+    text = table1([WORKLOADS[w] for w in WORKLOAD_ORDER])
+    emit(artifact_dir, "table1.txt", text)
+    for w in WORKLOAD_ORDER:
+        assert w in text
+
+
+def test_table2_platforms(benchmark, artifact_dir):
+    def build_all():
+        return [builder() for builder in BUILDERS.values()]
+
+    cores = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    metas = [meta for _, meta in cores]
+    text = table2(metas)
+    emit(artifact_dir, "table2.txt", text)
+    for name in ("omsp430", "bm32", "dr5"):
+        assert name in text
+    # paper Table 2 invariants
+    by_name = {m.name: m for m in metas}
+    assert "multiplier" in by_name["bm32"].features.lower()
+    assert "watchdog" in by_name["omsp430"].features.lower()
+    assert "no hardware multiplier" in by_name["dr5"].features.lower()
+
+
+def test_total_gate_counts(benchmark, artifact_dir):
+    """Reports the tgc line of Tables 3/4 (total gates per design)."""
+    lines = ["design,total_gates,flops,area"]
+    for design in ("bm32", "omsp430", "dr5"):
+        nl, _ = built_core(design)
+        lines.append(f"{design},{nl.gate_count()},"
+                     f"{len(nl.seq_gates)},{nl.area():.1f}")
+    emit(artifact_dir, "total_gate_counts.csv", "\n".join(lines))

@@ -1,0 +1,46 @@
+"""Regenerates paper Table 3: gate count analysis.
+
+For every (benchmark, design) pair: the exercisable gate count reported
+by symbolic co-analysis and the percentage reduction relative to the
+design's total gate count.  The timed quantity is one representative
+co-analysis run (binSearch on omsp430).
+
+Paper shape targets (absolute scales differ -- see EXPERIMENTS.md):
+
+* per-benchmark reduction ordering: omsp430 > bm32 > dr5;
+* ``mult`` prunes least on the two designs whose hardware multiplier it
+  exercises.
+"""
+
+from conftest import emit
+
+from repro.reporting import results_csv, table3
+from repro.reporting.runner import run_one
+
+
+def test_table3(benchmark, grid, designs, benchmarks_list,
+                artifact_dir):
+    text = table3(grid, benchmarks_list, designs)
+    emit(artifact_dir, "table3.txt", text)
+    emit(artifact_dir, "results.csv",
+         results_csv(grid, benchmarks_list, designs))
+
+    # shape assertions mirroring the paper
+    for bench in benchmarks_list:
+        r_o = grid["omsp430"][bench].reduction_percent
+        r_b = grid["bm32"][bench].reduction_percent
+        r_d = grid["dr5"][bench].reduction_percent
+        if bench != "mult":
+            assert r_o > r_b > r_d, (bench, r_o, r_b, r_d)
+        assert r_d < 30.0   # dr5 has no peripherals to shed
+
+    for design in ("omsp430", "bm32"):
+        non_mult = [grid[design][b].reduction_percent
+                    for b in benchmarks_list if b != "mult"]
+        assert grid[design]["mult"].reduction_percent < min(non_mult)
+
+
+def test_representative_coanalysis_runtime(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_one("omsp430", "binSearch"), rounds=1, iterations=1)
+    assert result.exercisable_gate_count > 0

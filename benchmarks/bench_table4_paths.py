@@ -1,0 +1,48 @@
+"""Regenerates paper Table 4: simulation path and runtime analysis.
+
+Per (benchmark, design): paths created, paths skipped (CSM subset hits),
+and total simulated cycles.  The timed quantity is the path-heaviest run
+of the grid (tHold on dr5).
+
+Paper shape targets (see EXPERIMENTS.md for the full comparison):
+
+* ``mult``: 1 path on bm32/omsp430 (hardware multiplier), >1 on dr5;
+* ``tea8``: 1 path everywhere;
+* ``Div``: wide-compare cores (bm32/dr5) need more paths than the
+  flag-based omsp430.
+"""
+
+from conftest import emit
+
+from repro.reporting import table4
+from repro.reporting.runner import run_one
+
+
+def test_table4(benchmark, grid, designs, benchmarks_list,
+                artifact_dir):
+    text = table4(grid, benchmarks_list, designs)
+    emit(artifact_dir, "table4.txt", text)
+
+    assert grid["bm32"]["mult"].paths_created == 1
+    assert grid["omsp430"]["mult"].paths_created == 1
+    assert grid["dr5"]["mult"].paths_created > 1
+    for design in designs:
+        assert grid[design]["tea8"].paths_created == 1
+    assert grid["bm32"]["Div"].paths_created > \
+        grid["omsp430"]["Div"].paths_created
+    assert grid["dr5"]["Div"].paths_created > \
+        grid["omsp430"]["Div"].paths_created
+
+    # bookkeeping invariants
+    for design in designs:
+        for bench in benchmarks_list:
+            r = grid[design][bench]
+            assert r.paths_created == 1 + 2 * r.splits
+            assert r.paths_skipped <= r.paths_created
+            assert r.truncated_paths == 0
+
+
+def test_path_heavy_run_runtime(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_one("dr5", "tHold"), rounds=1, iterations=1)
+    assert result.paths_created > 100

@@ -1,0 +1,106 @@
+"""Extension bench: the other application-specific analyses the tool
+enables.
+
+* **Timing slack / voltage overscaling** (prior work [8, 18]): the
+  longest path restricted to each application's exercisable gates vs
+  the design's full critical path.
+* **Symbolic program coverage** (the reduced-ISA connection of [1]):
+  fraction of program words reachable over all inputs.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import analyze_coverage, timing_slack
+from repro.reporting.tables import render_table
+from repro.workloads import WORKLOADS, build_target
+
+PAIRS = [("omsp430", "tea8"), ("omsp430", "mult"), ("dr5", "Div")]
+
+
+@pytest.fixture(scope="module")
+def slack_rows(grid):
+    rows = []
+    for design, bench in PAIRS:
+        result = grid[design][bench]
+        target = build_target(design, WORKLOADS[bench])
+        slack = timing_slack(target.netlist, result.profile)
+        rows.append([design, bench,
+                     f"{slack.full.critical_delay:.1f}",
+                     f"{slack.exercisable.critical_delay:.1f}",
+                     f"{slack.slack_percent:.1f}"])
+    return rows
+
+
+def test_timing_slack_table(benchmark, slack_rows, artifact_dir):
+    text = ("Extension: application-specific timing slack "
+            "(voltage-overscaling headroom, prior work [8])\n"
+            + render_table(
+                ["Design", "Benchmark", "Full crit. delay",
+                 "Exercisable crit. delay", "Slack %"], slack_rows))
+    emit(artifact_dir, "timing_slack.txt", text)
+    for row in slack_rows:
+        assert float(row[4]) >= 0.0
+
+
+def test_multiplier_free_apps_gain_slack(benchmark, grid):
+    """tea8 never sensitizes omsp430's multiplier array (its longest
+    structure), so it must show substantial slack; mult exercises it and
+    must show less."""
+    tea = timing_slack(
+        build_target("omsp430", WORKLOADS["tea8"]).netlist,
+        grid["omsp430"]["tea8"].profile)
+    mult = timing_slack(
+        build_target("omsp430", WORKLOADS["mult"]).netlist,
+        grid["omsp430"]["mult"].profile)
+    assert tea.slack_percent > mult.slack_percent
+
+
+@pytest.fixture(scope="module")
+def coverage_rows():
+    rows = []
+    for design, bench in PAIRS:
+        target = build_target(design, WORKLOADS[bench])
+        cov = analyze_coverage(target, application=bench)
+        rows.append([design, bench, cov.program.size,
+                     len(cov.reachable), len(cov.dead),
+                     f"{cov.coverage_percent:.1f}"])
+    return rows
+
+
+def test_coverage_table(benchmark, coverage_rows, artifact_dir):
+    text = ("Extension: input-independent program coverage "
+            "(dead words are reduced-ISA candidates, cf. [1])\n"
+            + render_table(
+                ["Design", "Benchmark", "Words", "Reachable", "Dead",
+                 "Coverage %"], coverage_rows))
+    emit(artifact_dir, "coverage.txt", text)
+    for row in coverage_rows:
+        assert float(row[5]) > 50.0
+
+
+def test_reduced_isa_report(benchmark, artifact_dir):
+    """Which instruction classes does each application actually need?
+    (the reduced-ISA hardware-generation input of [1])"""
+    from repro.analysis import analyze_coverage, isa_usage
+    rows = []
+    for design, bench in PAIRS:
+        target = build_target(design, WORKLOADS[bench])
+        cov = analyze_coverage(target, application=bench)
+        usage = isa_usage(cov, design)
+        top = ", ".join(f"{m}({c})" for m, c in
+                        sorted(usage.items(), key=lambda kv: -kv[1])[:5])
+        rows.append([design, bench, len(usage), top])
+        assert usage, (design, bench)
+    text = ("Extension: reachable instruction classes per application "
+            "(reduced-ISA candidates, cf. [1])\n"
+            + render_table(["Design", "Benchmark", "Mnemonics used",
+                            "Most frequent"], rows))
+    emit(artifact_dir, "reduced_isa.txt", text)
+
+
+def test_timing_analysis_runtime(benchmark, grid):
+    target = build_target("omsp430", WORKLOADS["tea8"])
+    profile = grid["omsp430"]["tea8"].profile
+    report = benchmark(lambda: timing_slack(target.netlist, profile))
+    assert report.full.critical_delay > 0

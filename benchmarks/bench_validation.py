@@ -1,0 +1,72 @@
+"""Regenerates the paper's validation experiment (section 5.0.1).
+
+For each core, pick a benchmark, generate the bespoke netlist, and:
+
+* simulate fixed known inputs on original and bespoke netlists and check
+  the outputs match;
+* check the fixed-input exercised set is a subset of the reported
+  exercisable set;
+* report original vs bespoke gate counts.
+
+The timed quantity is a full generate-and-validate cycle on omsp430.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bespoke import area_report, generate_bespoke, validate_bespoke
+from repro.reporting.tables import render_table
+from repro.workloads import WORKLOADS, build_target
+
+PAIRS = [("omsp430", "tea8"), ("bm32", "Div"), ("dr5", "binSearch")]
+
+
+@pytest.fixture(scope="module")
+def validations(grid):
+    rows = []
+    reports = {}
+    for design, bench in PAIRS:
+        result = grid[design][bench]
+        workload = WORKLOADS[bench]
+        original = build_target(design, workload)
+        bespoke_nl = generate_bespoke(original.netlist, result.profile)
+        bespoke = build_target(design, workload, netlist=bespoke_nl)
+        report = validate_bespoke(original, bespoke, result,
+                                  cases=workload.cases, max_cycles=6000)
+        area = area_report(original.netlist, bespoke_nl)
+        reports[(design, bench)] = report
+        rows.append([design, bench, area["gates_before"],
+                     area["gates_after"],
+                     f"{area['gate_reduction_percent']:.1f}",
+                     report.cases_run,
+                     "PASS" if report.ok else "FAIL"])
+    return rows, reports
+
+
+def test_validation_table(benchmark, validations, artifact_dir):
+    rows, reports = validations
+    text = render_table(
+        ["Design", "Benchmark", "Gates", "Bespoke gates",
+         "% reduction", "Cases", "Validation"], rows)
+    emit(artifact_dir, "validation.txt", text)
+    for report in reports.values():
+        assert report.ok, report.mismatches
+        assert report.behaviour_match
+        assert report.subset_ok
+
+
+def test_validation_runtime(benchmark, grid):
+    design, bench = "omsp430", "tea8"
+    result = grid[design][bench]
+    workload = WORKLOADS[bench]
+
+    def flow():
+        original = build_target(design, workload)
+        bespoke_nl = generate_bespoke(original.netlist, result.profile)
+        bespoke = build_target(design, workload, netlist=bespoke_nl)
+        return validate_bespoke(original, bespoke, result,
+                                cases=workload.cases[:1],
+                                max_cycles=6000)
+
+    report = benchmark.pedantic(flow, rounds=1, iterations=1)
+    assert report.ok

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harnesses.
+
+The full (design x benchmark) co-analysis grid backs every table and
+figure; it is run once and cached on disk (``.repro_cache/``), so each
+``pytest benchmarks/ --benchmark-only`` invocation re-renders artifacts
+without re-simulating everything.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.reporting.runner import DESIGN_ORDER, run_grid
+from repro.workloads import WORKLOAD_ORDER
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".repro_cache"
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """results[design][benchmark] for the full paper grid."""
+    return run_grid(cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def designs():
+    return list(DESIGN_ORDER)
+
+
+@pytest.fixture(scope="session")
+def benchmarks_list():
+    return list(WORKLOAD_ORDER)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def emit(artifact_dir: Path, name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/artifacts/."""
+    print()
+    print(text)
+    (artifact_dir / name).write_text(text + "\n")

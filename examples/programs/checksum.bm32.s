@@ -1,0 +1,21 @@
+; Rotating-XOR checksum over 8 words on the bm32 model (MIPS32 subset).
+; Input block at data addresses 64..71, checksum at 96.
+;
+;   python -m repro asm bm32 examples/programs/checksum.bm32.s
+;
+    addiu r1, r0, 64    ; pointer
+    addiu r2, r0, 8     ; remaining
+    addiu r3, r0, 0     ; accumulator
+loop:
+    lw r4, 0(r1)
+    xor r3, r3, r4
+    sll r5, r3, 1       ; rotate left by one ...
+    srl r6, r3, 31
+    or r3, r5, r6       ; ... (shift-shift-or)
+    addiu r1, r1, 1
+    addiu r2, r2, -1
+    bne r2, r0, loop
+    addiu r7, r0, 96
+    sw r3, 0(r7)
+_halt:
+    j _halt

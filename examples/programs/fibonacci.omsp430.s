@@ -1,0 +1,19 @@
+; Fibonacci on the omsp430 model (m16 ISA).
+; Computes fib(10) iteratively and stores it at data address 96.
+;
+;   python -m repro asm omsp430 examples/programs/fibonacci.omsp430.s
+;
+    movi r0, 1          ; constant one
+    movi r1, 0          ; fib(i)
+    movi r2, 1          ; fib(i+1)
+    movi r4, 10         ; iterations
+loop:
+    mov r3, r2          ; t = b
+    add r2, r1          ; b = a + b
+    mov r1, r3          ; a = t
+    sub r4, r0
+    jne loop
+    li r5, 96
+    st r1, 0(r5)        ; fib(10) = 55
+_halt:
+    jmp _halt

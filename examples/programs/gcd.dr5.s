@@ -1,0 +1,21 @@
+; Euclid's GCD on the dr5 model (RV32E subset), subtraction form.
+; Inputs at data addresses 64/65, result at 96.
+;
+;   python -m repro asm dr5 examples/programs/gcd.dr5.s
+;
+    addi r1, r0, 64
+    lw r2, 0(r1)        ; a
+    lw r3, 1(r1)        ; b
+loop:
+    beq r2, r3, done
+    bltu r2, r3, swap
+    sub r2, r2, r3      ; a > b: a -= b
+    j loop
+swap:
+    sub r3, r3, r2      ; b > a: b -= a
+    j loop
+done:
+    addi r4, r0, 96
+    sw r2, 0(r4)
+_halt:
+    j _halt

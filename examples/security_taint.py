@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Information-flow analysis with labeled, tainted symbols.
+
+Prior work [7] used the co-analysis methodology to provide gate-level
+information-flow security guarantees: symbols carry *taint* as well as
+unknownness, so the analysis can prove that a secret can never reach an
+output.  This example reproduces that use of the tool's customizable
+symbol propagation (paper section 3.4) on a small crypto-ish datapath:
+
+* a key register (tainted ``secret``),
+* a data input (tainted ``public``),
+* an output mux controlled by a "debug" pin.
+
+The analysis shows the output is key-tainted whenever debug mode could
+expose the key path, and clean when the mux is provably parked.
+"""
+
+from repro.logic import Logic, SymBit
+from repro.rtl import Design, mux
+from repro.sim import EventSim, LabeledSymbolDomain
+
+WIDTH = 8
+
+
+def build_datapath():
+    d = Design("leaky")
+    key = d.input("key", WIDTH)
+    data = d.input("data", WIDTH)
+    debug = d.input("debug")
+    masked = data ^ key                     # encryption-ish mixing
+    # debug tap: raw key bypass (the vulnerability)
+    d.output("out", mux(debug, masked, key))
+    return d.finalize()
+
+
+def taint_report(sim, nl, label):
+    taints = set()
+    for i in range(WIDTH):
+        taints |= sim.get(nl.net_index(f"out[{i}]")).taint
+    print(f"  {label:<28} output taint: "
+          f"{sorted(taints) if taints else '(clean)'}")
+    return taints
+
+
+def main() -> None:
+    nl = build_datapath()
+    print(f"datapath: {nl.gate_count()} gates; "
+          "out = debug ? key : data ^ key\n")
+
+    def fresh():
+        sim = EventSim(nl, domain=LabeledSymbolDomain())
+        for i in range(WIDTH):
+            sim.poke(nl.net_index(f"key[{i}]"),
+                     SymBit.symbol(f"k{i}", taint=frozenset({"secret"})))
+            sim.poke(nl.net_index(f"data[{i}]"),
+                     SymBit.symbol(f"d{i}", taint=frozenset({"public"})))
+        return sim
+
+    print("case 1: debug pin unknown (attacker-controlled)")
+    sim = fresh()
+    sim.poke(nl.net_index("debug"), SymBit.unknown())
+    sim.settle()
+    taints = taint_report(sim, nl, "debug = X")
+    assert "secret" in taints
+
+    print("\ncase 2: debug pin tied low (deployed configuration)")
+    sim = fresh()
+    sim.poke(nl.net_index("debug"), SymBit.const(0))
+    sim.settle()
+    taints = taint_report(sim, nl, "debug = 0")
+    # the XOR mixes key into the output -- still secret-tainted, which is
+    # exactly what an information-flow analysis must report for an XOR
+    # "encryption" with a reusable key
+    assert "secret" in taints
+
+    print("\ncase 3: key register cleared before debug access")
+    sim = fresh()
+    for i in range(WIDTH):
+        sim.poke(nl.net_index(f"key[{i}]"), SymBit.const(0))
+    sim.poke(nl.net_index("debug"), SymBit.unknown())
+    sim.settle()
+    taints = taint_report(sim, nl, "key cleared, debug = X")
+    assert "secret" not in taints
+    print("\nOK: taint tracking distinguishes the three configurations.")
+
+
+if __name__ == "__main__":
+    main()

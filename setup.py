@@ -1,0 +1,6 @@
+"""Legacy shim so `python setup.py develop` works in offline environments
+where pip's build isolation cannot fetch setuptools/wheel."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro -- a design-agnostic symbolic simulation tool for
+hardware-software co-analysis.
+
+Reproduction of "A scalable symbolic simulation tool for low power
+embedded systems" (Sethumurugan, Hegde, Cherupalli, Sartori; DAC 2022).
+
+Typical flow::
+
+    from repro import (build_target, WORKLOADS, CoAnalysisEngine,
+                       generate_bespoke, validate_bespoke)
+
+    target = build_target("omsp430", WORKLOADS["tea8"])
+    result = CoAnalysisEngine(target, application="tea8").run()
+    bespoke = generate_bespoke(target.netlist, result.profile)
+
+Package map:
+
+* :mod:`repro.logic`      -- four-valued + labeled-symbol logic substrate
+* :mod:`repro.netlist`    -- gate-level netlist IR, cell library, Verilog IO
+* :mod:`repro.rtl`        -- structural-RTL kit elaborating to gates
+* :mod:`repro.sim`        -- event-driven kernel (with the Symbolic event
+  region, ``$monitor_x``, ``$initialize_state``) + vectorized cycle engine
+* :mod:`repro.csm`        -- Conservative State Manager
+* :mod:`repro.coanalysis` -- Algorithm 1 (the co-analysis engine)
+* :mod:`repro.bespoke`    -- prune / re-synthesize / validate bespoke cores
+* :mod:`repro.isa`        -- three assemblers (MSP430 / MIPS32 / RV32E
+  subsets)
+* :mod:`repro.processors` -- the three gate-level processor models
+* :mod:`repro.workloads`  -- the six benchmark applications (Table 1)
+* :mod:`repro.reporting`  -- renderers for the paper's tables and figures
+"""
+
+from .bespoke import generate_bespoke, validate_bespoke
+from .coanalysis import (CoAnalysisEngine, CoAnalysisError,
+                         CoAnalysisResult, SymbolicTarget)
+from .coanalysis.concrete import run_concrete
+from .csm import (Clustered, ConservativeStateManager, ExactSet,
+                  UberConservative)
+from .logic import LVec, Logic, SymBit
+from .netlist import Netlist, parse_verilog, write_verilog
+from .processors import CoreTarget, build_bm32, build_dr5, build_omsp430
+from .rtl import Design
+from .sim import CompiledNetlist, CycleSim, EventSim, MonitorX, XMemory
+from .workloads import WORKLOADS, WORKLOAD_ORDER, build_target, built_core
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Logic", "LVec", "SymBit",
+    "Netlist", "parse_verilog", "write_verilog",
+    "Design",
+    "CompiledNetlist", "CycleSim", "EventSim", "MonitorX", "XMemory",
+    "ConservativeStateManager", "UberConservative", "Clustered", "ExactSet",
+    "CoAnalysisEngine", "CoAnalysisResult", "CoAnalysisError",
+    "SymbolicTarget", "run_concrete",
+    "generate_bespoke", "validate_bespoke",
+    "build_omsp430", "build_bm32", "build_dr5", "CoreTarget",
+    "WORKLOADS", "WORKLOAD_ORDER", "build_target", "built_core",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Application-specific analyses built on co-analysis results."""
+
+from .coverage import (CoverageReport, PcCoverageObserver,
+                       analyze_coverage, isa_usage)
+from .gating import GatingReport, analyze_gating, gating_from_result
+from .peak_power import (PeakPowerObserver, PeakPowerResult,
+                         analyze_peak_power, concrete_peak)
+from .power import (PowerMeter, PowerReport, SavingsReport, compare_power,
+                    leakage_power, measure_concrete_run)
+from .timing import (SlackReport, TimingReport, critical_path,
+                     exercisable_critical_path, timing_slack)
+
+__all__ = [
+    "PowerMeter", "PowerReport", "SavingsReport",
+    "measure_concrete_run", "compare_power", "leakage_power",
+    "PeakPowerObserver", "PeakPowerResult", "analyze_peak_power",
+    "concrete_peak",
+    "TimingReport", "SlackReport", "critical_path",
+    "exercisable_critical_path", "timing_slack",
+    "CoverageReport", "PcCoverageObserver", "analyze_coverage",
+    "isa_usage",
+    "GatingReport", "analyze_gating", "gating_from_result",
+]

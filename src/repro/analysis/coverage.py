@@ -1,0 +1,91 @@
+"""Symbolic program coverage: which instructions can any input reach?
+
+A by-product of co-analysis the paper's related work exploits (the
+reduced-ISA generation of [1]): the set of PC values reachable across
+*all* inputs.  Program words never reached are dead code; opcodes never
+decoded bound the ISA subset the application needs; both feed
+application-specific hardware reduction.
+
+Implemented as a cycle observer on the standard engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..coanalysis.engine import CoAnalysisEngine
+from ..coanalysis.results import CoAnalysisResult
+from ..isa.asm import Program
+from ..processors.harness import CoreTarget
+
+
+class PcCoverageObserver:
+    """Records every concrete PC value seen during co-analysis."""
+
+    def __init__(self, target: CoreTarget):
+        self.target = target
+        self.visited: Set[int] = set()
+
+    def __call__(self, sim, path_id: int, cycle: int) -> None:
+        pc = self.target.current_pc(sim)
+        if pc is not None:
+            self.visited.add(pc)
+
+
+@dataclass
+class CoverageReport:
+    """Input-independent reachability of a program's instructions."""
+
+    program: Program
+    visited: Set[int]
+    analysis: Optional[CoAnalysisResult] = None
+
+    @property
+    def reachable(self) -> List[int]:
+        return sorted(a for a in self.visited if a < self.program.size)
+
+    @property
+    def dead(self) -> List[int]:
+        return [a for a in range(self.program.size)
+                if a not in self.visited]
+
+    @property
+    def coverage_percent(self) -> float:
+        if self.program.size == 0:
+            return 100.0
+        return 100.0 * len(self.reachable) / self.program.size
+
+    def dead_labels(self) -> List[str]:
+        by_addr = {v: k for k, v in self.program.labels.items()}
+        return [by_addr[a] for a in self.dead if a in by_addr]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "program_words": self.program.size,
+            "reachable_words": len(self.reachable),
+            "dead_words": len(self.dead),
+            "coverage_percent": round(self.coverage_percent, 1),
+        }
+
+
+def isa_usage(report: CoverageReport, design: str) -> Dict[str, int]:
+    """Mnemonic histogram over the *reachable* program words.
+
+    Instructions absent from this histogram are never decodable for any
+    input -- candidates for reduced-ISA hardware generation [1]."""
+    from ..isa.disasm import mnemonic_histogram
+    words = [report.program.words[a] for a in report.reachable]
+    return mnemonic_histogram(design, words)
+
+
+def analyze_coverage(target: CoreTarget, application: str = "app",
+                     **engine_kwargs) -> CoverageReport:
+    """Run co-analysis with PC coverage recording attached."""
+    observer = PcCoverageObserver(target)
+    engine = CoAnalysisEngine(target, application=application,
+                              cycle_observer=observer, **engine_kwargs)
+    result = engine.run()
+    return CoverageReport(program=target.program,
+                          visited=observer.visited,
+                          analysis=result)

@@ -1,0 +1,131 @@
+"""Module-oblivious power-gating analysis (prior work [6]).
+
+Prior work power-gates at gate granularity rather than module
+granularity: a gate can sleep whenever the *current execution* cannot
+exercise it, even if its RTL module is otherwise active.  The enabling
+information is per-path activity from symbolic co-analysis:
+
+* **never-exercised** gates (the bespoke prune set) sleep permanently;
+* **sometimes-exercised** gates are exercised on some execution paths
+  only — they can be gated off whenever execution is on a path that
+  provably avoids them;
+* **always-exercised** gates must stay powered.
+
+:func:`analyze_gating` classifies every gate and sizes the opportunity
+(area that can sleep at least part of the time).  Run the engine with
+``record_per_path_activity=True`` to collect the inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..coanalysis.engine import CoAnalysisEngine
+from ..coanalysis.results import CoAnalysisResult
+from ..coanalysis.target import SymbolicTarget
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class GatingReport:
+    """Gate classification by cross-path exercise frequency."""
+
+    netlist: Netlist
+    always: List[int] = field(default_factory=list)
+    sometimes: List[int] = field(default_factory=list)
+    never: List[int] = field(default_factory=list)
+    #: per-gate fraction of completed paths that exercised it
+    exercise_fraction: Dict[int, float] = field(default_factory=dict)
+    paths_considered: int = 0
+
+    def _area(self, gates: List[int]) -> float:
+        return sum(self.netlist.gates[i].cell.area for i in gates)
+
+    @property
+    def always_area(self) -> float:
+        return self._area(self.always)
+
+    @property
+    def sometimes_area(self) -> float:
+        return self._area(self.sometimes)
+
+    @property
+    def never_area(self) -> float:
+        return self._area(self.never)
+
+    @property
+    def gateable_area_percent(self) -> float:
+        """Area that can sleep at least some of the time (the [6]-style
+        opportunity beyond bespoke pruning)."""
+        total = self.netlist.area()
+        if total <= 0:
+            return 0.0
+        return 100.0 * (self.sometimes_area + self.never_area) / total
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "paths": self.paths_considered,
+            "always_gates": len(self.always),
+            "sometimes_gates": len(self.sometimes),
+            "never_gates": len(self.never),
+            "gateable_area_percent": round(self.gateable_area_percent, 1),
+        }
+
+
+def gating_from_result(netlist: Netlist,
+                       result: CoAnalysisResult) -> GatingReport:
+    """Classify gates from a result that carries per-path activity."""
+    if not result.per_path_exercised:
+        raise ValueError(
+            "result has no per-path activity; run the engine with "
+            "record_per_path_activity=True")
+    # Each segment is a suffix of an execution; a full execution's
+    # exercised set is the union along its ancestor chain back to the
+    # root segment.  Only completed executions define "a run".
+    by_id = {rec.path_id: (rec, seg)
+             for rec, seg in zip(result.path_records,
+                                 result.per_path_exercised)}
+    executions = []
+    for rec, seg in zip(result.path_records, result.per_path_exercised):
+        if rec.outcome != "done":
+            continue
+        full = seg.copy()
+        parent = rec.parent
+        while parent is not None:
+            anc_rec, anc_seg = by_id[parent]
+            full |= anc_seg
+            parent = anc_rec.parent
+        executions.append(full)
+    if not executions:
+        raise ValueError("no completed paths in result")
+    union_exercised = result.profile.exercised_nets()
+
+    report = GatingReport(netlist=netlist,
+                          paths_considered=len(executions))
+    counts = np.zeros(len(netlist.nets), dtype=np.int64)
+    for seg in executions:
+        counts += seg
+    for gate in netlist.gates:
+        hits = int(counts[gate.output])
+        frac = hits / len(executions)
+        report.exercise_fraction[gate.index] = frac
+        if not union_exercised[gate.output]:
+            report.never.append(gate.index)
+        elif hits == len(executions):
+            report.always.append(gate.index)
+        else:
+            report.sometimes.append(gate.index)
+    return report
+
+
+def analyze_gating(target: SymbolicTarget, application: str = "app",
+                   **engine_kwargs) -> GatingReport:
+    """Run co-analysis with per-path recording and classify gates."""
+    engine = CoAnalysisEngine(target, application=application,
+                              record_per_path_activity=True,
+                              **engine_kwargs)
+    result = engine.run()
+    return gating_from_result(target.netlist, result)

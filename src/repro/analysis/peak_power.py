@@ -1,0 +1,117 @@
+"""Input-independent peak power bounds (prior work [5], enabled here).
+
+One of the analyses the paper's tool unlocks: because symbolic
+co-analysis covers *all* inputs, the per-cycle switching activity it
+observes bounds the switching of any real execution.  A net that is
+known-constant in a cycle cannot toggle then; a net carrying X *might*.
+So
+
+    peak_bound(cycle) = sum of switch energies of nets that either
+                        changed or carry X in that cycle
+
+maximized over every cycle of every explored path is a sound
+input-independent peak-power bound, and the same quantity measured on a
+concrete run must never exceed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..coanalysis.engine import CoAnalysisEngine
+from ..coanalysis.results import CoAnalysisResult
+from ..coanalysis.target import SymbolicTarget
+from .power import SWITCH_ENERGY
+
+
+@dataclass
+class PeakPowerResult:
+    """Peak-bound trace produced alongside a co-analysis run."""
+
+    peak_bound: float                     # max over all cycles/paths
+    peak_cycle: int                       # cycle index where it occurred
+    peak_path: int
+    per_path_peaks: Dict[int, float] = field(default_factory=dict)
+    analysis: Optional[CoAnalysisResult] = None
+
+
+class PeakPowerObserver:
+    """Cycle observer computing the symbolic switching upper bound."""
+
+    def __init__(self, netlist):
+        self.energy = np.zeros(len(netlist.nets))
+        for gate in netlist.gates:
+            self.energy[gate.output] = SWITCH_ENERGY[gate.kind]
+        self._prev_val: Optional[np.ndarray] = None
+        self._prev_known: Optional[np.ndarray] = None
+        self._prev_path: Optional[int] = None
+        self.peak = 0.0
+        self.peak_cycle = -1
+        self.peak_path = -1
+        self.per_path: Dict[int, float] = {}
+
+    def __call__(self, sim, path_id: int, cycle: int) -> None:
+        if self._prev_path != path_id:
+            # new path segment: no previous cycle to diff against
+            self._prev_val = sim.val.copy()
+            self._prev_known = sim.known.copy()
+            self._prev_path = path_id
+            return
+        may_switch = (~sim.known) | (~self._prev_known) | \
+                     (sim.val != self._prev_val)
+        bound = float((may_switch * self.energy).sum())
+        if bound > self.per_path.get(path_id, 0.0):
+            self.per_path[path_id] = bound
+        if bound > self.peak:
+            self.peak = bound
+            self.peak_cycle = cycle
+            self.peak_path = path_id
+        self._prev_val = sim.val.copy()
+        self._prev_known = sim.known.copy()
+
+
+def analyze_peak_power(target: SymbolicTarget, application: str = "app",
+                       **engine_kwargs) -> PeakPowerResult:
+    """Run co-analysis with peak-power observation attached."""
+    observer = PeakPowerObserver(target.netlist)
+    engine = CoAnalysisEngine(target, application=application,
+                              cycle_observer=observer, **engine_kwargs)
+    result = engine.run()
+    return PeakPowerResult(
+        peak_bound=observer.peak,
+        peak_cycle=observer.peak_cycle,
+        peak_path=observer.peak_path,
+        per_path_peaks=dict(observer.per_path),
+        analysis=result,
+    )
+
+
+def concrete_peak(target: SymbolicTarget, inputs: Dict[int, int],
+                  max_cycles: int = 20000) -> float:
+    """Measured per-cycle switching peak of one fixed-input run."""
+    energy = np.zeros(len(target.netlist.nets))
+    for gate in target.netlist.gates:
+        energy[gate.output] = SWITCH_ENERGY[gate.kind]
+    sim = target.make_sim()
+    target.reset(sim)
+    target.apply_concrete_inputs(sim, inputs)  # type: ignore[attr-defined]
+    target.drive_all(sim)
+    prev_val = sim.val.copy()
+    prev_known = sim.known.copy()
+    peak = 0.0
+    cycles = 0
+    while cycles < max_cycles:
+        target.drive_all(sim)
+        if target.is_done(sim):
+            break
+        switched = (sim.val != prev_val) | (sim.known != prev_known)
+        peak = max(peak, float((switched * energy).sum()))
+        prev_val = sim.val.copy()
+        prev_known = sim.known.copy()
+        target.on_edge(sim)
+        sim.clock_edge()
+        cycles += 1
+    return peak

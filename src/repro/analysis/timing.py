@@ -1,0 +1,175 @@
+"""Static timing analysis and the voltage-overscaling connection.
+
+Prior work [8, 18] uses co-analysis to exploit *dynamic timing slack*:
+if an application can never exercise the longest paths of a design, the
+supply voltage can be lowered (slowing every gate) until the longest
+path it *can* exercise just meets timing.  This module provides:
+
+* a unit-delay-weighted static timing analyzer over the netlist DAG
+  (flop-to-flop, input-to-flop, and flop-to-output paths), and
+* :func:`exercisable_critical_path`, the longest path restricted to the
+  exercisable gate set -- whose ratio to the full critical path is
+  exactly the voltage-scaling headroom surrogate.
+
+Delays are in normalized gate-delay units (a NAND2 = 1.0), consistent
+across netlists, so before/after ratios are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..netlist.netlist import Netlist
+from ..sim.activity import ToggleProfile
+
+#: propagation delay per cell kind, normalized to NAND2 = 1.0
+CELL_DELAY = {
+    "TIE0": 0.0, "TIE1": 0.0,
+    "BUF": 0.7, "NOT": 0.6,
+    "AND": 1.2, "OR": 1.2, "NAND": 1.0, "NOR": 1.1,
+    "XOR": 1.8, "XNOR": 1.8, "MUX2": 1.5,
+    # clock-to-Q for flops (their D input terminates a path)
+    "DFF": 1.4, "DFFR": 1.5, "DFFE": 1.6, "DFFER": 1.7,
+}
+
+
+@dataclass
+class TimingReport:
+    """Longest-path analysis of one netlist."""
+
+    critical_delay: float
+    critical_path: List[str]          # gate names, source to sink
+    endpoint: str                     # net name at the path end
+    gate_count: int
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "critical_delay": round(self.critical_delay, 2),
+            "stages": len(self.critical_path),
+            "endpoint": self.endpoint,
+        }
+
+
+def _arrival_times(netlist: Netlist,
+                   allowed: Optional[Set[int]] = None
+                   ) -> Tuple[Dict[int, float], Dict[int, Optional[int]]]:
+    """Latest arrival time per net and the driving gate on that path.
+
+    Sources (arrival 0): primary inputs and flop outputs.  ``allowed``
+    restricts propagation to a gate subset (exercisable-only timing).
+    """
+    arrival: Dict[int, float] = {}
+    via: Dict[int, Optional[int]] = {}
+    for net in netlist.inputs:
+        arrival[net] = 0.0
+        via[net] = None
+    order = sorted((g for g in netlist.gates),
+                   key=lambda g: netlist.levelize()[g.index])
+    for gate in netlist.gates:
+        if gate.is_sequential:
+            arrival[gate.output] = CELL_DELAY[gate.kind]
+            via[gate.output] = gate.index
+    for gate in order:
+        if gate.is_sequential:
+            continue
+        if allowed is not None and gate.index not in allowed:
+            continue
+        ins = [arrival.get(i) for i in gate.inputs]
+        known = [a for a in ins if a is not None]
+        if not known and gate.cell.arity:
+            continue
+        start = max(known) if known else 0.0
+        t = start + CELL_DELAY[gate.kind]
+        if t > arrival.get(gate.output, -1.0):
+            arrival[gate.output] = t
+            via[gate.output] = gate.index
+    return arrival, via
+
+
+def _trace_path(netlist: Netlist, via: Dict[int, Optional[int]],
+                arrival: Dict[int, float], endpoint: int) -> List[str]:
+    path: List[str] = []
+    net = endpoint
+    seen = set()
+    while net not in seen:
+        seen.add(net)
+        gate_idx = via.get(net)
+        if gate_idx is None:
+            break
+        gate = netlist.gates[gate_idx]
+        path.append(gate.name)
+        if gate.is_sequential or not gate.inputs:
+            break
+        net = max(gate.inputs,
+                  key=lambda i: arrival.get(i, float("-inf")))
+    return list(reversed(path))
+
+
+def critical_path(netlist: Netlist,
+                  allowed: Optional[Set[int]] = None) -> TimingReport:
+    """Longest register-to-register / input-to-register path."""
+    arrival, via = _arrival_times(netlist, allowed)
+    # endpoints: D/E/R pins of flops and primary outputs
+    best_net, best_t = None, -1.0
+    for gate in netlist.gates:
+        if not gate.is_sequential:
+            continue
+        if allowed is not None and gate.index not in allowed:
+            continue
+        for pin in gate.inputs:
+            t = arrival.get(pin)
+            if t is not None and t > best_t:
+                best_net, best_t = pin, t
+    for net in netlist.outputs:
+        t = arrival.get(net)
+        if t is not None and t > best_t:
+            best_net, best_t = net, t
+    if best_net is None:
+        return TimingReport(0.0, [], "", netlist.gate_count())
+    return TimingReport(
+        critical_delay=best_t,
+        critical_path=_trace_path(netlist, via, arrival, best_net),
+        endpoint=netlist.net_name(best_net),
+        gate_count=netlist.gate_count(),
+    )
+
+
+def exercisable_critical_path(netlist: Netlist,
+                              profile: ToggleProfile) -> TimingReport:
+    """Longest path through *exercisable* gates only.
+
+    A path no application input can sensitize cannot fail timing for
+    this application; its excess delay over the exercisable critical
+    path is headroom for voltage overscaling (prior work [8, 18])."""
+    allowed = profile.exercisable_gates()
+    # sequential cells always participate (state must hold at speed)
+    allowed |= {g.index for g in netlist.gates if g.is_sequential}
+    return critical_path(netlist, allowed)
+
+
+@dataclass
+class SlackReport:
+    """Full vs application-specific timing."""
+
+    full: TimingReport
+    exercisable: TimingReport
+
+    @property
+    def slack_percent(self) -> float:
+        if self.full.critical_delay <= 0:
+            return 0.0
+        return 100.0 * (1 - self.exercisable.critical_delay
+                        / self.full.critical_delay)
+
+    @property
+    def voltage_headroom(self) -> float:
+        """First-order alpha-power surrogate: delay scales ~1/V, so the
+        tolerable relative voltage reduction equals the slack ratio."""
+        return self.slack_percent / 100.0
+
+
+def timing_slack(netlist: Netlist, profile: ToggleProfile) -> SlackReport:
+    return SlackReport(full=critical_path(netlist),
+                       exercisable=exercisable_critical_path(netlist,
+                                                             profile))

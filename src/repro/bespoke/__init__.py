@@ -1,0 +1,22 @@
+"""Bespoke processor generation: prune, re-synthesize, validate."""
+
+from .prune import prune_report, prune_unexercisable
+from .resynth import area_report, resynthesize
+from .validate import ValidationReport, validate_bespoke
+
+from ..netlist.netlist import Netlist
+from ..sim.activity import ToggleProfile
+
+
+def generate_bespoke(netlist: Netlist, profile: ToggleProfile) -> Netlist:
+    """The full bespoke flow: prune unexercisable gates to their observed
+    constants, then re-synthesize (fold + sweep) the survivor netlist."""
+    return resynthesize(prune_unexercisable(netlist, profile))
+
+
+__all__ = [
+    "prune_unexercisable", "prune_report",
+    "resynthesize", "area_report",
+    "validate_bespoke", "ValidationReport",
+    "generate_bespoke",
+]

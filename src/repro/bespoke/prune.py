@@ -1,0 +1,73 @@
+"""Pruning unexercisable gates (paper section 3, "bespoke" flow).
+
+"To generate a bespoke processor, unexercisable gates are pruned away and
+the microprocessor design is re-synthesized ... During re-synthesis,
+fanout values of pruned gates are set to the constant value seen during
+the symbolic simulation of the target application."
+
+:func:`prune_unexercisable` performs the first half: every gate whose
+output net was proven unexercisable is replaced by a tie cell carrying the
+constant value observed in simulation.  The second half (constant folding
+through the fanout, buffer sweeping, dead-logic removal) lives in
+:mod:`repro.bespoke.resynth`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..logic.value import Logic
+from ..netlist.netlist import Netlist
+from ..sim.activity import ToggleProfile
+
+
+def prune_unexercisable(netlist: Netlist, profile: ToggleProfile,
+                        protect: Optional[Set[int]] = None) -> Netlist:
+    """Replace unexercisable gates with constant ties.
+
+    ``protect`` is an optional set of gate indices that are never pruned
+    (e.g. reset distribution that co-analysis deliberately excludes).
+    Gates whose constant value could not be established (profile reports
+    ``X``) are conservatively kept.
+    """
+    pnl = profile.netlist
+    if (pnl.name != netlist.name or pnl.gate_count() != netlist.gate_count()
+            or len(pnl.nets) != len(netlist.nets)):
+        raise ValueError("profile was computed for a different netlist")
+    protect = protect or set()
+    removable: Dict[int, Logic] = {}
+    for gate_idx in profile.unexercisable_gates():
+        if gate_idx in protect:
+            continue
+        const = profile.constant_value(gate_idx)
+        if const is None or not const.is_known:
+            continue
+        removable[gate_idx] = const
+
+    out = Netlist(netlist.name + "_bespoke")
+    for net in netlist.nets:
+        out.add_net(net.name)
+    for idx in netlist.inputs:
+        out.mark_input(idx)
+    for gate in netlist.gates:
+        const = removable.get(gate.index)
+        if const is None:
+            out.add_gate(gate.name, gate.kind, gate.inputs, gate.output)
+        else:
+            kind = "TIE1" if const is Logic.L1 else "TIE0"
+            out.add_gate(gate.name, kind, (), gate.output)
+    for idx in netlist.outputs:
+        out.mark_output(idx)
+    return out
+
+
+def prune_report(netlist: Netlist, profile: ToggleProfile) -> Dict[str, int]:
+    """Quick statistics about what pruning will remove."""
+    unex = profile.unexercisable_gates()
+    flops = sum(1 for i in unex if netlist.gates[i].is_sequential)
+    return {
+        "total_gates": netlist.gate_count(),
+        "prunable_gates": len(unex),
+        "prunable_flops": flops,
+        "exercisable_gates": netlist.gate_count() - len(unex),
+    }

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``analyze``  -- symbolic co-analysis of a benchmark on a core
+* ``bespoke``  -- analysis + bespoke generation + validation (+ Verilog out)
+* ``grid``     -- the full evaluation grid: Tables 3/4, Figures 5/6
+* ``power``    -- bespoke power savings + input-independent peak bound
+* ``asm``      -- assemble a program file for one of the ISAs
+* ``trace``    -- concrete run with a VCD waveform dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import (analyze_coverage, analyze_peak_power,
+                       compare_power, concrete_peak, timing_slack)
+from .bespoke import area_report, generate_bespoke, validate_bespoke
+from .csm import Clustered, ExactSet, UberConservative
+from .isa import ASSEMBLERS
+from .netlist import write_verilog
+from .reporting import (DESIGN_ORDER, figure5, figure6, run_grid, table3,
+                        table4)
+from .reporting.runner import run_one
+from .sim.vcd import VcdWriter
+from .workloads import WORKLOAD_ORDER, WORKLOADS, build_target
+
+STRATEGIES = {
+    "uber": UberConservative,
+    "clustered2": lambda: Clustered(k=2),
+    "clustered4": lambda: Clustered(k=4),
+    "exact": ExactSet,
+}
+
+
+def _add_pair_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("design", choices=["omsp430", "bm32", "dr5"])
+    p.add_argument("benchmark", choices=WORKLOAD_ORDER)
+
+
+def cmd_analyze(args) -> int:
+    result = run_one(args.design, args.benchmark,
+                     strategy=STRATEGIES[args.strategy](),
+                     use_constraints=not args.no_constraints)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for key, value in summary.items():
+            print(f"{key:>20}: {value}")
+    return 0
+
+
+def cmd_bespoke(args) -> int:
+    result = run_one(args.design, args.benchmark)
+    workload = WORKLOADS[args.benchmark]
+    original = build_target(args.design, workload)
+    bespoke_nl = generate_bespoke(original.netlist, result.profile)
+    report = area_report(original.netlist, bespoke_nl)
+    print(f"gates: {report['gates_before']} -> {report['gates_after']} "
+          f"({report['gate_reduction_percent']}% reduction)")
+    print(f"area : {report['area_before']} -> {report['area_after']} "
+          f"({report['area_reduction_percent']}% reduction)")
+    bespoke = build_target(args.design, workload, netlist=bespoke_nl)
+    validation = validate_bespoke(original, bespoke, result,
+                                  cases=workload.cases)
+    print(f"validation: "
+          f"{'PASS' if validation.ok else 'FAIL'} "
+          f"({validation.cases_run} cases)")
+    for mismatch in validation.mismatches:
+        print("  !!", mismatch)
+    if args.output:
+        Path(args.output).write_text(write_verilog(bespoke_nl))
+        print(f"bespoke netlist written to {args.output}")
+    return 0 if validation.ok else 1
+
+
+def cmd_grid(args) -> int:
+    cache = Path(args.cache) if args.cache else None
+    results = run_grid(cache_dir=cache, verbose=not args.quiet)
+    print()
+    print(table3(results, WORKLOAD_ORDER, DESIGN_ORDER))
+    print()
+    print(table4(results, WORKLOAD_ORDER, DESIGN_ORDER))
+    if args.figures:
+        print()
+        print(figure5(results, WORKLOAD_ORDER, DESIGN_ORDER))
+        print(figure6(results, WORKLOAD_ORDER, DESIGN_ORDER))
+    return 0
+
+
+def cmd_power(args) -> int:
+    workload = WORKLOADS[args.benchmark]
+    target = build_target(args.design, workload)
+    peak = analyze_peak_power(target, application=args.benchmark)
+    print(f"input-independent peak switching bound: "
+          f"{peak.peak_bound:.1f} (cycle {peak.peak_cycle}, "
+          f"path {peak.peak_path})")
+    case = workload.cases[0]
+    measured = concrete_peak(target, case)
+    print(f"measured concrete peak (case 0)       : {measured:.1f}")
+
+    bespoke_nl = generate_bespoke(target.netlist, peak.analysis.profile)
+    bespoke = build_target(args.design, workload, netlist=bespoke_nl)
+    savings = compare_power(target, bespoke, case)
+    print(f"bespoke energy saving                  : "
+          f"{savings.energy_saving_percent:.1f}%")
+    print(f"bespoke leakage saving                 : "
+          f"{savings.leakage_saving_percent:.1f}%")
+    return 0
+
+
+def cmd_timing(args) -> int:
+    result = run_one(args.design, args.benchmark)
+    target = build_target(args.design, WORKLOADS[args.benchmark])
+    slack = timing_slack(target.netlist, result.profile)
+    print(f"full critical path       : "
+          f"{slack.full.critical_delay:.2f} gate-delays "
+          f"({len(slack.full.critical_path)} stages, "
+          f"endpoint {slack.full.endpoint})")
+    print(f"exercisable critical path: "
+          f"{slack.exercisable.critical_delay:.2f} gate-delays")
+    print(f"application timing slack : {slack.slack_percent:.1f}%")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    target = build_target(args.design, WORKLOADS[args.benchmark])
+    report = analyze_coverage(target, application=args.benchmark)
+    if args.json:
+        print(json.dumps(report.summary(), indent=2))
+        return 0
+    for key, value in report.summary().items():
+        print(f"{key:>18}: {value}")
+    if report.dead:
+        labels = report.dead_labels()
+        print(f"{'dead addresses':>18}: {report.dead}"
+              + (f" (labels: {labels})" if labels else ""))
+    return 0
+
+
+def cmd_asm(args) -> int:
+    assembler = ASSEMBLERS[args.design]()
+    source = Path(args.source).read_text()
+    program = assembler.assemble(source, name=Path(args.source).stem)
+    digits = (assembler.word_width + 3) // 4
+    for addr, word in enumerate(program.words):
+        print(f"{addr:04x}: {word:0{digits}x}")
+    print(f"; {program.size} words, labels: "
+          f"{', '.join(f'{k}={v}' for k, v in sorted(program.labels.items()))}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .isa.disasm import disassemble_program
+    assembler = ASSEMBLERS[args.design]()
+    source = Path(args.source).read_text()
+    program = assembler.assemble(source, name=Path(args.source).stem)
+    by_addr = {v: k for k, v in program.labels.items()}
+    for addr, text in enumerate(
+            disassemble_program(args.design, program.words)):
+        label = f"{by_addr[addr]}:" if addr in by_addr else ""
+        print(f"{addr:04x}: {label:<12} {text}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    workload = WORKLOADS[args.benchmark]
+    target = build_target(args.design, workload)
+    case = workload.cases[args.case]
+    nets = target.pc_nets + list(target.monitored_nets)
+    sim = target.make_sim()
+    target.reset(sim)
+    target.apply_concrete_inputs(sim, case)
+    with VcdWriter(args.output, target.netlist, nets=nets) as vcd:
+        cycles = 0
+        while cycles < args.max_cycles:
+            target.drive_all(sim)
+            vcd.sample(sim)
+            if target.is_done(sim):
+                break
+            target.on_edge(sim)
+            sim.clock_edge()
+            cycles += 1
+    print(f"{cycles} cycles dumped to {args.output} "
+          f"({len(nets)} signals)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Design-agnostic symbolic simulation for "
+                    "hardware-software co-analysis (DAC'22 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run symbolic co-analysis")
+    _add_pair_args(p)
+    p.add_argument("--strategy", choices=sorted(STRATEGIES),
+                   default="uber")
+    p.add_argument("--no-constraints", action="store_true",
+                   help="ignore the workload's CSM constraint file")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("bespoke", help="generate + validate a bespoke core")
+    _add_pair_args(p)
+    p.add_argument("-o", "--output", help="write bespoke Verilog here")
+    p.set_defaults(func=cmd_bespoke)
+
+    p = sub.add_parser("grid", help="full evaluation grid (Tables 3/4)")
+    p.add_argument("--cache", default=".repro_cache")
+    p.add_argument("--figures", action="store_true")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser("power", help="power savings and peak bound")
+    _add_pair_args(p)
+    p.set_defaults(func=cmd_power)
+
+    p = sub.add_parser("timing", help="application-specific timing slack")
+    _add_pair_args(p)
+    p.set_defaults(func=cmd_timing)
+
+    p = sub.add_parser("coverage", help="symbolic program coverage")
+    _add_pair_args(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("asm", help="assemble a program")
+    p.add_argument("design", choices=["omsp430", "bm32", "dr5"])
+    p.add_argument("source", help="assembly source file")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("disasm", help="assemble then disassemble a program")
+    p.add_argument("design", choices=["omsp430", "bm32", "dr5"])
+    p.add_argument("source", help="assembly source file")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("trace", help="concrete run with VCD dump")
+    _add_pair_args(p)
+    p.add_argument("-o", "--output", default="trace.vcd")
+    p.add_argument("--case", type=int, default=0)
+    p.add_argument("--max-cycles", type=int, default=6000)
+    p.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

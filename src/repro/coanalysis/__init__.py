@@ -1,0 +1,13 @@
+"""Symbolic hardware-software co-analysis engine (Algorithm 1)."""
+
+from .engine import CoAnalysisEngine, PendingPath
+from .event_engine import EventCoAnalysis, EventCoAnalysisResult
+from .results import CoAnalysisError, CoAnalysisResult, PathRecord
+from .target import SymbolicTarget
+
+__all__ = [
+    "CoAnalysisEngine", "PendingPath",
+    "EventCoAnalysis", "EventCoAnalysisResult",
+    "CoAnalysisResult", "CoAnalysisError", "PathRecord",
+    "SymbolicTarget",
+]

@@ -1,0 +1,195 @@
+"""Symbolic hardware-software co-analysis (Algorithm 1).
+
+The engine drives a :class:`~repro.coanalysis.target.SymbolicTarget`
+through the paper's procedure:
+
+1. reset the design, load the application, set inputs to X;
+2. simulate cycle by cycle until a monitored control-flow signal is X at a
+   PC-changing instruction (``$monitor_x`` halts the simulation);
+3. snapshot the state, present it to the Conservative State Manager;
+   covered states are discarded, uncovered states are merged into a more
+   conservative super-state and *both* branch outcomes are pushed as new
+   execution paths (the decision net is forced 0/1 for one cycle);
+4. repeat until the path stack is empty;
+5. fold every path's toggle activity into a single profile whose
+   complement is the guaranteed-unexercisable gate set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..csm.manager import ConservativeStateManager
+from ..logic.value import Logic
+from ..sim.activity import ToggleProfile
+from ..sim.cycle_sim import CycleSim
+from ..sim.state import SimState
+from .results import CoAnalysisError, CoAnalysisResult, PathRecord
+from .target import SymbolicTarget
+
+
+@dataclass
+class PendingPath:
+    """An unprocessed execution path (an entry of Algorithm 1's stack U)."""
+
+    state: SimState
+    forced_decision: Optional[int] = None   # 0 / 1 / None (initial path)
+    depth: int = 0
+    parent: Optional[int] = None            # spawning segment's path_id
+
+
+class CoAnalysisEngine:
+    """Runs Algorithm 1 on one (application, design) pair."""
+
+    def __init__(self, target: SymbolicTarget,
+                 csm: Optional[ConservativeStateManager] = None,
+                 max_cycles_per_path: int = 20000,
+                 max_total_cycles: int = 2_000_000,
+                 max_paths: int = 100_000,
+                 strict: bool = True,
+                 application: str = "app",
+                 cycle_observer=None,
+                 record_per_path_activity: bool = False):
+        self.target = target
+        self.csm = csm or ConservativeStateManager()
+        self.max_cycles_per_path = max_cycles_per_path
+        self.max_total_cycles = max_total_cycles
+        self.max_paths = max_paths
+        self.strict = strict
+        self.application = application
+        #: optional callable(sim, path_id, cycle) invoked on every
+        #: settled cycle of every explored path -- the hook used by the
+        #: peak-power analysis and by waveform dumping
+        self.cycle_observer = cycle_observer
+        #: when True, each PathRecord gains a per-segment exercised-net
+        #: array in result.per_path_exercised (feeds the power-gating
+        #: analysis of prior work [6])
+        self.record_per_path_activity = record_per_path_activity
+
+    # -- the main loop ------------------------------------------------------
+    def run(self) -> CoAnalysisResult:
+        target = self.target
+        result = CoAnalysisResult(
+            design=target.name, application=self.application,
+            profile=ToggleProfile.empty(target.netlist))
+        t0 = time.perf_counter()
+
+        sim = target.make_sim()
+        target.reset(sim)
+        target.apply_symbolic_inputs(sim)
+        target.drive_all(sim)
+        sim.arm_activity()
+
+        initial = sim.snapshot(pc=target.current_pc(sim))
+        stack: List[PendingPath] = [PendingPath(initial)]
+        result.paths_created = 1
+
+        while stack:
+            pending = stack.pop()
+            if self.record_per_path_activity:
+                # true per-segment sets: park the global union, collect
+                # this segment in cleared arrays, then re-merge
+                saved_toggled = sim.toggled.copy()
+                saved_x = sim.ever_x.copy()
+                sim.toggled[:] = False
+                sim.ever_x[:] = False
+            record = self._simulate_segment(sim, pending, result, stack)
+            result.path_records.append(record)
+            if self.record_per_path_activity:
+                result.per_path_exercised.append(sim.exercised_nets())
+                sim.toggled |= saved_toggled
+                sim.ever_x |= saved_x
+
+        result.profile.absorb(sim.toggled, sim.ever_x, sim.val & sim.known,
+                              sim.known)
+        result.csm_stats = self.csm.stats.snapshot()
+        result.wall_seconds = time.perf_counter() - t0
+        return result
+
+    # -- one execution path ------------------------------------------------
+    def _simulate_segment(self, sim: CycleSim, pending: PendingPath,
+                          result: CoAnalysisResult,
+                          stack: List[PendingPath]) -> PathRecord:
+        target = self.target
+        path_id = len(result.path_records)
+        sim.restore(pending.state)
+        start_pc = pending.state.pc
+
+        first_cycle_forced = pending.forced_decision is not None
+        if first_cycle_forced:
+            sim.force(target.branch_force_net,
+                      Logic.L1 if pending.forced_decision else Logic.L0)
+
+        cycles = 0
+        while True:
+            target.drive_all(sim)
+
+            if not first_cycle_forced:
+                if target.is_done(sim):
+                    sim.record_activity_now()
+                    return PathRecord(path_id, start_pc,
+                                      target.current_pc(sim), cycles, "done",
+                                      pending.forced_decision,
+                                      pending.parent)
+                bp = target.at_branch_point(sim)
+                if bp is not Logic.L0 and (not bp.is_known or
+                                           target.monitored_has_x(sim)):
+                    sim.record_activity_now()
+                    return self._halt_and_fork(sim, pending, result, stack,
+                                               path_id, start_pc, cycles)
+
+            if cycles >= self.max_cycles_per_path or \
+                    result.simulated_cycles >= self.max_total_cycles:
+                result.truncated_paths += 1
+                if self.strict:
+                    raise CoAnalysisError(
+                        f"cycle budget exhausted on path {path_id} "
+                        f"(per-path {self.max_cycles_per_path}, total "
+                        f"{self.max_total_cycles}); analysis unsound")
+                return PathRecord(path_id, start_pc, target.current_pc(sim),
+                                  cycles, "budget", pending.forced_decision,
+                                  pending.parent)
+
+            sim.record_activity_now()
+            if self.cycle_observer is not None:
+                self.cycle_observer(sim, path_id, cycles)
+            target.on_edge(sim)
+            sim.clock_edge()
+            cycles += 1
+            result.simulated_cycles += 1
+            if first_cycle_forced:
+                sim.release()
+                first_cycle_forced = False
+
+    # -- halt handling ---------------------------------------------------------
+    def _halt_and_fork(self, sim: CycleSim, pending: PendingPath,
+                       result: CoAnalysisResult, stack: List[PendingPath],
+                       path_id: int, start_pc: Optional[int],
+                       cycles: int) -> PathRecord:
+        target = self.target
+        pc = target.current_pc(sim)
+        if pc is None:
+            raise CoAnalysisError(
+                "program counter contains X at a control-flow halt; "
+                "cannot index the state repository (check the monitored "
+                "signal list covers every PC-affecting source)")
+        state = sim.snapshot(pc=pc)
+        decision = self.csm.observe(pc, state)
+        if decision.covered:
+            result.paths_skipped += 1
+            return PathRecord(path_id, start_pc, pc, cycles, "skipped",
+                              pending.forced_decision, pending.parent)
+        if len(stack) + 2 > self.max_paths:
+            raise CoAnalysisError(
+                f"path stack exceeded max_paths={self.max_paths}")
+        result.splits += 1
+        for outcome in (1, 0):
+            stack.append(PendingPath(decision.resume_state,
+                                     forced_decision=outcome,
+                                     depth=pending.depth + 1,
+                                     parent=path_id))
+            result.paths_created += 1
+        return PathRecord(path_id, start_pc, pc, cycles, "split",
+                          pending.forced_decision, pending.parent)

@@ -1,0 +1,185 @@
+"""Algorithm 1 on the event-driven kernel (the paper's literal flow).
+
+The production engine (:mod:`repro.coanalysis.engine`) drives the
+vectorized cycle simulator for throughput.  This variant runs the same
+procedure the way the paper's tool does it: a ``$monitor_x`` task in the
+Symbolic event region halts the event simulator, the state is saved,
+copies are made with the X-carrying state bits re-interpreted as 0/1,
+and each copy continues in a fresh simulator instance -- one "iverilog
+process" per path, with the CSM arbitrating.
+
+It targets small memory-less designs (FSMs, datapaths with port-level
+I/O); the per-event Python overhead makes whole cores impractical here,
+which is precisely the scalability gap the vectorized engine exists to
+close (measured in ``benchmarks/bench_engines.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..csm.manager import ConservativeStateManager
+from ..logic.value import Logic
+from ..netlist.netlist import Netlist
+from ..sim.event_sim import EventSim
+from ..sim.events import HaltSimulation
+from ..sim.state import SimState
+from ..sim.tasks import MonitorX
+from .results import CoAnalysisError
+
+
+@dataclass
+class EventCoAnalysisResult:
+    """Outputs of an event-kernel co-analysis run."""
+
+    paths_created: int = 0
+    paths_skipped: int = 0
+    splits: int = 0
+    simulated_cycles: int = 0
+    exercised_nets: Set[int] = field(default_factory=set)
+    events_executed: int = 0
+
+    def exercisable_gates(self, netlist: Netlist) -> Set[int]:
+        return {g.index for g in netlist.gates
+                if g.output in self.exercised_nets}
+
+
+class EventCoAnalysis:
+    """Algorithm 1 over :class:`EventSim` for port-driven designs.
+
+    Parameters:
+        netlist: the design under analysis.
+        monitored: control-flow signal names (the ``$monitor_x`` list).
+        fork_nets: the state nets whose Xs are re-interpreted per path
+            ("modify each copy with the status that allows the processor
+            to take one of the possible executions").
+        drive: called once per tick to apply testbench inputs.
+        is_done: termination predicate.
+        pc_of: maps a simulator to the CSM index (a PC or control-state
+            key).
+    """
+
+    def __init__(self, netlist: Netlist,
+                 monitored: Sequence[str],
+                 fork_nets: Sequence[str],
+                 drive: Callable[[EventSim], None],
+                 is_done: Callable[[EventSim], bool],
+                 pc_of: Callable[[EventSim], Optional[int]],
+                 reset: Optional[Callable[[EventSim], None]] = None,
+                 csm: Optional[ConservativeStateManager] = None,
+                 max_cycles_per_path: int = 500,
+                 max_paths: int = 10000):
+        self.netlist = netlist
+        self.monitored = list(monitored)
+        self.fork_net_idx = [netlist.net_index(n) for n in fork_nets]
+        self.drive = drive
+        self.is_done = is_done
+        self.pc_of = pc_of
+        self.reset = reset
+        self.csm = csm or ConservativeStateManager()
+        self.max_cycles_per_path = max_cycles_per_path
+        self.max_paths = max_paths
+        self._state_nets = sorted(
+            {g.output for g in netlist.gates if g.is_sequential}
+            | set(netlist.inputs))
+
+    # -- state conversion (event values <-> CSM bitplanes) ----------------
+    def _to_simstate(self, sim: EventSim, pc: Optional[int]) -> SimState:
+        vals = [sim.get_logic(n) for n in self._state_nets]
+        return SimState(
+            net_val=np.array([v is Logic.L1 for v in vals]),
+            net_known=np.array([v.is_known for v in vals]),
+            memories={}, cycle=sim.cycle, pc=pc)
+
+    def _apply_simstate(self, sim: EventSim, state: SimState) -> None:
+        saved = sim.save_state()
+        for pos, net in enumerate(self._state_nets):
+            if state.net_known[pos]:
+                level = Logic.L1 if state.net_val[pos] else Logic.L0
+            else:
+                level = Logic.X
+            saved["values"][net] = level
+        saved["cycle"] = state.cycle
+        sim.restore_state(saved)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> EventCoAnalysisResult:
+        result = EventCoAnalysisResult()
+        base = EventSim(self.netlist)
+        if self.reset is not None:
+            self.reset(base)     # Listing 1's RST pulse (may tick)
+        self.drive(base)
+        base.settle()
+        initial = self._to_simstate(base, self.pc_of(base))
+        stack: List[Tuple[SimState, Optional[int]]] = [(initial, None)]
+        result.paths_created = 1
+
+        while stack:
+            if len(stack) > self.max_paths:
+                raise CoAnalysisError("event co-analysis path explosion")
+            state, forced = stack.pop()
+            sim = EventSim(self.netlist)      # a fresh simulator process
+            monitor = MonitorX(self.monitored)
+            sim.add_symbolic_task(monitor)
+            if forced is not None:
+                state = state.copy()
+                for pos, net in enumerate(self._state_nets):
+                    if net in self.fork_net_idx and \
+                            not state.net_known[pos]:
+                        state.net_val[pos] = bool(forced)
+                        state.net_known[pos] = True
+            self._apply_simstate(sim, state)
+            self.drive(sim)
+            self._prev_values = None     # toggle baseline is per path
+
+            cycles = 0
+            halted = False
+            while cycles < self.max_cycles_per_path:
+                if self.is_done(sim):
+                    break
+                try:
+                    sim.tick()
+                except HaltSimulation:
+                    halted = True
+                cycles += 1
+                result.simulated_cycles += 1
+                self._note_activity(sim, result)
+                if halted:
+                    break
+            else:
+                raise CoAnalysisError(
+                    "cycle budget exhausted on an event-kernel path")
+
+            if halted:
+                pc = self.pc_of(sim)
+                if pc is None:
+                    raise CoAnalysisError(
+                        "control-state key contains X at halt")
+                decision = self.csm.observe(pc, self._to_simstate(sim, pc))
+                if decision.covered:
+                    result.paths_skipped += 1
+                else:
+                    result.splits += 1
+                    for branch in (1, 0):
+                        stack.append((decision.resume_state, branch))
+                        result.paths_created += 1
+            result.events_executed += sim.scheduler.events_executed
+        return result
+
+    def _note_activity(self, sim: EventSim,
+                       result: EventCoAnalysisResult) -> None:
+        for net in range(len(self.netlist.nets)):
+            if not sim.get_logic(net).is_known:
+                result.exercised_nets.add(net)
+        # toggles relative to the previous observation
+        current = tuple(sim.get_logic(n) for n in range(len(
+            self.netlist.nets)))
+        previous = getattr(self, "_prev_values", None)
+        if previous is not None:
+            for net, (old, new) in enumerate(zip(previous, current)):
+                if old is not new:
+                    result.exercised_nets.add(net)
+        self._prev_values = current

@@ -1,0 +1,187 @@
+"""Parallel execution-path exploration (paper section 3.3).
+
+"Since each branch of the simulation can be run by a separate process,
+launching these processes in parallel can drastically improve simulation
+time."  The paper forks whole iverilog instances; here each worker
+process holds its own compiled simulator and receives saved states to
+continue from -- the same state hand-off, without re-launching a
+simulator binary per path.
+
+Exploration proceeds in waves: all currently pending paths are simulated
+concurrently; the parent then feeds the halted states through the (single,
+sequential) Conservative State Manager and schedules the next wave.  Wave
+order differs from the serial engine's depth-first order, so path counts
+can differ slightly -- exactly as they would between the paper's serial
+and parallel runs -- while the exercisable-gate result is unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..csm.manager import ConservativeStateManager
+from ..logic.value import Logic
+from ..sim.state import SimState
+from .results import CoAnalysisError, CoAnalysisResult, PathRecord
+from .target import SymbolicTarget
+from ..sim.activity import ToggleProfile
+
+_worker_target: Optional[SymbolicTarget] = None
+_worker_sim = None
+_worker_budget = 0
+
+
+def _init_worker(factory: Callable[[], SymbolicTarget],
+                 max_cycles: int) -> None:
+    global _worker_target, _worker_sim, _worker_budget
+    _worker_target = factory()
+    _worker_sim = _worker_target.make_sim()
+    _worker_budget = max_cycles
+
+
+def _simulate_segment(job: Tuple[bytes, Optional[int]]):
+    """Run one pending path until halt/done; return a picklable record."""
+    state_bytes, forced = job
+    target, sim = _worker_target, _worker_sim
+    sim.reset_activity()
+    sim.restore(SimState.from_bytes(state_bytes))
+    sim.arm_activity()
+
+    first_forced = forced is not None
+    if first_forced:
+        sim.force(target.branch_force_net,
+                  Logic.L1 if forced else Logic.L0)
+    cycles = 0
+    outcome = "budget"
+    end_state: Optional[bytes] = None
+    end_pc: Optional[int] = None
+    while cycles <= _worker_budget:
+        target.drive_all(sim)
+        if not first_forced:
+            if target.is_done(sim):
+                outcome = "done"
+                end_pc = target.current_pc(sim)
+                sim.record_activity_now()
+                break
+            bp = target.at_branch_point(sim)
+            if bp is not Logic.L0 and (not bp.is_known
+                                       or target.monitored_has_x(sim)):
+                outcome = "halt"
+                end_pc = target.current_pc(sim)
+                sim.record_activity_now()
+                end_state = sim.snapshot(pc=end_pc).to_bytes()
+                break
+        sim.record_activity_now()
+        target.on_edge(sim)
+        sim.clock_edge()
+        cycles += 1
+        if first_forced:
+            sim.release()
+            first_forced = False
+    return (outcome, end_pc, cycles, end_state,
+            sim.toggled.copy(), sim.ever_x.copy(),
+            (sim.val & sim.known).copy(), sim.known.copy())
+
+
+@dataclass
+class ParallelRunStats:
+    waves: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+
+class ParallelCoAnalysis:
+    """Wave-parallel variant of :class:`CoAnalysisEngine`."""
+
+    def __init__(self, target_factory: Callable[[], SymbolicTarget],
+                 csm: Optional[ConservativeStateManager] = None,
+                 workers: int = 2,
+                 max_cycles_per_path: int = 20000,
+                 application: str = "app"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.target_factory = target_factory
+        self.csm = csm or ConservativeStateManager()
+        self.workers = workers
+        self.max_cycles_per_path = max_cycles_per_path
+        self.application = application
+        self.stats = ParallelRunStats(workers=workers)
+
+    def run(self) -> CoAnalysisResult:
+        t0 = time.perf_counter()
+        target = self.target_factory()
+        result = CoAnalysisResult(
+            design=target.name, application=self.application,
+            profile=ToggleProfile.empty(target.netlist))
+
+        sim = target.make_sim()
+        target.reset(sim)
+        target.apply_symbolic_inputs(sim)
+        target.drive_all(sim)
+        initial = sim.snapshot(pc=target.current_pc(sim))
+
+        pending: List[Tuple[bytes, Optional[int]]] = \
+            [(initial.to_bytes(), None)]
+        result.paths_created = 1
+
+        ctx = mp.get_context("fork") if "fork" in \
+            mp.get_all_start_methods() else mp.get_context("spawn")
+        with ctx.Pool(self.workers, initializer=_init_worker,
+                      initargs=(self.target_factory,
+                                self.max_cycles_per_path)) as pool:
+            while pending:
+                self.stats.waves += 1
+                wave = pending
+                pending = []
+                outputs = pool.map(_simulate_segment, wave)
+                for (outcome, end_pc, cycles, state_bytes, toggled,
+                     ever_x, cval, cknown), (_, forced) in \
+                        zip(outputs, wave):
+                    path_id = len(result.path_records)
+                    result.simulated_cycles += cycles
+                    result.profile.absorb(toggled, ever_x, cval, cknown)
+                    if outcome == "budget":
+                        raise CoAnalysisError(
+                            f"cycle budget exhausted on path {path_id}")
+                    if outcome == "halt":
+                        decision = self.csm.observe(
+                            end_pc, SimState.from_bytes(state_bytes))
+                        if decision.covered:
+                            result.paths_skipped += 1
+                            outcome = "skipped"
+                        else:
+                            result.splits += 1
+                            resume = decision.resume_state.to_bytes()
+                            for branch in (1, 0):
+                                pending.append((resume, branch))
+                                result.paths_created += 1
+                            outcome = "split"
+                    result.path_records.append(PathRecord(
+                        path_id, None, end_pc, cycles, outcome, forced))
+
+        result.csm_stats = self.csm.stats.snapshot()
+        self.stats.wall_seconds = time.perf_counter() - t0
+        result.wall_seconds = self.stats.wall_seconds
+        return result
+
+
+def make_workload_target(design: str, benchmark: str) -> SymbolicTarget:
+    """Picklable target factory for (design, benchmark) pairs."""
+    from ..workloads import WORKLOADS, build_target
+    return build_target(design, WORKLOADS[benchmark])
+
+
+class WorkloadTargetFactory:
+    """Picklable callable wrapper for worker initializers."""
+
+    def __init__(self, design: str, benchmark: str):
+        self.design = design
+        self.benchmark = benchmark
+
+    def __call__(self) -> SymbolicTarget:
+        return make_workload_target(self.design, self.benchmark)

@@ -1,0 +1,85 @@
+"""Co-analysis result records (the paper's reported metrics).
+
+Table 3 reports exercisable gate counts and percentage reduction; Table 4
+reports paths created, paths skipped, and simulated cycles.  These records
+carry exactly those quantities, plus enough detail for the ablation
+benches (per-path segments, CSM statistics, wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.activity import ToggleProfile
+
+
+@dataclass
+class PathRecord:
+    """One simulated execution segment (pop of Algorithm 1's U stack)."""
+
+    path_id: int
+    start_pc: Optional[int]
+    end_pc: Optional[int]
+    cycles: int
+    outcome: str                 # "split" | "skipped" | "done" | "budget"
+    forced_decision: Optional[int] = None
+    #: path_id of the segment whose split spawned this one (None = root)
+    parent: Optional[int] = None
+
+
+@dataclass
+class CoAnalysisResult:
+    """Everything Algorithm 1 produces for one (application, design) pair."""
+
+    design: str
+    application: str
+    profile: ToggleProfile
+    paths_created: int = 0
+    paths_skipped: int = 0
+    splits: int = 0
+    simulated_cycles: int = 0
+    wall_seconds: float = 0.0
+    csm_stats: Dict[str, int] = field(default_factory=dict)
+    path_records: List[PathRecord] = field(default_factory=list)
+    truncated_paths: int = 0
+    #: per-segment exercised-net arrays (aligned with path_records);
+    #: populated when the engine runs with record_per_path_activity
+    per_path_exercised: List = field(default_factory=list)
+
+    # -- headline metrics ------------------------------------------------------
+    @property
+    def total_gates(self) -> int:
+        return self.profile.netlist.gate_count()
+
+    @property
+    def exercisable_gate_count(self) -> int:
+        return len(self.profile.exercisable_gates())
+
+    @property
+    def unexercisable_gate_count(self) -> int:
+        return self.total_gates - self.exercisable_gate_count
+
+    @property
+    def reduction_percent(self) -> float:
+        """Percentage of gates proven unexercisable (Table 3's metric)."""
+        if self.total_gates == 0:
+            return 0.0
+        return 100.0 * self.unexercisable_gate_count / self.total_gates
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "application": self.application,
+            "total_gates": self.total_gates,
+            "exercisable_gates": self.exercisable_gate_count,
+            "reduction_percent": round(self.reduction_percent, 2),
+            "paths_created": self.paths_created,
+            "paths_skipped": self.paths_skipped,
+            "simulated_cycles": self.simulated_cycles,
+            "truncated_paths": self.truncated_paths,
+        }
+
+
+class CoAnalysisError(Exception):
+    """Analysis could not complete soundly (e.g. path budget exhausted)."""

@@ -1,0 +1,13 @@
+"""Conservative State Manager: repository, merge strategies, constraints."""
+
+from .constraints import (ConstraintError, ConstraintSet, MemConstraint,
+                          NetConstraint, load_constraints, parse_constraints)
+from .manager import (CSMDecision, CSMStats, ConservativeStateManager)
+from .strategies import Clustered, ExactSet, MergeStrategy, UberConservative
+
+__all__ = [
+    "ConservativeStateManager", "CSMDecision", "CSMStats",
+    "MergeStrategy", "UberConservative", "Clustered", "ExactSet",
+    "ConstraintSet", "ConstraintError", "NetConstraint", "MemConstraint",
+    "parse_constraints", "load_constraints",
+]

@@ -1,0 +1,129 @@
+"""Application constraints on conservative states (paper section 3.3).
+
+The CSM "accepts constraints in the form of a text file and uses them to
+reduce over-approximation of conservative states" -- the mechanism of the
+constrained-conservative-states prior work [15].  A constraint pins named
+state bits to concrete values whenever a conservative state is formed;
+this encodes facts the designer knows about the application (e.g. "the
+mode register is always 0 in this deployment") that merging would
+otherwise erase into ``X``.
+
+File format, one constraint per line::
+
+    # comments allowed
+    net  <net_name>   <0|1>        # pin a state net
+    mem  <memory>[<addr>].<bit>  <0|1>   # pin one bit of a memory word
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..sim.state import SimState
+
+
+class ConstraintError(Exception):
+    """Malformed constraint text or unknown signal."""
+
+
+@dataclass(frozen=True)
+class NetConstraint:
+    net_name: str
+    value: int
+
+
+@dataclass(frozen=True)
+class MemConstraint:
+    memory: str
+    address: int
+    bit: int
+    value: int
+
+
+_MEM_RE = re.compile(r"^(\w+)\[(\d+)\]\.(\d+)$")
+
+
+def parse_constraints(text: str) -> List[Union[NetConstraint,
+                                               MemConstraint]]:
+    """Parse the constraint-file format described in the module docs."""
+    out: List[Union[NetConstraint, MemConstraint]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ConstraintError(
+                f"line {lineno}: expected 3 fields, got {len(parts)}")
+        kind, target, value_text = parts
+        if value_text not in ("0", "1"):
+            raise ConstraintError(
+                f"line {lineno}: value must be 0 or 1, got {value_text!r}")
+        value = int(value_text)
+        if kind == "net":
+            out.append(NetConstraint(target, value))
+        elif kind == "mem":
+            m = _MEM_RE.match(target)
+            if not m:
+                raise ConstraintError(
+                    f"line {lineno}: bad memory target {target!r} "
+                    f"(want name[addr].bit)")
+            out.append(MemConstraint(m.group(1), int(m.group(2)),
+                                     int(m.group(3)), value))
+        else:
+            raise ConstraintError(
+                f"line {lineno}: unknown constraint kind {kind!r}")
+    return out
+
+
+def load_constraints(path: Union[str, Path]):
+    return parse_constraints(Path(path).read_text())
+
+
+class ConstraintSet:
+    """Compiled constraints, applied to states as they enter the CSM.
+
+    ``net_positions`` maps state-net names to positions inside
+    ``SimState.net_val`` (the owning engine provides it, see
+    :meth:`repro.coanalysis.engine.CoAnalysisEngine`).
+    """
+
+    def __init__(self,
+                 constraints: Sequence[Union[NetConstraint, MemConstraint]],
+                 net_positions: Dict[str, int]):
+        self._net_fixes: List[Tuple[int, int]] = []
+        self._mem_fixes: List[MemConstraint] = []
+        for c in constraints:
+            if isinstance(c, NetConstraint):
+                if c.net_name not in net_positions:
+                    raise ConstraintError(
+                        f"constraint names unknown state net "
+                        f"{c.net_name!r}")
+                self._net_fixes.append((net_positions[c.net_name], c.value))
+            else:
+                self._mem_fixes.append(c)
+
+    def __len__(self) -> int:
+        return len(self._net_fixes) + len(self._mem_fixes)
+
+    def apply(self, state: SimState) -> SimState:
+        """Pin constrained bits in ``state`` (in place) and return it."""
+        for pos, value in self._net_fixes:
+            state.net_val[pos] = bool(value)
+            state.net_known[pos] = True
+        for c in self._mem_fixes:
+            if c.memory not in state.memories:
+                raise ConstraintError(
+                    f"constraint names unknown memory {c.memory!r}")
+            val, known = state.memories[c.memory]
+            if not (0 <= c.address < val.shape[0] and
+                    0 <= c.bit < val.shape[1]):
+                raise ConstraintError(
+                    f"constraint {c} out of range for memory shape "
+                    f"{val.shape}")
+            val[c.address, c.bit] = bool(c.value)
+            known[c.address, c.bit] = True
+        return state

@@ -1,0 +1,107 @@
+"""Conservative-state formation strategies (paper section 3.3, Figure 3).
+
+The CSM lets a designer choose *how* conservative states are formed, as
+long as the formed state covers all observed states:
+
+* :class:`UberConservative` -- one state per PC; every new observation is
+  merged in, differing bits become ``X`` (Figure 3, red row; the approach
+  of prior work [4] and the paper's evaluation default).  Fastest
+  convergence, most over-approximation.
+* :class:`Clustered` -- up to ``k`` states per PC; a new observation merges
+  into the nearest existing state by Hamming-like distance (Figure 3, blue
+  row).  Trades extra simulation paths for tighter states.
+* :class:`ExactSet` -- never merge; keep every distinct observed state
+  (Figure 3, green row).  No over-approximation, worst convergence; only
+  viable for small control spaces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.state import SimState
+
+
+class MergeStrategy:
+    """Interface: fold one observed state into a PC's state set."""
+
+    name = "abstract"
+
+    def observe(self, entries: List[SimState],
+                state: SimState) -> Tuple[bool, Optional[SimState]]:
+        """Returns ``(covered, resume_state)``.
+
+        ``covered`` is True when ``state`` is already subsumed (the path
+        can be discarded -- Algorithm 1's "skip").  Otherwise
+        ``resume_state`` is the (possibly merged) state the simulation
+        must continue from, and ``entries`` has been updated in place.
+        """
+        raise NotImplementedError
+
+
+def _covered_by_any(entries: List[SimState], state: SimState) -> bool:
+    return any(e.covers(state) for e in entries)
+
+
+class UberConservative(MergeStrategy):
+    """Single merged super-state per PC (the paper's default)."""
+
+    name = "uber"
+
+    def observe(self, entries: List[SimState],
+                state: SimState) -> Tuple[bool, Optional[SimState]]:
+        if not entries:
+            entries.append(state)
+            return False, state
+        current = entries[0]
+        if current.covers(state):
+            return True, None
+        merged = current.merge(state)
+        entries[0] = merged
+        return False, merged
+
+
+def _distance(a: SimState, b: SimState) -> int:
+    """Count of bit positions that would turn to X if a and b merged."""
+    total = 0
+    for val, known, oval, oknown in a._pairs(b):
+        still_known = known & oknown & (val == oval)
+        total += int((known | oknown).sum() - still_known.sum())
+    return total
+
+
+class Clustered(MergeStrategy):
+    """At most ``k`` conservative states per PC, nearest-neighbour merge."""
+
+    name = "clustered"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def observe(self, entries: List[SimState],
+                state: SimState) -> Tuple[bool, Optional[SimState]]:
+        if _covered_by_any(entries, state):
+            return True, None
+        if len(entries) < self.k:
+            entries.append(state)
+            return False, state
+        best = min(range(len(entries)),
+                   key=lambda i: _distance(entries[i], state))
+        merged = entries[best].merge(state)
+        entries[best] = merged
+        return False, merged
+
+
+class ExactSet(MergeStrategy):
+    """Keep every observed state distinct (no over-approximation)."""
+
+    name = "exact"
+
+    def observe(self, entries: List[SimState],
+                state: SimState) -> Tuple[bool, Optional[SimState]]:
+        if _covered_by_any(entries, state):
+            return True, None
+        entries.append(state)
+        return False, state

@@ -1,0 +1,16 @@
+"""ISA definitions and assemblers for the three processor models."""
+
+from .asm import Assembler, AsmError, Program
+from .mips32 import Bm32Assembler
+from .msp430 import Msp430Assembler
+from .rv32e import Dr5Assembler
+
+ASSEMBLERS = {
+    "omsp430": Msp430Assembler,
+    "bm32": Bm32Assembler,
+    "dr5": Dr5Assembler,
+}
+
+__all__ = ["Assembler", "AsmError", "Program",
+           "Msp430Assembler", "Bm32Assembler", "Dr5Assembler",
+           "ASSEMBLERS"]

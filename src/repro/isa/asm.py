@@ -1,0 +1,172 @@
+"""Generic two-pass assembler framework.
+
+Each processor model ships a tiny assembler (subclass of
+:class:`Assembler`) so the six benchmark applications can be written as
+readable assembly, assembled to machine words, and loaded into program
+memory -- standing in for the GCC/TI toolchains of the paper's testbed.
+
+Syntax (shared across ISAs)::
+
+    ; or # start a comment
+    label:              ; define a label at the current address
+    .org 16             ; move the location counter
+    .word 0x1234        ; emit a literal data word
+    op a, b, c          ; one instruction per line
+
+Operands may be registers (ISA-specific), decimal/hex immediates, or
+label references.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class AsmError(Exception):
+    """Assembly-time failure, annotated with the offending line."""
+
+
+@dataclass
+class Program:
+    """An assembled application binary."""
+
+    name: str
+    words: List[int]
+    labels: Dict[str, int]
+    word_width: int
+
+    @property
+    def size(self) -> int:
+        return len(self.words)
+
+    def label(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AsmError(f"program {self.name!r} has no label {name!r}") \
+                from None
+
+    @property
+    def halt_address(self) -> int:
+        """Address of the conventional ``_halt`` self-loop."""
+        return self.label("_halt")
+
+
+@dataclass
+class _Line:
+    number: int
+    text: str
+    address: int
+    mnemonic: str
+    operands: List[str]
+
+
+class Assembler:
+    """Two-pass assembler; subclasses provide the instruction encoder."""
+
+    #: machine word width in bits
+    word_width: int = 16
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        lines = self._first_pass(source)
+        labels = self._labels
+        words: Dict[int, int] = {}
+        for line in lines:
+            try:
+                if line.mnemonic == ".word":
+                    value = self.parse_int(line.operands[0], labels)
+                else:
+                    value = self.encode(line.mnemonic, line.operands,
+                                        labels, line.address)
+            except AsmError as exc:
+                raise AsmError(
+                    f"line {line.number} ({line.text!r}): {exc}") from None
+            mask = (1 << self.word_width) - 1
+            words[line.address] = value & mask
+        size = max(words) + 1 if words else 0
+        image = [words.get(i, 0) for i in range(size)]
+        return Program(name, image, dict(labels), self.word_width)
+
+    # -- pass 1 ------------------------------------------------------------
+    def _first_pass(self, source: str) -> List[_Line]:
+        self._labels: Dict[str, int] = {}
+        out: List[_Line] = []
+        address = 0
+        for number, raw in enumerate(source.splitlines(), start=1):
+            text = re.split(r"[;#]", raw, 1)[0].strip()
+            if not text:
+                continue
+            while True:
+                m = re.match(r"^([A-Za-z_]\w*):\s*(.*)$", text)
+                if not m:
+                    break
+                label = m.group(1)
+                if label in self._labels:
+                    raise AsmError(
+                        f"line {number}: duplicate label {label!r}")
+                self._labels[label] = address
+                text = m.group(2).strip()
+            if not text:
+                continue
+            if text.startswith(".org"):
+                address = self.parse_int(text.split()[1], {})
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = [op.strip() for op in parts[1].split(",")] \
+                if len(parts) > 1 else []
+            for m, ops in self.expand(mnemonic, operands):
+                out.append(_Line(number, text, address, m, ops))
+                address += 1
+        return out
+
+    def expand(self, mnemonic: str,
+               operands: List[str]) -> List[Tuple[str, List[str]]]:
+        """Pseudo-instruction hook: return the real instructions (each
+        occupying one word) for ``mnemonic``.  Default: no expansion."""
+        return [(mnemonic, operands)]
+
+    # -- helpers for encoders ----------------------------------------------
+    @staticmethod
+    def parse_int(text: str, labels: Dict[str, int]) -> int:
+        text = text.strip()
+        if text in labels:
+            return labels[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AsmError(f"cannot parse operand {text!r}") from None
+
+    def parse_reg(self, text: str) -> int:
+        m = re.match(r"^r(\d+)$", text.strip(), re.IGNORECASE)
+        if not m:
+            raise AsmError(f"expected register, got {text!r}")
+        return int(m.group(1))
+
+    @staticmethod
+    def parse_mem_operand(text: str) -> Tuple[str, str]:
+        """Split ``imm(reg)`` into (imm_text, reg_text)."""
+        m = re.match(r"^(.*)\((\w+)\)$", text.strip())
+        if not m:
+            raise AsmError(f"expected imm(reg) operand, got {text!r}")
+        return (m.group(1).strip() or "0", m.group(2))
+
+    @staticmethod
+    def check_range(value: int, bits: int, signed: bool,
+                    what: str) -> int:
+        if signed:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        else:
+            lo, hi = 0, (1 << bits) - 1
+        if not lo <= value <= hi:
+            raise AsmError(
+                f"{what} {value} out of {bits}-bit "
+                f"{'signed' if signed else 'unsigned'} range")
+        return value & ((1 << bits) - 1)
+
+    # -- subclass API ---------------------------------------------------------
+    def encode(self, mnemonic: str, operands: List[str],
+               labels: Dict[str, int], address: int) -> int:
+        raise NotImplementedError

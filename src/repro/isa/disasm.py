@@ -1,0 +1,185 @@
+"""Disassemblers for the three ISAs.
+
+The inverse of the assemblers: used by the coverage analysis to report
+which *instructions* (not just addresses) an application can reach — the
+input to reduced-ISA hardware generation [1] — and by the ``disasm`` CLI
+command for debugging assembled images.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import mips32, msp430, rv32e
+
+
+def _sx(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+# -- msp430 (m16) ------------------------------------------------------------
+
+_MSP_TWO_REG = {v: k for k, v in {
+    "mov": msp430.OP_MOV, "add": msp430.OP_ADD, "sub": msp430.OP_SUB,
+    "cmp": msp430.OP_CMP, "and": msp430.OP_AND, "bis": msp430.OP_BIS,
+    "xor": msp430.OP_XOR}.items()}
+_MSP_JCC = {msp430.COND_JEQ: "jeq", msp430.COND_JNE: "jne",
+            msp430.COND_JC: "jc", msp430.COND_JNC: "jnc",
+            msp430.COND_JN: "jn", msp430.COND_JGE: "jge",
+            msp430.COND_JL: "jl"}
+_MSP_SHIFT = {msp430.SH_RRA: "rra", msp430.SH_SRL: "srl"}
+
+
+def disasm_msp430(word: int) -> str:
+    op = (word >> 12) & 0xF
+    rd = (word >> 9) & 7
+    rs = (word >> 6) & 7
+    if op in _MSP_TWO_REG:
+        return f"{_MSP_TWO_REG[op]} r{rd}, r{rs}"
+    if op == msp430.OP_MOVI:
+        return f"movi r{rd}, {_sx(word & 0xFF, 8)}"
+    if op == msp430.OP_MOVHI:
+        return f"movhi r{rd}, {(word & 0xFF) << 8:#x}"
+    if op == msp430.OP_LD:
+        return f"ld r{rd}, {_sx(word & 0x3F, 6)}(r{rs})"
+    if op == msp430.OP_ST:
+        return f"st r{rd}, {_sx(word & 0x3F, 6)}(r{rs})"
+    if op == msp430.OP_JMP:
+        return f"jmp {word & 0x3FF}"
+    if op == msp430.OP_JCC:
+        cond = (word >> 9) & 7
+        return f"{_MSP_JCC.get(cond, f'jcc?{cond}')} {word & 0x1FF}"
+    if op == msp430.OP_SHIFT:
+        return f"{_MSP_SHIFT.get(rs, f'sh?{rs}')} r{rd}"
+    if op == msp430.OP_JRR:
+        return f"jrr r{rd}"
+    return f".word {word:#06x}"
+
+
+# -- bm32 (MIPS32 subset) -----------------------------------------------------
+
+_BM_FUNCT = {mips32.F_ADDU: "addu", mips32.F_SUBU: "subu",
+             mips32.F_AND: "and", mips32.F_OR: "or", mips32.F_XOR: "xor",
+             mips32.F_SLT: "slt", mips32.F_SLTU: "sltu"}
+_BM_IMM = {mips32.OP_ADDIU: ("addiu", True), mips32.OP_ANDI: ("andi", False),
+           mips32.OP_ORI: ("ori", False), mips32.OP_XORI: ("xori", False)}
+
+
+def disasm_bm32(word: int) -> str:
+    op = (word >> 26) & 0x3F
+    rs = (word >> 23) & 7
+    rt = (word >> 20) & 7
+    rd = (word >> 17) & 7
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+    if op == mips32.OP_RTYPE:
+        if funct in _BM_FUNCT:
+            return f"{_BM_FUNCT[funct]} r{rd}, r{rs}, r{rt}"
+        if funct == mips32.F_SLL:
+            return f"sll r{rd}, r{rt}, {shamt}"
+        if funct == mips32.F_SRL:
+            return f"srl r{rd}, r{rt}, {shamt}"
+        if funct == mips32.F_MULT:
+            return f"mult r{rs}, r{rt}"
+        if funct == mips32.F_MFLO:
+            return f"mflo r{rd}"
+        if funct == mips32.F_MFHI:
+            return f"mfhi r{rd}"
+        return f".word {word:#010x}"
+    if op in _BM_IMM:
+        name, signed = _BM_IMM[op]
+        value = _sx(imm, 16) if signed else imm
+        return f"{name} r{rt}, r{rs}, {value}"
+    if op == mips32.OP_LUI:
+        return f"lui r{rt}, {imm << 16:#x}"
+    if op == mips32.OP_LW:
+        return f"lw r{rt}, {_sx(imm, 16)}(r{rs})"
+    if op == mips32.OP_SW:
+        return f"sw r{rt}, {_sx(imm, 16)}(r{rs})"
+    if op == mips32.OP_BEQ:
+        return f"beq r{rs}, r{rt}, {imm}"
+    if op == mips32.OP_BNE:
+        return f"bne r{rs}, r{rt}, {imm}"
+    if op == mips32.OP_J:
+        return f"j {word & 0x3FFFFFF}"
+    return f".word {word:#010x}"
+
+
+# -- dr5 (RV32E subset) -------------------------------------------------------
+
+_DR_FUNCT = {rv32e.F_ADD: "add", rv32e.F_SUB: "sub", rv32e.F_AND: "and",
+             rv32e.F_OR: "or", rv32e.F_XOR: "xor", rv32e.F_SLL: "sll",
+             rv32e.F_SRL: "srl", rv32e.F_SLT: "slt", rv32e.F_SLTU: "sltu"}
+_DR_IMM = {rv32e.OP_ADDI: ("addi", True), rv32e.OP_ANDI: ("andi", False),
+           rv32e.OP_ORI: ("ori", False), rv32e.OP_XORI: ("xori", False)}
+_DR_BR = {rv32e.OP_BEQ: "beq", rv32e.OP_BNE: "bne", rv32e.OP_BLT: "blt",
+          rv32e.OP_BGE: "bge", rv32e.OP_BLTU: "bltu",
+          rv32e.OP_BGEU: "bgeu"}
+
+
+def disasm_dr5(word: int) -> str:
+    op = (word >> 26) & 0x3F
+    rs1 = (word >> 23) & 7
+    rs2 = (word >> 20) & 7
+    rd = (word >> 17) & 7
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+    if op == rv32e.OP_RTYPE:
+        name = _DR_FUNCT.get(funct)
+        if name:
+            return f"{name} r{rd}, r{rs1}, r{rs2}"
+        return f".word {word:#010x}"
+    if op in _DR_IMM:
+        name, signed = _DR_IMM[op]
+        return f"{name} r{rd}, r{rs1}, {_sx(imm, 16) if signed else imm}"
+    if op == rv32e.OP_SLLI:
+        return f"slli r{rd}, r{rs1}, {shamt}"
+    if op == rv32e.OP_SRLI:
+        return f"srli r{rd}, r{rs1}, {shamt}"
+    if op == rv32e.OP_LUI:
+        return f"lui r{rd}, {imm << 16:#x}"
+    if op == rv32e.OP_LW:
+        return f"lw r{rd}, {_sx(imm, 16)}(r{rs1})"
+    if op == rv32e.OP_SW:
+        return f"sw r{rs2}, {_sx(imm, 16)}(r{rs1})"
+    if op in _DR_BR:
+        return f"{_DR_BR[op]} r{rs1}, r{rs2}, {imm}"
+    if op == rv32e.OP_JAL:
+        return f"jal r{rd}, {imm}"
+    return f".word {word:#010x}"
+
+
+DISASSEMBLERS = {
+    "omsp430": disasm_msp430,
+    "bm32": disasm_bm32,
+    "dr5": disasm_dr5,
+}
+
+
+def disassemble(design: str, word: int) -> str:
+    try:
+        fn = DISASSEMBLERS[design]
+    except KeyError:
+        raise KeyError(f"no disassembler for {design!r}") from None
+    return fn(word)
+
+
+def mnemonic_of(design: str, word: int) -> str:
+    return disassemble(design, word).split()[0]
+
+
+def disassemble_program(design: str, words: List[int]) -> List[str]:
+    return [disassemble(design, w) for w in words]
+
+
+def mnemonic_histogram(design: str, words: List[int]) -> Dict[str, int]:
+    """Opcode usage counts — the raw input to a reduced-ISA report."""
+    hist: Dict[str, int] = {}
+    for word in words:
+        key = mnemonic_of(design, word)
+        hist[key] = hist.get(key, 0) + 1
+    return hist

@@ -1,0 +1,143 @@
+"""The bm32 ISA: a MIPS32 subset (Roth/John/Lee teaching processor).
+
+Captures the MIPS property driving the paper's path-count results:
+**comparisons are subtractions whose full-width result lands in a general
+register**, and conditional branches test that register (``subu t, a, b``
+followed by ``beq/bne t, r0``).  The hardware multiplier (``mult`` +
+``mflo/mfhi``) is present, so the ``mult`` benchmark needs no
+data-dependent control flow.
+
+Simplifications vs real MIPS (documented substitutions): 8 registers
+(``r0`` hard-wired to zero), word-addressed PC, branch/jump targets are
+absolute word addresses, no delay slots.
+
+Encoding (32-bit words)::
+
+    [31:26] opcode          R-type opcode = 0
+    [25:23] rs
+    [22:20] rt
+    [19:17] rd              (R-type)
+    [10:6]  shamt           (sll / srl)
+    [5:0]   funct           (R-type)
+    [15:0]  imm16           (I-type; sign- or zero-extended per op)
+    [25:0]  addr26          (j)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .asm import Assembler, AsmError
+
+OP_RTYPE = 0x00
+OP_J = 0x02
+OP_BEQ = 0x04
+OP_BNE = 0x05
+OP_ADDIU = 0x09
+OP_ANDI = 0x0C
+OP_ORI = 0x0D
+OP_XORI = 0x0E
+OP_LUI = 0x0F
+OP_LW = 0x23
+OP_SW = 0x2B
+
+F_SLL = 0x00
+F_SRL = 0x02
+F_MFHI = 0x10
+F_MFLO = 0x12
+F_MULT = 0x18
+F_ADDU = 0x21
+F_SUBU = 0x23
+F_AND = 0x24
+F_OR = 0x25
+F_XOR = 0x26
+F_SLT = 0x2A
+F_SLTU = 0x2B
+
+_R3 = {"addu": F_ADDU, "subu": F_SUBU, "and": F_AND, "or": F_OR,
+       "xor": F_XOR, "slt": F_SLT, "sltu": F_SLTU}
+_IMM = {"addiu": (OP_ADDIU, True), "andi": (OP_ANDI, False),
+        "ori": (OP_ORI, False), "xori": (OP_XORI, False)}
+
+
+def _r(op=0, rs=0, rt=0, rd=0, shamt=0, funct=0) -> int:
+    return ((op << 26) | (rs << 23) | (rt << 20) | (rd << 17)
+            | (shamt << 6) | funct)
+
+
+class Bm32Assembler(Assembler):
+    """Assembler for the bm32 MIPS32 subset."""
+
+    word_width = 32
+
+    def expand(self, mnemonic: str,
+               operands: List[str]) -> List[Tuple[str, List[str]]]:
+        if mnemonic == "halt":
+            return [("j", ["_halt"])]
+        if mnemonic == "nop":
+            return [("sll", ["r0", "r0", "0"])]
+        if mnemonic == "move":
+            return [("addu", [operands[0], operands[1], "r0"])]
+        if mnemonic == "li":   # li rt, imm32 -> lui + ori
+            return [("lui", list(operands)), ("ori",
+                    [operands[0], operands[0], operands[1]])]
+        return [(mnemonic, operands)]
+
+    def encode(self, mnemonic: str, operands: List[str],
+               labels: Dict[str, int], address: int) -> int:
+        if mnemonic in _R3:
+            rd = self.parse_reg(operands[0])
+            rs = self.parse_reg(operands[1])
+            rt = self.parse_reg(operands[2])
+            return _r(rs=rs, rt=rt, rd=rd, funct=_R3[mnemonic])
+        if mnemonic in ("sll", "srl"):
+            rd = self.parse_reg(operands[0])
+            rt = self.parse_reg(operands[1])
+            shamt = self.check_range(self.parse_int(operands[2], labels),
+                                     5, signed=False, what="shamt")
+            funct = F_SLL if mnemonic == "sll" else F_SRL
+            return _r(rt=rt, rd=rd, shamt=shamt, funct=funct)
+        if mnemonic == "mult":
+            rs = self.parse_reg(operands[0])
+            rt = self.parse_reg(operands[1])
+            return _r(rs=rs, rt=rt, funct=F_MULT)
+        if mnemonic in ("mflo", "mfhi"):
+            rd = self.parse_reg(operands[0])
+            funct = F_MFLO if mnemonic == "mflo" else F_MFHI
+            return _r(rd=rd, funct=funct)
+        if mnemonic in _IMM:
+            op, signed = _IMM[mnemonic]
+            rt = self.parse_reg(operands[0])
+            rs = self.parse_reg(operands[1])
+            value = self.parse_int(operands[2], labels)
+            if signed:
+                imm = self.check_range(value, 16, signed=True,
+                                       what="immediate")
+            else:
+                imm = value & 0xFFFF   # logical imms take the low half
+                                       # (lets `li` expand to lui+ori)
+            return (op << 26) | (rs << 23) | (rt << 20) | imm
+        if mnemonic == "lui":
+            rt = self.parse_reg(operands[0])
+            imm = self.parse_int(operands[1], labels)
+            return (OP_LUI << 26) | (rt << 20) | ((imm >> 16) & 0xFFFF)
+        if mnemonic in ("lw", "sw"):
+            op = OP_LW if mnemonic == "lw" else OP_SW
+            rt = self.parse_reg(operands[0])
+            imm_text, base = self.parse_mem_operand(operands[1])
+            rs = self.parse_reg(base)
+            imm = self.check_range(self.parse_int(imm_text, labels), 16,
+                                   signed=True, what="offset")
+            return (op << 26) | (rs << 23) | (rt << 20) | imm
+        if mnemonic in ("beq", "bne"):
+            op = OP_BEQ if mnemonic == "beq" else OP_BNE
+            rs = self.parse_reg(operands[0])
+            rt = self.parse_reg(operands[1])
+            addr = self.check_range(self.parse_int(operands[2], labels),
+                                    16, signed=False, what="target")
+            return (op << 26) | (rs << 23) | (rt << 20) | addr
+        if mnemonic == "j":
+            addr = self.check_range(self.parse_int(operands[0], labels),
+                                    26, signed=False, what="target")
+            return (OP_J << 26) | addr
+        raise AsmError(f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,144 @@
+"""The m16 ISA: the MSP430-flavoured instruction set of the omsp430 model.
+
+A 16-bit, flag-based ISA capturing the MSP430 property the paper's
+analysis hinges on: **compare instructions write only the 1-bit N/Z/C/V
+status flags**, and conditional jumps resolve from those flags (section
+5.0.3).  Eight general registers ``r0..r7``; PC and SR are separate
+architectural registers, as on the real part.
+
+Encoding (16-bit words, word-addressed PC)::
+
+    [15:12] opcode
+    [11:9]  rd / cond / subop
+    [8:6]   rs
+    [7:0]   imm8   (MOVI / MOVHI)
+    [5:0]   imm6   (LD / ST offset, signed)
+    [9:0]   addr10 (JMP)
+    [8:0]   addr9  (JCC)
+
+Memory-mapped peripherals (data addresses): hardware multiplier,
+GPIO, watchdog, TimerA -- see :mod:`repro.processors.omsp430`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .asm import Assembler, AsmError
+
+# -- opcodes ------------------------------------------------------------------
+OP_MOV = 0x0
+OP_ADD = 0x1
+OP_SUB = 0x2
+OP_CMP = 0x3
+OP_AND = 0x4
+OP_BIS = 0x5
+OP_XOR = 0x6
+OP_MOVI = 0x7
+OP_MOVHI = 0x8
+OP_LD = 0x9
+OP_ST = 0xA
+OP_JMP = 0xB
+OP_JCC = 0xC
+OP_SHIFT = 0xD
+OP_JRR = 0xE      # register-indirect jump: PC <- rd (ISR return)
+
+# -- JCC condition codes (resolved from N/Z/C/V) --------------------------------
+COND_JEQ = 0   # Z
+COND_JNE = 1   # !Z
+COND_JC = 2    # C
+COND_JNC = 3   # !C
+COND_JN = 4    # N
+COND_JGE = 5   # N == V
+COND_JL = 6    # N != V
+
+# -- SHIFT subops ---------------------------------------------------------------
+SH_RRA = 0     # arithmetic right shift by one (MSP430 RRA)
+SH_SRL = 1     # logical right shift by one
+
+#: memory-mapped peripheral registers.  They live in their own address
+#: page (0x0100-0x010F), disjoint from the data RAM page, as on the real
+#: openMSP430 where peripheral and data spaces do not alias.
+PERIPH_BASE = 0x100
+MPY_OP1 = PERIPH_BASE + 0x0
+MPY_OP2 = PERIPH_BASE + 0x1
+MPY_RESLO = PERIPH_BASE + 0x2
+MPY_RESHI = PERIPH_BASE + 0x3
+GPIO_OUT = PERIPH_BASE + 0x4
+GPIO_IN = PERIPH_BASE + 0x5
+WDT_CTL = PERIPH_BASE + 0x6
+WDT_CNT = PERIPH_BASE + 0x7
+TA_CTL = PERIPH_BASE + 0x8
+TA_CNT = PERIPH_BASE + 0x9
+TA_CCR = PERIPH_BASE + 0xA
+IE_CTL = PERIPH_BASE + 0xB   # bit0 = GIE (global interrupt enable)
+IVEC = PERIPH_BASE + 0xC     # interrupt vector (ISR entry address)
+
+_TWO_REG = {"mov": OP_MOV, "add": OP_ADD, "sub": OP_SUB, "cmp": OP_CMP,
+            "and": OP_AND, "bis": OP_BIS, "xor": OP_XOR}
+_JCC = {"jeq": COND_JEQ, "jne": COND_JNE, "jc": COND_JC, "jnc": COND_JNC,
+        "jn": COND_JN, "jge": COND_JGE, "jl": COND_JL}
+_SHIFT = {"rra": SH_RRA, "srl": SH_SRL}
+
+
+class Msp430Assembler(Assembler):
+    """Assembler for the m16 ISA."""
+
+    word_width = 16
+
+    def expand(self, mnemonic: str,
+               operands: List[str]) -> List[Tuple[str, List[str]]]:
+        if mnemonic == "li":          # li rd, imm16  ->  movi + movhi
+            if len(operands) != 2:
+                raise AsmError("li takes rd, imm")
+            return [("movi", list(operands)), ("movhi", list(operands))]
+        if mnemonic == "halt":        # parked self-loop, labelled by caller
+            return [("jmp", ["_halt"])]
+        if mnemonic == "nop":
+            return [("mov", ["r0", "r0"])]
+        if mnemonic == "reti":
+            # the interrupt hardware parks the return address in r7
+            return [("jrr", ["r7"])]
+        if mnemonic == "clr":
+            # not xor rd, rd: registers power up as X and unlabeled
+            # X ^ X stays X (Fig. 4 right), so clear with an immediate
+            return [("movi", [operands[0], "0"])]
+        return [(mnemonic, operands)]
+
+    def encode(self, mnemonic: str, operands: List[str],
+               labels: Dict[str, int], address: int) -> int:
+        if mnemonic in _TWO_REG:
+            rd = self.parse_reg(operands[0])
+            rs = self.parse_reg(operands[1])
+            return (_TWO_REG[mnemonic] << 12) | (rd << 9) | (rs << 6)
+        if mnemonic == "movi":
+            rd = self.parse_reg(operands[0])
+            imm = self.parse_int(operands[1], labels)
+            return (OP_MOVI << 12) | (rd << 9) | (imm & 0xFF)
+        if mnemonic == "movhi":
+            rd = self.parse_reg(operands[0])
+            imm = self.parse_int(operands[1], labels)
+            return (OP_MOVHI << 12) | (rd << 9) | ((imm >> 8) & 0xFF)
+        if mnemonic in ("ld", "st"):
+            op = OP_LD if mnemonic == "ld" else OP_ST
+            rd = self.parse_reg(operands[0])
+            imm_text, base = self.parse_mem_operand(operands[1])
+            rs = self.parse_reg(base)
+            imm = self.check_range(self.parse_int(imm_text, labels), 6,
+                                   signed=True, what="offset")
+            return (op << 12) | (rd << 9) | (rs << 6) | imm
+        if mnemonic == "jmp":
+            addr = self.check_range(self.parse_int(operands[0], labels),
+                                    10, signed=False, what="target")
+            return (OP_JMP << 12) | addr
+        if mnemonic in _JCC:
+            addr = self.check_range(self.parse_int(operands[0], labels),
+                                    9, signed=False, what="target")
+            return (OP_JCC << 12) | (_JCC[mnemonic] << 9) | addr
+        if mnemonic in _SHIFT:
+            rd = self.parse_reg(operands[0])
+            return (OP_SHIFT << 12) | (_SHIFT[mnemonic] << 6) | (rd << 9)
+        if mnemonic == "jrr":
+            rd = self.parse_reg(operands[0])
+            return (OP_JRR << 12) | (rd << 9)
+        raise AsmError(f"unknown mnemonic {mnemonic!r}")

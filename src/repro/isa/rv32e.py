@@ -1,0 +1,151 @@
+"""The dr5 ISA: a RISC-V RV32E-flavoured subset (DarkRISCV model).
+
+Captures the two dr5 properties the paper's results depend on:
+
+* conditional branches compare two full-width register operands (the
+  datapath computes ``rs1 - rs2`` and resolves from the wide difference,
+  not from 1-bit flags), and
+* **there is no hardware multiplier** -- multiplication is a software
+  shift-and-add loop, whose per-bit branches are input-dependent
+  (section 5.0.3's explanation for ``mult`` needing >1 path on dr5).
+
+Simplifications vs real RV32E (documented substitutions): 8 registers
+(``r0`` hard-wired to zero), word-addressed PC, absolute branch/jump
+targets, a compact fixed-field encoding instead of RISC-V's packed
+immediates.
+
+Encoding (32-bit words)::
+
+    [31:26] opcode
+    [25:23] rs1
+    [22:20] rs2
+    [19:17] rd
+    [10:6]  shamt    (slli / srli)
+    [5:0]   funct    (R-type)
+    [15:0]  imm16    (I-type, sign-extended; lui takes the high half)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .asm import Assembler, AsmError
+
+OP_RTYPE = 0
+OP_ADDI = 1
+OP_ANDI = 2
+OP_ORI = 3
+OP_XORI = 4
+OP_SLLI = 5
+OP_SRLI = 6
+OP_LUI = 7
+OP_LW = 8
+OP_SW = 9
+OP_BEQ = 10
+OP_BNE = 11
+OP_BLT = 12
+OP_BGE = 13
+OP_BLTU = 14
+OP_BGEU = 15
+OP_JAL = 16
+
+F_ADD = 0
+F_SUB = 1
+F_AND = 2
+F_OR = 3
+F_XOR = 4
+F_SLL = 5
+F_SRL = 6
+F_SLT = 7
+F_SLTU = 8
+
+_R3 = {"add": F_ADD, "sub": F_SUB, "and": F_AND, "or": F_OR, "xor": F_XOR,
+       "sll": F_SLL, "srl": F_SRL, "slt": F_SLT, "sltu": F_SLTU}
+_IMM = {"addi": OP_ADDI, "andi": OP_ANDI, "ori": OP_ORI, "xori": OP_XORI}
+_BR = {"beq": OP_BEQ, "bne": OP_BNE, "blt": OP_BLT, "bge": OP_BGE,
+       "bltu": OP_BLTU, "bgeu": OP_BGEU}
+
+BRANCH_OPS = frozenset(_BR.values())
+
+
+def _enc(op, rs1=0, rs2=0, rd=0, shamt=0, funct=0, imm=0) -> int:
+    return ((op << 26) | (rs1 << 23) | (rs2 << 20) | (rd << 17)
+            | (shamt << 6) | funct | imm)
+
+
+class Dr5Assembler(Assembler):
+    """Assembler for the dr5 RV32E subset."""
+
+    word_width = 32
+
+    def expand(self, mnemonic: str,
+               operands: List[str]) -> List[Tuple[str, List[str]]]:
+        if mnemonic == "halt":
+            return [("jal", ["r0", "_halt"])]
+        if mnemonic == "nop":
+            return [("addi", ["r0", "r0", "0"])]
+        if mnemonic == "mv":
+            return [("addi", [operands[0], operands[1], "0"])]
+        if mnemonic == "li":   # li rd, imm32 -> lui + ori
+            return [("lui", list(operands)),
+                    ("ori", [operands[0], operands[0], operands[1]])]
+        if mnemonic == "j":
+            return [("jal", ["r0", operands[0]])]
+        return [(mnemonic, operands)]
+
+    def encode(self, mnemonic: str, operands: List[str],
+               labels: Dict[str, int], address: int) -> int:
+        if mnemonic in _R3 and len(operands) == 3 and \
+                not operands[2].lstrip("-").isdigit():
+            rd = self.parse_reg(operands[0])
+            rs1 = self.parse_reg(operands[1])
+            rs2 = self.parse_reg(operands[2])
+            return _enc(OP_RTYPE, rs1=rs1, rs2=rs2, rd=rd,
+                        funct=_R3[mnemonic])
+        if mnemonic in _IMM:
+            rd = self.parse_reg(operands[0])
+            rs1 = self.parse_reg(operands[1])
+            value = self.parse_int(operands[2], labels)
+            if mnemonic == "addi":
+                imm = self.check_range(value, 16, signed=True,
+                                       what="immediate")
+            else:
+                imm = value & 0xFFFF
+            return _enc(_IMM[mnemonic], rs1=rs1, rd=rd, imm=imm)
+        if mnemonic in ("slli", "srli"):
+            rd = self.parse_reg(operands[0])
+            rs1 = self.parse_reg(operands[1])
+            shamt = self.check_range(self.parse_int(operands[2], labels),
+                                     5, signed=False, what="shamt")
+            op = OP_SLLI if mnemonic == "slli" else OP_SRLI
+            return _enc(op, rs1=rs1, rd=rd, shamt=shamt)
+        if mnemonic == "lui":
+            rd = self.parse_reg(operands[0])
+            imm = self.parse_int(operands[1], labels)
+            return _enc(OP_LUI, rd=rd, imm=(imm >> 16) & 0xFFFF)
+        if mnemonic == "lw":
+            rd = self.parse_reg(operands[0])
+            imm_text, base = self.parse_mem_operand(operands[1])
+            rs1 = self.parse_reg(base)
+            imm = self.check_range(self.parse_int(imm_text, labels), 16,
+                                   signed=True, what="offset")
+            return _enc(OP_LW, rs1=rs1, rd=rd, imm=imm)
+        if mnemonic == "sw":
+            rs2 = self.parse_reg(operands[0])
+            imm_text, base = self.parse_mem_operand(operands[1])
+            rs1 = self.parse_reg(base)
+            imm = self.check_range(self.parse_int(imm_text, labels), 16,
+                                   signed=True, what="offset")
+            return _enc(OP_SW, rs1=rs1, rs2=rs2, imm=imm)
+        if mnemonic in _BR:
+            rs1 = self.parse_reg(operands[0])
+            rs2 = self.parse_reg(operands[1])
+            addr = self.check_range(self.parse_int(operands[2], labels),
+                                    16, signed=False, what="target")
+            return _enc(_BR[mnemonic], rs1=rs1, rs2=rs2, imm=addr)
+        if mnemonic == "jal":
+            rd = self.parse_reg(operands[0])
+            addr = self.check_range(self.parse_int(operands[1], labels),
+                                    16, signed=False, what="target")
+            return _enc(OP_JAL, rd=rd, imm=addr)
+        raise AsmError(f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,17 @@
+"""Four-valued and symbolic logic substrate."""
+
+from .value import (Logic, coerce, covers, l_and, l_buf, l_mux, l_nand,
+                    l_nor, l_not, l_or, l_xnor, l_xor, merge, reduce_and,
+                    reduce_or, reduce_xor)
+from .symbol import SymBit, SymbolAllocator
+from .vector import LVec, pack_vectors
+from .tables import COMB_EVAL, evaluate
+
+__all__ = [
+    "Logic", "coerce", "covers", "merge",
+    "l_and", "l_or", "l_not", "l_xor", "l_nand", "l_nor", "l_xnor",
+    "l_buf", "l_mux", "reduce_and", "reduce_or", "reduce_xor",
+    "SymBit", "SymbolAllocator",
+    "LVec", "pack_vectors",
+    "COMB_EVAL", "evaluate",
+]

@@ -1,0 +1,205 @@
+"""Four-valued scalar logic.
+
+The simulator operates on the classic four-valued Verilog domain:
+
+* ``L0`` / ``L1`` -- known logic low / high.
+* ``X``          -- unknown.  In this tool an ``X`` additionally denotes a
+  *symbolic* application input (paper section 3): a value that could be 0 or
+  1 depending on the input, so anything it reaches is *exercisable*.
+* ``Z``          -- high impedance.  Gates treat a ``Z`` input as ``X``
+  (standard Verilog semantics for non-tristate primitives).
+
+Gate evaluation follows Kleene's strong three-valued logic extended with
+``Z``: controlling values dominate unknowns (``AND(0, X) = 0``,
+``OR(1, X) = 1``) which is exactly what allows the symbolic simulation to
+prove gates unexercisable even when their inputs carry ``X``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Union
+
+
+class Logic(enum.IntEnum):
+    """A single four-valued logic level."""
+
+    L0 = 0
+    L1 = 1
+    X = 2
+    Z = 3
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def __str__(self) -> str:
+        return _CHARS[self]
+
+    @property
+    def is_known(self) -> bool:
+        """True when the level is a definite 0 or 1."""
+        return self is Logic.L0 or self is Logic.L1
+
+    @property
+    def is_unknown(self) -> bool:
+        """True for ``X`` or ``Z`` (anything a gate must treat as unknown)."""
+        return not self.is_known
+
+    def __invert__(self) -> "Logic":
+        return l_not(self)
+
+    def __and__(self, other: "Logic") -> "Logic":  # type: ignore[override]
+        return l_and(self, coerce(other))
+
+    def __or__(self, other: "Logic") -> "Logic":  # type: ignore[override]
+        return l_or(self, coerce(other))
+
+    def __xor__(self, other: "Logic") -> "Logic":  # type: ignore[override]
+        return l_xor(self, coerce(other))
+
+
+_CHARS = {Logic.L0: "0", Logic.L1: "1", Logic.X: "x", Logic.Z: "z"}
+_FROM_CHAR = {"0": Logic.L0, "1": Logic.L1, "x": Logic.X, "X": Logic.X,
+              "z": Logic.Z, "Z": Logic.Z}
+
+LogicLike = Union[Logic, int, bool, str]
+
+
+def coerce(value: LogicLike) -> Logic:
+    """Convert ``0/1``, ``bool``, ``'0'/'1'/'x'/'z'`` or :class:`Logic`."""
+    if isinstance(value, Logic):
+        return value
+    if isinstance(value, bool):
+        return Logic.L1 if value else Logic.L0
+    if isinstance(value, int):
+        if value == 0:
+            return Logic.L0
+        if value == 1:
+            return Logic.L1
+        raise ValueError(f"cannot coerce int {value!r} to Logic")
+    if isinstance(value, str):
+        try:
+            return _FROM_CHAR[value]
+        except KeyError:
+            raise ValueError(f"cannot coerce {value!r} to Logic") from None
+    raise TypeError(f"cannot coerce {type(value).__name__} to Logic")
+
+
+def _u(value: Logic) -> Logic:
+    """Normalize ``Z`` to ``X`` for gate-input purposes."""
+    return Logic.X if value is Logic.Z else value
+
+
+def l_not(a: Logic) -> Logic:
+    a = _u(a)
+    if a is Logic.X:
+        return Logic.X
+    return Logic.L1 if a is Logic.L0 else Logic.L0
+
+
+def l_and(a: Logic, b: Logic) -> Logic:
+    a, b = _u(a), _u(b)
+    if a is Logic.L0 or b is Logic.L0:
+        return Logic.L0
+    if a is Logic.X or b is Logic.X:
+        return Logic.X
+    return Logic.L1
+
+
+def l_or(a: Logic, b: Logic) -> Logic:
+    a, b = _u(a), _u(b)
+    if a is Logic.L1 or b is Logic.L1:
+        return Logic.L1
+    if a is Logic.X or b is Logic.X:
+        return Logic.X
+    return Logic.L0
+
+
+def l_xor(a: Logic, b: Logic) -> Logic:
+    a, b = _u(a), _u(b)
+    if a is Logic.X or b is Logic.X:
+        return Logic.X
+    return Logic.L1 if a is not b else Logic.L0
+
+
+def l_nand(a: Logic, b: Logic) -> Logic:
+    return l_not(l_and(a, b))
+
+
+def l_nor(a: Logic, b: Logic) -> Logic:
+    return l_not(l_or(a, b))
+
+
+def l_xnor(a: Logic, b: Logic) -> Logic:
+    return l_not(l_xor(a, b))
+
+
+def l_buf(a: Logic) -> Logic:
+    return _u(a)
+
+
+def l_mux(sel: Logic, d0: Logic, d1: Logic) -> Logic:
+    """2:1 mux with X-pessimism reduced when both data inputs agree.
+
+    When the select is ``X`` but both data inputs carry the same known
+    value, the output is that value -- the standard "X-optimism free but
+    not needlessly pessimistic" mux semantics that gate-level simulators
+    implement for ``MUX2`` cells.
+    """
+    sel, d0, d1 = _u(sel), _u(d0), _u(d1)
+    if sel is Logic.L0:
+        return d0
+    if sel is Logic.L1:
+        return d1
+    if d0 is d1 and d0.is_known:
+        return d0
+    return Logic.X
+
+
+def reduce_and(values: Iterable[Logic]) -> Logic:
+    out = Logic.L1
+    for v in values:
+        out = l_and(out, v)
+        if out is Logic.L0:
+            return out
+    return out
+
+
+def reduce_or(values: Iterable[Logic]) -> Logic:
+    out = Logic.L0
+    for v in values:
+        out = l_or(out, v)
+        if out is Logic.L1:
+            return out
+    return out
+
+
+def reduce_xor(values: Iterable[Logic]) -> Logic:
+    out = Logic.L0
+    for v in values:
+        out = l_xor(out, v)
+    return out
+
+
+def covers(general: Logic, specific: Logic) -> bool:
+    """True when ``general`` subsumes ``specific``.
+
+    ``X`` covers everything; a known value covers only itself.  ``Z`` is
+    treated as unknown.  This is the per-bit primitive underneath the CSM's
+    strict-subset test (paper section 3.3).
+    """
+    general, specific = _u(general), _u(specific)
+    if general is Logic.X:
+        return True
+    return general is specific
+
+
+def merge(a: Logic, b: Logic) -> Logic:
+    """Least conservative value covering both ``a`` and ``b``.
+
+    This is the CSM's per-bit merge rule: differing bits become ``X``.
+    """
+    a, b = _u(a), _u(b)
+    if a is b:
+        return a
+    return Logic.X

@@ -1,0 +1,215 @@
+"""Fixed-width four-valued bit-vectors.
+
+:class:`LVec` is the workhorse value type for architectural state: register
+contents, memory words, program counters.  Bits are stored LSB-first.
+Arithmetic is *conservative*: an unknown operand bit poisons exactly the
+result bits it can influence (e.g. an ``X`` in bit 3 of an addend makes
+result bits 3..N-1 unknown via carry propagation), never fewer.  This is the
+same over-approximation a gate-level ripple adder exhibits under Kleene
+semantics, so vector-level models agree with gate-level simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from .value import (Logic, LogicLike, coerce, covers, l_and, l_not, l_or,
+                    l_xor, merge)
+
+
+class LVec:
+    """An immutable, fixed-width vector of :class:`Logic` values."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[LogicLike]):
+        self._bits: Tuple[Logic, ...] = tuple(coerce(b) for b in bits)
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def from_int(value: int, width: int) -> "LVec":
+        if width <= 0:
+            raise ValueError("width must be positive")
+        mask = (1 << width) - 1
+        value &= mask
+        return LVec((Logic.L1 if (value >> i) & 1 else Logic.L0)
+                    for i in range(width))
+
+    @staticmethod
+    def unknown(width: int) -> "LVec":
+        return LVec([Logic.X] * width)
+
+    @staticmethod
+    def zeros(width: int) -> "LVec":
+        return LVec.from_int(0, width)
+
+    @staticmethod
+    def from_str(text: str) -> "LVec":
+        """Parse a Verilog-style literal body, MSB first (``"10x1"``)."""
+        return LVec(coerce(ch) for ch in reversed(text.replace("_", "")))
+
+    # -- basics ----------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return len(self._bits)
+
+    @property
+    def bits(self) -> Tuple[Logic, ...]:
+        """LSB-first tuple of bits."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[Logic]:
+        return iter(self._bits)
+
+    def __getitem__(self, idx: Union[int, slice]) -> Union[Logic, "LVec"]:
+        if isinstance(idx, slice):
+            return LVec(self._bits[idx])
+        return self._bits[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LVec) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in reversed(self._bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LVec('{self}')"
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_known(self) -> bool:
+        return all(b.is_known for b in self._bits)
+
+    @property
+    def has_x(self) -> bool:
+        return any(not b.is_known for b in self._bits)
+
+    def count_x(self) -> int:
+        return sum(1 for b in self._bits if not b.is_known)
+
+    def to_int(self) -> int:
+        """Integer value; raises if any bit is unknown."""
+        if not self.is_known:
+            raise ValueError(f"vector {self} contains unknown bits")
+        return sum(1 << i for i, b in enumerate(self._bits) if b is Logic.L1)
+
+    def to_int_or(self, default: int) -> int:
+        return self.to_int() if self.is_known else default
+
+    # -- structure --------------------------------------------------------
+    def concat(self, high: "LVec") -> "LVec":
+        """Return ``{high, self}`` (self in the low bits)."""
+        return LVec(self._bits + high._bits)
+
+    def replace(self, idx: int, value: LogicLike) -> "LVec":
+        bits = list(self._bits)
+        bits[idx] = coerce(value)
+        return LVec(bits)
+
+    def zext(self, width: int) -> "LVec":
+        if width < self.width:
+            raise ValueError("zext target narrower than vector")
+        return LVec(self._bits + (Logic.L0,) * (width - self.width))
+
+    def sext(self, width: int) -> "LVec":
+        if width < self.width:
+            raise ValueError("sext target narrower than vector")
+        return LVec(self._bits + (self._bits[-1],) * (width - self.width))
+
+    def trunc(self, width: int) -> "LVec":
+        return LVec(self._bits[:width])
+
+    # -- bitwise ----------------------------------------------------------
+    def _binary(self, other: "LVec", op) -> "LVec":
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        return LVec(op(a, b) for a, b in zip(self._bits, other._bits))
+
+    def __and__(self, other: "LVec") -> "LVec":
+        return self._binary(other, l_and)
+
+    def __or__(self, other: "LVec") -> "LVec":
+        return self._binary(other, l_or)
+
+    def __xor__(self, other: "LVec") -> "LVec":
+        return self._binary(other, l_xor)
+
+    def __invert__(self) -> "LVec":
+        return LVec(l_not(b) for b in self._bits)
+
+    def shl(self, amount: int) -> "LVec":
+        amount = min(amount, self.width)
+        return LVec((Logic.L0,) * amount + self._bits[:self.width - amount])
+
+    def shr(self, amount: int) -> "LVec":
+        amount = min(amount, self.width)
+        return LVec(self._bits[amount:] + (Logic.L0,) * amount)
+
+    def sar(self, amount: int) -> "LVec":
+        amount = min(amount, self.width)
+        return LVec(self._bits[amount:] + (self._bits[-1],) * amount)
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, other: "LVec", carry_in: LogicLike = 0) -> "LVec":
+        """Ripple-carry addition with X-propagating carries."""
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        carry = coerce(carry_in)
+        out: List[Logic] = []
+        for a, b in zip(self._bits, other._bits):
+            out.append(l_xor(l_xor(a, b), carry))
+            carry = l_or(l_and(a, b), l_and(carry, l_xor(a, b)))
+        return LVec(out)
+
+    def sub(self, other: "LVec") -> "LVec":
+        return self.add(~other, carry_in=1)
+
+    def __add__(self, other: "LVec") -> "LVec":
+        return self.add(other)
+
+    def __sub__(self, other: "LVec") -> "LVec":
+        return self.sub(other)
+
+    def eq(self, other: "LVec") -> Logic:
+        """Four-valued equality: 1, 0, or X."""
+        acc = Logic.L1
+        for a, b in zip(self._bits, other._bits):
+            acc = l_and(acc, l_not(l_xor(a, b)))
+            if acc is Logic.L0:
+                return acc
+        return acc
+
+    def ult(self, other: "LVec") -> Logic:
+        """Unsigned less-than (borrow out of ``self - other``)."""
+        diff_carry = coerce(1)
+        for a, b in zip(self._bits, other._bits):
+            nb = l_not(b)
+            diff_carry = l_or(l_and(a, nb),
+                              l_and(diff_carry, l_xor(a, nb)))
+        return l_not(diff_carry)
+
+    # -- CSM primitives ----------------------------------------------------
+    def covers(self, other: "LVec") -> bool:
+        """True when every bit of ``self`` subsumes the matching bit of
+        ``other`` (X covers anything)."""
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        return all(covers(a, b) for a, b in zip(self._bits, other._bits))
+
+    def merge(self, other: "LVec") -> "LVec":
+        """Least conservative vector covering both operands."""
+        return self._binary(other, merge)
+
+
+def pack_vectors(vectors: Sequence[LVec]) -> LVec:
+    """Concatenate vectors, first element in the low bits."""
+    bits: List[Logic] = []
+    for vec in vectors:
+        bits.extend(vec.bits)
+    return LVec(bits)

@@ -1,0 +1,12 @@
+"""Gate-level netlist IR, cell library, and Verilog I/O."""
+
+from .cells import (COMB_KINDS, LIBRARY, SEQ_KINDS, TIE_KINDS, CellKind,
+                    kind)
+from .netlist import Gate, Net, Netlist, NetlistError
+from .verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "CellKind", "kind", "LIBRARY", "COMB_KINDS", "SEQ_KINDS", "TIE_KINDS",
+    "Gate", "Net", "Netlist", "NetlistError",
+    "parse_verilog", "write_verilog",
+]

@@ -1,0 +1,78 @@
+"""Primitive cell library.
+
+A small technology-like library: each cell kind has a pin list and an area
+weight (loosely modeled on a 65nm standard-cell library, in units of NAND2
+equivalents).  The paper reports *gate counts*; we report both gate count
+and area so bespoke reductions can be quoted either way.
+
+Sequential cells:
+
+* ``DFF``   -- positive-edge D flip-flop, pins (D) -> Q.
+* ``DFFR``  -- DFF with synchronous active-high reset, pins (D, R) -> Q.
+* ``DFFE``  -- DFF with clock-enable, pins (D, E) -> Q.
+* ``DFFER`` -- DFF with enable and synchronous reset, pins (D, E, R) -> Q.
+
+All flops share a single implicit clock: the paper's co-analysis is
+cycle-accurate on single-clock embedded cores, and a single clock domain
+keeps both engines simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CellKind:
+    """Static description of a primitive cell type."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    area: float
+    sequential: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+
+_KINDS = [
+    CellKind("TIE0", (), 0.25),
+    CellKind("TIE1", (), 0.25),
+    CellKind("BUF", ("A",), 0.75),
+    CellKind("NOT", ("A",), 0.5),
+    CellKind("AND", ("A", "B"), 1.25),
+    CellKind("OR", ("A", "B"), 1.25),
+    CellKind("NAND", ("A", "B"), 1.0),
+    CellKind("NOR", ("A", "B"), 1.0),
+    CellKind("XOR", ("A", "B"), 2.0),
+    CellKind("XNOR", ("A", "B"), 2.0),
+    CellKind("MUX2", ("D0", "D1", "S"), 2.25),
+    CellKind("DFF", ("D",), 4.5, sequential=True),
+    CellKind("DFFR", ("D", "R"), 5.0, sequential=True),
+    CellKind("DFFE", ("D", "E"), 5.5, sequential=True),
+    CellKind("DFFER", ("D", "E", "R"), 6.0, sequential=True),
+]
+
+#: Cell kinds by name.
+LIBRARY: Dict[str, CellKind] = {k.name: k for k in _KINDS}
+
+#: Kinds evaluated combinationally (everything that is not a flop).
+COMB_KINDS = frozenset(k.name for k in _KINDS if not k.sequential)
+
+#: Sequential kinds.
+SEQ_KINDS = frozenset(k.name for k in _KINDS if k.sequential)
+
+#: Constant-source kinds.
+TIE_KINDS = frozenset({"TIE0", "TIE1"})
+
+
+def kind(name: str) -> CellKind:
+    """Look up a cell kind, raising a helpful error for unknown names."""
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell kind {name!r}; known kinds: "
+            f"{sorted(LIBRARY)}") from None

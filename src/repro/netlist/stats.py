@@ -1,0 +1,89 @@
+"""Netlist reporting: composition, fanout, and per-block breakdowns.
+
+Synthesis-style reports a user expects from a netlist tool: cell-kind
+histograms, area by functional block (inferred from instance-name
+prefixes), and fanout distribution.  Used by the examples and handy when
+inspecting what bespoke pruning actually removed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .netlist import Netlist
+
+_PREFIX_RE = re.compile(r"^([A-Za-z]+(?:_[A-Za-z]+)*?)_?\d")
+
+
+def block_of(instance_name: str) -> str:
+    """Functional-block key for an instance (name prefix heuristic)."""
+    m = _PREFIX_RE.match(instance_name)
+    return m.group(1) if m else instance_name
+
+
+@dataclass
+class NetlistReport:
+    """Structured composition report for one netlist."""
+
+    name: str
+    gates: int
+    flops: int
+    nets: int
+    area: float
+    by_kind: Dict[str, int]
+    by_block: Dict[str, Tuple[int, float]]      # block -> (gates, area)
+    max_fanout: int
+    avg_fanout: float
+
+    def render(self, top_blocks: int = 12) -> str:
+        lines = [f"Netlist report: {self.name}",
+                 f"  gates {self.gates} (flops {self.flops}), "
+                 f"nets {self.nets}, area {self.area:.1f}",
+                 f"  fanout: max {self.max_fanout}, "
+                 f"avg {self.avg_fanout:.2f}",
+                 "  cells:"]
+        for kind, count in sorted(self.by_kind.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"    {kind:<6} {count}")
+        lines.append(f"  top blocks by area:")
+        ranked = sorted(self.by_block.items(), key=lambda kv: -kv[1][1])
+        for block, (count, area) in ranked[:top_blocks]:
+            lines.append(f"    {block:<14} {count:>5} gates  "
+                         f"{area:>9.1f} area")
+        return "\n".join(lines)
+
+
+def report(netlist: Netlist) -> NetlistReport:
+    by_kind: Dict[str, int] = {}
+    by_block: Dict[str, List[float]] = {}
+    for gate in netlist.gates:
+        by_kind[gate.kind] = by_kind.get(gate.kind, 0) + 1
+        slot = by_block.setdefault(block_of(gate.name), [0, 0.0])
+        slot[0] += 1
+        slot[1] += gate.cell.area
+    fanouts = [len(n.fanout) for n in netlist.nets]
+    return NetlistReport(
+        name=netlist.name,
+        gates=netlist.gate_count(),
+        flops=len(netlist.seq_gates),
+        nets=len(netlist.nets),
+        area=netlist.area(),
+        by_kind=by_kind,
+        by_block={k: (int(v[0]), v[1]) for k, v in by_block.items()},
+        max_fanout=max(fanouts, default=0),
+        avg_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+    )
+
+
+def diff_blocks(before: Netlist, after: Netlist) -> List[Tuple[str, int,
+                                                               int]]:
+    """Per-block gate counts before vs after (what pruning removed)."""
+    rb = report(before).by_block
+    ra = report(after).by_block
+    out = []
+    for block in sorted(set(rb) | set(ra)):
+        out.append((block, rb.get(block, (0, 0.0))[0],
+                    ra.get(block, (0, 0.0))[0]))
+    return out

@@ -1,0 +1,16 @@
+"""Processor models: omsp430 (MSP430), bm32 (MIPS32), dr5 (RV32E)."""
+
+from .bm32 import build_bm32
+from .dr5 import build_dr5
+from .harness import CoreTarget, DMEM_NAME
+from .meta import CoreMeta
+from .omsp430 import build_omsp430
+
+BUILDERS = {
+    "omsp430": build_omsp430,
+    "bm32": build_bm32,
+    "dr5": build_dr5,
+}
+
+__all__ = ["build_omsp430", "build_bm32", "build_dr5", "BUILDERS",
+           "CoreTarget", "CoreMeta", "DMEM_NAME"]

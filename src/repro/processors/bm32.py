@@ -1,0 +1,182 @@
+"""The bm32 model: a 32-bit MIPS teaching processor with a hardware
+multiplier.
+
+Architectural properties preserved from the paper's bm32:
+
+* **compares are subtractions into a general register**: benchmark code
+  uses the ``subu t, a, b`` + ``beq/bne t, r0`` idiom, so each
+  data-dependent compare deposits a full-width symbolic result in the
+  register file, and the state repository converges only as those wide
+  registers saturate with Xs (section 5.0.3's explanation for bm32's
+  high path counts);
+* a **hardware multiplier** (``mult`` + ``mflo/mfhi``), so the ``mult``
+  benchmark runs without data-dependent control flow (1 path).
+
+Simplifications (documented substitutions): single-cycle datapath,
+8 registers with ``r0 = 0``, word-addressed PC, absolute branch targets,
+no delay slots, 16x16 -> 32 multiplier array.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..isa import mips32 as isa
+from ..netlist.netlist import Netlist
+from ..rtl.module import Design, mux
+from .common import RegisterFile, alu_adder, array_multiplier, is_const_eq
+from .meta import CoreMeta
+
+PC_WIDTH = 10
+DMEM_ADDR_WIDTH = 8
+WORD = 32
+
+
+def build_bm32() -> Tuple[Netlist, CoreMeta]:
+    """Elaborate the core; returns ``(netlist, metadata)``."""
+    d = Design("bm32")
+    d._reset_net()
+
+    pmem_data = d.input("pmem_data", WORD)
+    dmem_rdata = d.input("dmem_rdata", WORD)
+
+    pc = d.reg(PC_WIDTH, "pc_r", reset=True)
+    rf = RegisterFile(d, 8, WORD, name="r", r0_is_zero=True)
+    hi = d.reg(WORD, "hi_r", reset=True)
+    lo = d.reg(WORD, "lo_r", reset=True)
+
+    instr = pmem_data
+    op = instr[26:32]
+    rs_idx = instr[23:26]
+    rt_idx = instr[20:23]
+    rd_idx = instr[17:20]
+    shamt = instr[6:11]
+    funct = instr[0:6]
+    imm16 = instr[0:16]
+    addr26 = instr[0:26]
+
+    rs_val = rf.read(rs_idx)
+    rt_val = rf.read(rt_idx)
+
+    is_rtype = is_const_eq(d, op, isa.OP_RTYPE)
+    is_f = {f: is_rtype & is_const_eq(d, funct, f) for f in (
+        isa.F_SLL, isa.F_SRL, isa.F_MFHI, isa.F_MFLO, isa.F_MULT,
+        isa.F_ADDU, isa.F_SUBU, isa.F_AND, isa.F_OR, isa.F_XOR,
+        isa.F_SLT, isa.F_SLTU)}
+    is_o = {o: is_const_eq(d, op, o) for o in (
+        isa.OP_J, isa.OP_BEQ, isa.OP_BNE, isa.OP_ADDIU, isa.OP_ANDI,
+        isa.OP_ORI, isa.OP_XORI, isa.OP_LUI, isa.OP_LW, isa.OP_SW)}
+
+    # -- operand selection --------------------------------------------------
+    imm_sext = imm16.sext(WORD)
+    imm_zext = imm16.zext(WORD)
+    use_imm = (is_o[isa.OP_ADDIU] | is_o[isa.OP_ANDI] | is_o[isa.OP_ORI]
+               | is_o[isa.OP_XORI] | is_o[isa.OP_LW] | is_o[isa.OP_SW])
+    imm_is_zext = (is_o[isa.OP_ANDI] | is_o[isa.OP_ORI]
+                   | is_o[isa.OP_XORI])
+    opnd_b = mux(use_imm, rt_val, mux(imm_is_zext, imm_sext, imm_zext))
+
+    # -- ALU --------------------------------------------------------------------
+    do_sub = is_f[isa.F_SUBU] | is_f[isa.F_SLT] | is_f[isa.F_SLTU]
+    alu_sum, alu_carry, alu_ovf = alu_adder(d, rs_val, opnd_b, do_sub)
+    and_r = rs_val & opnd_b
+    or_r = rs_val | opnd_b
+    xor_r = rs_val ^ opnd_b
+    sll_r = rt_val.shl(shamt)
+    srl_r = rt_val.shr(shamt)
+    slt_bit = rs_val.slt(opnd_b)
+    sltu_bit = ~alu_carry           # no carry out of a-b => a < b unsigned
+    slt_r = slt_bit.zext(WORD)
+    sltu_r = sltu_bit.zext(WORD)
+
+    # -- hardware multiplier (HI/LO) ------------------------------------------
+    # Operand-latched, one-cycle-later result (as in a multicycle MIPS
+    # multiplier): the array only toggles when MULT executes, so unused
+    # multiplier logic stays prunable for non-multiplying applications.
+    is_mult = is_f[isa.F_MULT]
+    mpy_a = d.reg(16, "mpy_a", reset=True)
+    mpy_a.drive(rs_val[0:16], enable=is_mult)
+    mpy_b = d.reg(16, "mpy_b", reset=True)
+    mpy_b.drive(rt_val[0:16], enable=is_mult)
+    mult_pending = d.reg(1, "mult_pending", reset=True)
+    mult_pending.drive(is_mult)
+    product = array_multiplier(d, mpy_a.q, mpy_b.q)
+    lo.drive(product, enable=mult_pending.q)
+    hi.drive(d.const(0, WORD), enable=mult_pending.q)
+
+    # -- memory -----------------------------------------------------------------
+    dmem_addr = alu_sum[0:DMEM_ADDR_WIDTH]
+
+    # -- write-back --------------------------------------------------------------
+    rtype_result = (
+        (alu_sum & (is_f[isa.F_ADDU] | is_f[isa.F_SUBU]).repl(WORD))
+        | (and_r & is_f[isa.F_AND].repl(WORD))
+        | (or_r & is_f[isa.F_OR].repl(WORD))
+        | (xor_r & is_f[isa.F_XOR].repl(WORD))
+        | (sll_r & is_f[isa.F_SLL].repl(WORD))
+        | (srl_r & is_f[isa.F_SRL].repl(WORD))
+        | (slt_r & is_f[isa.F_SLT].repl(WORD))
+        | (sltu_r & is_f[isa.F_SLTU].repl(WORD))
+        | (lo.q & is_f[isa.F_MFLO].repl(WORD))
+        | (hi.q & is_f[isa.F_MFHI].repl(WORD)))
+    lui_r = d.const(0, 16).cat(imm16)
+    itype_result = (
+        (alu_sum & is_o[isa.OP_ADDIU].repl(WORD))
+        | (and_r & is_o[isa.OP_ANDI].repl(WORD))
+        | (or_r & is_o[isa.OP_ORI].repl(WORD))
+        | (xor_r & is_o[isa.OP_XORI].repl(WORD))
+        | (lui_r & is_o[isa.OP_LUI].repl(WORD))
+        | (dmem_rdata & is_o[isa.OP_LW].repl(WORD)))
+    result = rtype_result | itype_result
+
+    rtype_writes = (is_f[isa.F_ADDU] | is_f[isa.F_SUBU] | is_f[isa.F_AND]
+                    | is_f[isa.F_OR] | is_f[isa.F_XOR] | is_f[isa.F_SLL]
+                    | is_f[isa.F_SRL] | is_f[isa.F_SLT] | is_f[isa.F_SLTU]
+                    | is_f[isa.F_MFLO] | is_f[isa.F_MFHI])
+    itype_writes = (is_o[isa.OP_ADDIU] | is_o[isa.OP_ANDI]
+                    | is_o[isa.OP_ORI] | is_o[isa.OP_XORI]
+                    | is_o[isa.OP_LUI] | is_o[isa.OP_LW])
+    waddr = mux(is_rtype, rt_idx, rd_idx)
+    rf.connect_write(waddr, result, rtype_writes | itype_writes)
+
+    # -- control flow --------------------------------------------------------------
+    # The branch unit computes rs - rt; the wide operands are the
+    # monitored control-flow signals (the paper's "register that holds
+    # the result of subtraction").
+    br_lhs = d.name_sig("br_lhs", rs_val)
+    br_rhs = d.name_sig("br_rhs", rt_val)
+    br_diff, _, _ = alu_adder(d, br_lhs, br_rhs, d.const(1, 1))
+    br_eq = br_diff.none()
+    is_beq = is_o[isa.OP_BEQ]
+    is_bne = is_o[isa.OP_BNE]
+    is_branch = is_beq | is_bne
+    branch_point = d.name_sig("branch_point", is_branch)
+    branch_taken = d.name_sig("branch_taken",
+                              (is_beq & br_eq) | (is_bne & ~br_eq))
+    pc_plus1, _ = pc.q.add(d.const(1, PC_WIDTH))
+    pc_next = mux(branch_taken, pc_plus1, imm16[0:PC_WIDTH])
+    pc_next = mux(is_o[isa.OP_J], pc_next, addr26[0:PC_WIDTH])
+    pc.drive(pc_next)
+
+    # -- ports -----------------------------------------------------------------------
+    d.output("pmem_addr", pc.q)
+    d.output("pc", pc.q)
+    d.output("dmem_addr", dmem_addr)
+    d.output("dmem_wdata", rt_val)
+    d.output("dmem_we", is_o[isa.OP_SW])
+    d.output("branch_point_o", branch_point)
+    d.output("branch_taken_o", branch_taken)
+
+    netlist = d.finalize()
+    meta = CoreMeta(
+        name="bm32",
+        isa="MIPS32",
+        word_width=WORD,
+        pc_width=PC_WIDTH,
+        dmem_addr_width=DMEM_ADDR_WIDTH,
+        monitored=[("br_lhs", WORD), ("br_rhs", WORD)],
+        branch_point="branch_point",
+        branch_force="branch_taken",
+        features="32-bit MIPS implementation, with hardware multiplier",
+    )
+    return netlist, meta

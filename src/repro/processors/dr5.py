@@ -1,0 +1,180 @@
+"""The dr5 model: a RISC-V RV32E-subset core without a multiplier.
+
+Architectural properties preserved from DarkRISCV as characterized by the
+paper:
+
+* **branches resolve from a full-width register comparison** -- the
+  datapath latches both operands into pipeline registers and computes
+  ``opA - opB``; those wide latched operands are the monitored
+  control-flow state, so symbolic data pollutes many state bits per
+  branch (section 5.0.3's "register fills with Xs" effect);
+* **no hardware multiplier** -- multiplication is a software
+  shift-and-add loop with input-dependent branches, which is why the
+  ``mult`` benchmark needs more than one simulation path on dr5 alone;
+* only the processor core and memory are modeled (paper section 4) --
+  there is no peripheral logic, which is why dr5 shows the smallest
+  bespoke gate reduction (Figure 5).
+
+The pipeline is folded into a two-phase multicycle machine (FETCH latches
+the instruction and both register operands; EXEC computes, accesses
+memory, and retires) -- a documented simplification of DarkRISCV's
+3-stage pipeline that keeps its operand-latch state structure.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..isa import rv32e as isa
+from ..netlist.netlist import Netlist
+from ..rtl.module import Design, mux
+from .common import RegisterFile, alu_adder, is_const_eq
+from .meta import CoreMeta
+
+PC_WIDTH = 10
+DMEM_ADDR_WIDTH = 8
+WORD = 32
+
+
+def build_dr5() -> Tuple[Netlist, CoreMeta]:
+    """Elaborate the core; returns ``(netlist, metadata)``."""
+    d = Design("dr5")
+    d._reset_net()
+
+    pmem_data = d.input("pmem_data", WORD)
+    dmem_rdata = d.input("dmem_rdata", WORD)
+
+    pc = d.reg(PC_WIDTH, "pc_r", reset=True)
+    phase = d.reg(1, "phase_r", reset=True)      # 0 = FETCH, 1 = EXEC
+    ir = d.reg(WORD, "ir_r", reset=True)
+    op_a = d.reg(WORD, "op_a", reset=False)      # latched rs1 operand
+    op_b = d.reg(WORD, "op_b", reset=False)      # latched rs2 operand
+    rf = RegisterFile(d, 8, WORD, name="x", r0_is_zero=True)
+
+    in_fetch = ~phase.q
+    in_exec = phase.q
+    phase.drive(~phase.q)
+
+    # -- FETCH: latch instruction and read operands early -------------------
+    fetch_rs1 = pmem_data[23:26]
+    fetch_rs2 = pmem_data[20:23]
+    ir.drive(pmem_data, enable=in_fetch)
+    op_a.drive(rf.read(fetch_rs1), enable=in_fetch)
+    op_b.drive(rf.read(fetch_rs2), enable=in_fetch)
+
+    # -- EXEC: decode from the instruction register ---------------------------
+    instr = ir.q
+    op = instr[26:32]
+    rd_idx = instr[17:20]
+    shamt = instr[6:11]
+    funct = instr[0:6]
+    imm16 = instr[0:16]
+
+    is_rtype = is_const_eq(d, op, isa.OP_RTYPE)
+    is_f = {f: is_rtype & is_const_eq(d, funct, f) for f in (
+        isa.F_ADD, isa.F_SUB, isa.F_AND, isa.F_OR, isa.F_XOR,
+        isa.F_SLL, isa.F_SRL, isa.F_SLT, isa.F_SLTU)}
+    is_o = {o: is_const_eq(d, op, o) for o in (
+        isa.OP_ADDI, isa.OP_ANDI, isa.OP_ORI, isa.OP_XORI, isa.OP_SLLI,
+        isa.OP_SRLI, isa.OP_LUI, isa.OP_LW, isa.OP_SW, isa.OP_BEQ,
+        isa.OP_BNE, isa.OP_BLT, isa.OP_BGE, isa.OP_BLTU, isa.OP_BGEU,
+        isa.OP_JAL)}
+
+    imm_sext = imm16.sext(WORD)
+    imm_zext = imm16.zext(WORD)
+    use_imm = (is_o[isa.OP_ADDI] | is_o[isa.OP_ANDI] | is_o[isa.OP_ORI]
+               | is_o[isa.OP_XORI] | is_o[isa.OP_LW] | is_o[isa.OP_SW])
+    imm_is_zext = (is_o[isa.OP_ANDI] | is_o[isa.OP_ORI]
+                   | is_o[isa.OP_XORI])
+    use_shamt_imm = is_o[isa.OP_SLLI] | is_o[isa.OP_SRLI]
+
+    a_val = op_a.q
+    b_val = mux(use_imm, op_b.q, mux(imm_is_zext, imm_sext, imm_zext))
+
+    # -- ALU ---------------------------------------------------------------------
+    do_sub = is_f[isa.F_SUB] | is_f[isa.F_SLT] | is_f[isa.F_SLTU]
+    alu_sum, alu_carry, _ = alu_adder(d, a_val, b_val, do_sub)
+    and_r = a_val & b_val
+    or_r = a_val | b_val
+    xor_r = a_val ^ b_val
+    sh_amt = mux(use_shamt_imm, op_b.q[0:5], shamt)
+    sll_r = a_val.shl(sh_amt)
+    srl_r = a_val.shr(sh_amt)
+    slt_r = a_val.slt(b_val).zext(WORD)
+    sltu_r = (~alu_carry).zext(WORD)
+    lui_r = d.const(0, 16).cat(imm16)
+    pc_plus1, _ = pc.q.add(d.const(1, PC_WIDTH))
+    link_r = pc_plus1.zext(WORD)
+
+    dmem_addr = alu_sum[0:DMEM_ADDR_WIDTH]
+
+    result = (
+        (alu_sum & (is_f[isa.F_ADD] | is_f[isa.F_SUB]
+                    | is_o[isa.OP_ADDI]).repl(WORD))
+        | (and_r & (is_f[isa.F_AND] | is_o[isa.OP_ANDI]).repl(WORD))
+        | (or_r & (is_f[isa.F_OR] | is_o[isa.OP_ORI]).repl(WORD))
+        | (xor_r & (is_f[isa.F_XOR] | is_o[isa.OP_XORI]).repl(WORD))
+        | (sll_r & (is_f[isa.F_SLL] | is_o[isa.OP_SLLI]).repl(WORD))
+        | (srl_r & (is_f[isa.F_SRL] | is_o[isa.OP_SRLI]).repl(WORD))
+        | (slt_r & is_f[isa.F_SLT].repl(WORD))
+        | (sltu_r & is_f[isa.F_SLTU].repl(WORD))
+        | (lui_r & is_o[isa.OP_LUI].repl(WORD))
+        | (dmem_rdata & is_o[isa.OP_LW].repl(WORD))
+        | (link_r & is_o[isa.OP_JAL].repl(WORD)))
+
+    writes_rd = (is_rtype | is_o[isa.OP_ADDI] | is_o[isa.OP_ANDI]
+                 | is_o[isa.OP_ORI] | is_o[isa.OP_XORI]
+                 | is_o[isa.OP_SLLI] | is_o[isa.OP_SRLI]
+                 | is_o[isa.OP_LUI] | is_o[isa.OP_LW]
+                 | is_o[isa.OP_JAL])
+    rf.connect_write(rd_idx, result, writes_rd & in_exec)
+
+    # -- control flow ----------------------------------------------------------
+    # Wide branch comparator over the *latched* operand registers: the
+    # monitored signals are op_a / op_b themselves.
+    br_diff, br_carry, _ = alu_adder(d, op_a.q, op_b.q, d.const(1, 1))
+    br_eq = br_diff.none()
+    br_ltu = ~br_carry
+    br_lt = op_a.q.slt(op_b.q)
+    is_branch = (is_o[isa.OP_BEQ] | is_o[isa.OP_BNE] | is_o[isa.OP_BLT]
+                 | is_o[isa.OP_BGE] | is_o[isa.OP_BLTU]
+                 | is_o[isa.OP_BGEU])
+    cond = ((is_o[isa.OP_BEQ] & br_eq)
+            | (is_o[isa.OP_BNE] & ~br_eq)
+            | (is_o[isa.OP_BLT] & br_lt)
+            | (is_o[isa.OP_BGE] & ~br_lt)
+            | (is_o[isa.OP_BLTU] & br_ltu)
+            | (is_o[isa.OP_BGEU] & ~br_ltu))
+    branch_point = d.name_sig("branch_point", is_branch & in_exec)
+    branch_taken = d.name_sig("branch_taken", is_branch & cond)
+
+    pc_target = imm16[0:PC_WIDTH]
+    pc_next = mux(branch_taken, pc_plus1, pc_target)
+    pc_next = mux(is_o[isa.OP_JAL], pc_next, pc_target)
+    pc.drive(pc_next, enable=in_exec)
+
+    # -- ports ------------------------------------------------------------------
+    d.output("pmem_addr", pc.q)
+    d.output("pc", pc.q)
+    d.output("phase", phase.q)
+    d.output("dmem_addr", dmem_addr)
+    d.output("dmem_wdata", op_b.q)
+    d.output("dmem_we", is_o[isa.OP_SW] & in_exec)
+    d.output("branch_point_o", branch_point)
+    d.output("branch_taken_o", branch_taken)
+
+    netlist = d.finalize()
+    meta = CoreMeta(
+        name="dr5",
+        isa="RV32e",
+        word_width=WORD,
+        pc_width=PC_WIDTH,
+        dmem_addr_width=DMEM_ADDR_WIDTH,
+        monitored=[("op_a", WORD), ("op_b", WORD)],
+        branch_point="branch_point",
+        branch_force="branch_taken",
+        extras={"phase": "phase"},
+        features=("32-bit RISCV embedded ISA, operand-latched two-phase "
+                  "datapath, no hardware multiplier"),
+    )
+    return netlist, meta

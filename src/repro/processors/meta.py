@@ -1,0 +1,51 @@
+"""Core metadata: the contract between a core netlist and its harness.
+
+A built core is just a :class:`~repro.netlist.netlist.Netlist`; this
+record names the nets the testbench and the co-analysis engine need --
+the memory ports, the PC, the ``$monitor_x`` control-flow signal list,
+and the 1-bit branch decision net that forked simulations force.
+Everything is by *name*, so the same metadata drives both the original
+and the re-synthesized bespoke netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class CoreMeta:
+    """Names and widths of a core's analysis-relevant signals."""
+
+    name: str
+    isa: str
+    word_width: int               # datapath / memory word width
+    pc_width: int                 # program-memory address width
+    dmem_addr_width: int
+    pc_port: str = "pc"
+    pmem_addr_port: str = "pmem_addr"
+    pmem_data_port: str = "pmem_data"
+    dmem_addr_port: str = "dmem_addr"
+    dmem_rdata_port: str = "dmem_rdata"
+    dmem_wdata_port: str = "dmem_wdata"
+    dmem_we_port: str = "dmem_we"
+    #: control-flow signals for $monitor_x: (net name, width) pairs
+    monitored: List[Tuple[str, int]] = field(default_factory=list)
+    #: 1-bit "PC-changing instruction resolving now" qualifier
+    branch_point: str = "branch_point"
+    #: 1-bit decision net that is forced 0/1 to explore each path
+    branch_force: str = "branch_taken"
+    #: extra named single-bit status nets worth exporting
+    extras: Dict[str, str] = field(default_factory=dict)
+    #: human-readable feature list (Table 2 column)
+    features: str = ""
+
+    def monitored_net_names(self) -> List[str]:
+        names: List[str] = []
+        for base, width in self.monitored:
+            if width == 1:
+                names.append(base)
+            else:
+                names.extend(f"{base}[{i}]" for i in range(width))
+        return names

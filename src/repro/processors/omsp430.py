@@ -1,0 +1,263 @@
+"""The omsp430 model: a 16-bit MSP430-class microcontroller with
+peripherals.
+
+Architectural properties preserved from openMSP430 (the paper's silicon
+target):
+
+* compare instructions write only the four 1-bit **N/Z/C/V status flags**;
+  conditional jumps resolve from them, so a data-dependent branch exposes
+  at most four symbolic bits to the state repository (section 5.0.3);
+* a block of **memory-mapped peripherals** -- 16x16 hardware multiplier,
+  watchdog, GPIO, TimerA -- sits in the data address space.  Applications
+  that never touch a peripheral leave its logic untoggled, which is why
+  the paper reports the largest bespoke reductions on this core
+  (Figure 5).
+
+The core is single-cycle (fetch and execute in one clock): a
+simplification of openMSP430's multi-cycle datapath that preserves the
+flag architecture and the peripheral map, which are what the analysis
+results depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..isa import msp430 as isa
+from ..netlist.netlist import Netlist
+from ..rtl.module import Design, Sig, mux, mux_tree
+from .common import RegisterFile, alu_adder, array_multiplier, is_const_eq
+from .meta import CoreMeta
+
+PC_WIDTH = 10
+DMEM_ADDR_WIDTH = 8
+WORD = 16
+
+
+def build_omsp430() -> Tuple[Netlist, CoreMeta]:
+    """Elaborate the core; returns ``(netlist, metadata)``."""
+    d = Design("omsp430")
+    d._reset_net()   # materialize rst early so it is always present
+
+    # -- primary inputs -------------------------------------------------------
+    pmem_data = d.input("pmem_data", WORD)
+    dmem_rdata = d.input("dmem_rdata", WORD)
+    gpio_in = d.input("gpio_in", WORD)
+    irq = d.input("irq")
+
+    # -- architectural state -----------------------------------------------
+    pc = d.reg(PC_WIDTH, "pc_r", reset=True)
+    rf = RegisterFile(d, 8, WORD, name="r")
+    flag_n = d.reg(1, "sr_n", reset=True)
+    flag_z = d.reg(1, "sr_z", reset=True)
+    flag_c = d.reg(1, "sr_c", reset=True)
+    flag_v = d.reg(1, "sr_v", reset=True)
+
+    # -- fetch ----------------------------------------------------------------
+    instr = pmem_data
+    op = instr[12:16]
+    rd_idx = instr[9:12]
+    rs_idx = instr[6:9]
+    imm8 = instr[0:8]
+    imm6 = instr[0:6]
+    addr10 = instr[0:10]
+    addr9 = instr[0:9]
+    cond = instr[9:12]
+    subop = instr[6:9]
+
+    is_op = {code: is_const_eq(d, op, code) for code in range(15)}
+
+    rd_val = rf.read(rd_idx)
+    rs_val = rf.read(rs_idx)
+
+    # -- interrupt take decision --------------------------------------------
+    # GIE and the vector register live with the peripherals below; the
+    # flops are declared here so the take decision can gate every commit.
+    gie = d.reg(1, "gie", reset=True)
+    ivec = d.reg(PC_WIDTH, "ivec_r", reset=True)
+    irq_take = d.name_sig("irq_take", irq & gie.q)
+
+    # -- ALU --------------------------------------------------------------------
+    do_sub = is_op[isa.OP_SUB] | is_op[isa.OP_CMP]
+    alu_sum, alu_carry, alu_ovf = alu_adder(d, rd_val, rs_val, do_sub)
+    and_r = rd_val & rs_val
+    or_r = rd_val | rs_val
+    xor_r = rd_val ^ rs_val
+    rra_r = rd_val.sar_const(1)
+    srl_r = rd_val.shr_const(1)
+    shift_is_srl = is_const_eq(d, subop, isa.SH_SRL)
+    shift_r = mux(shift_is_srl, rra_r, srl_r)
+
+    movi_r = imm8.sext(WORD)
+    movhi_r = rd_val[0:8].cat(imm8)
+
+    # -- data memory address ---------------------------------------------------
+    ea_full, _, _ = alu_adder(d, rs_val, imm6.sext(WORD), d.const(0, 1))
+    dmem_addr = ea_full[0:DMEM_ADDR_WIDTH]
+    is_ld = is_op[isa.OP_LD]
+    is_st = is_op[isa.OP_ST]
+
+    # peripheral page: 0x0100 - 0x010F (disjoint from the data RAM page)
+    ea_page = ea_full[4:16]
+    is_periph = is_const_eq(d, ea_page, isa.PERIPH_BASE >> 4)
+    psel = ea_full[0:4]
+
+    # -- peripherals -----------------------------------------------------------
+    wdata = rd_val
+
+    st_ok = is_st & ~irq_take          # a taken interrupt preempts the
+                                       # instruction at PC: no commits
+
+    def periph_we(offset: int) -> Sig:
+        return st_ok & is_periph & is_const_eq(d, psel,
+                                               offset - isa.PERIPH_BASE)
+
+    # hardware multiplier (memory-mapped, like openMSP430's MPY)
+    mpy_op1 = d.reg(WORD, "mpy_op1", reset=True)
+    mpy_op1.drive(wdata, enable=periph_we(isa.MPY_OP1))
+    mpy_op2 = d.reg(WORD, "mpy_op2", reset=True)
+    mpy_op2.drive(wdata, enable=periph_we(isa.MPY_OP2))
+    product = array_multiplier(d, mpy_op1.q, mpy_op2.q)
+    res_lo = product[0:WORD]
+    res_hi = product[WORD:2 * WORD]
+
+    # GPIO
+    gpio_out = d.reg(WORD, "gpio_out_r", reset=True)
+    gpio_out.drive(wdata, enable=periph_we(isa.GPIO_OUT))
+
+    # watchdog: counts while enabled; reset-disabled (programs opt in)
+    wdt_en = d.reg(1, "wdt_en", reset=True)
+    wdt_en.drive(wdata[0:1], enable=periph_we(isa.WDT_CTL))
+    wdt_cnt = d.reg(WORD, "wdt_cnt", reset=True)
+    wdt_inc, _ = wdt_cnt.q.add(d.const(1, WORD))
+    wdt_cnt.drive(wdt_inc, enable=wdt_en.q)
+
+    # TimerA: free-running counter + compare register + compare flag
+    ta_en = d.reg(1, "ta_en", reset=True)
+    ta_en.drive(wdata[0:1], enable=periph_we(isa.TA_CTL))
+    ta_cnt = d.reg(WORD, "ta_cnt", reset=True)
+    ta_inc, _ = ta_cnt.q.add(d.const(1, WORD))
+    ta_cnt.drive(ta_inc, enable=ta_en.q)
+    ta_ccr = d.reg(WORD, "ta_ccr", reset=True)
+    ta_ccr.drive(wdata, enable=periph_we(isa.TA_CCR))
+    ta_hit = ta_cnt.q.eq(ta_ccr.q)
+
+    # interrupt controller: GIE cleared on take, vector programmable
+    gie_next = mux(irq_take, wdata[0:1], d.const(0, 1))
+    gie.drive(gie_next, enable=periph_we(isa.IE_CTL) | irq_take)
+    ivec.drive(wdata[0:PC_WIDTH], enable=periph_we(isa.IVEC))
+
+    periph_read = mux_tree(psel, [
+        mpy_op1.q,                         # 0x100
+        mpy_op2.q,                         # 0x101
+        res_lo,                            # 0x102
+        res_hi,                            # 0x103
+        gpio_out.q,                        # 0x104
+        gpio_in,                           # 0x105
+        wdt_en.q.zext(WORD),               # 0x106
+        wdt_cnt.q,                         # 0x107
+        ta_en.q.zext(WORD - 1).cat(ta_hit),  # 0x108 (bit15 = compare hit)
+        ta_cnt.q,                          # 0x109
+        ta_ccr.q,                          # 0x10A
+        gie.q.zext(WORD),                  # 0x10B
+        ivec.q.zext(WORD),                 # 0x10C
+        d.const(0, WORD),
+        d.const(0, WORD),
+        d.const(0, WORD),
+    ])
+    load_data = mux(is_periph, dmem_rdata, periph_read)
+
+    # -- result / write-back -----------------------------------------------------
+    result = mux_tree(op, [
+        rs_val,        # MOV
+        alu_sum,       # ADD
+        alu_sum,       # SUB
+        alu_sum,       # CMP (not written back)
+        and_r,         # AND
+        or_r,          # BIS
+        xor_r,         # XOR
+        movi_r,        # MOVI
+        movhi_r,       # MOVHI
+        load_data,     # LD
+        rd_val,        # ST (not written back)
+        rd_val,        # JMP
+        rd_val,        # JCC
+        shift_r,       # SHIFT
+        rd_val,
+        rd_val,
+    ])
+    writes_rd = (is_op[isa.OP_MOV] | is_op[isa.OP_ADD] | is_op[isa.OP_SUB]
+                 | is_op[isa.OP_AND] | is_op[isa.OP_BIS]
+                 | is_op[isa.OP_XOR] | is_op[isa.OP_MOVI]
+                 | is_op[isa.OP_MOVHI] | is_op[isa.OP_LD]
+                 | is_op[isa.OP_SHIFT])
+    # a taken interrupt writes the return address into r7 instead
+    wb_addr = mux(irq_take, rd_idx, d.const(7, 3))
+    wb_data = mux(irq_take, result, pc.q.zext(WORD))
+    rf.connect_write(wb_addr, wb_data, irq_take | (writes_rd & ~irq_take))
+
+    # -- flags --------------------------------------------------------------------
+    arith = is_op[isa.OP_ADD] | is_op[isa.OP_SUB] | is_op[isa.OP_CMP]
+    logic_f = (is_op[isa.OP_AND] | is_op[isa.OP_BIS] | is_op[isa.OP_XOR]
+               | is_op[isa.OP_SHIFT])
+    flag_en = (arith | logic_f) & ~irq_take
+    flag_src = mux(arith, result, alu_sum)
+    n_next = flag_src[WORD - 1]
+    z_next = flag_src.none()
+    shift_cout = rd_val[0]
+    c_next = mux(arith, shift_cout & is_op[isa.OP_SHIFT], alu_carry)
+    v_next = mux(arith, d.const(0, 1), alu_ovf)
+    flag_n.drive(n_next, enable=flag_en)
+    flag_z.drive(z_next, enable=flag_en)
+    flag_c.drive(c_next, enable=flag_en)
+    flag_v.drive(v_next, enable=flag_en)
+
+    # -- control flow ------------------------------------------------------------
+    n, z, c, v = flag_n.q, flag_z.q, flag_c.q, flag_v.q
+    cond_true = mux_tree(cond, [
+        z,                  # JEQ
+        ~z,                 # JNE
+        c,                  # JC
+        ~c,                 # JNC
+        n,                  # JN
+        ~(n ^ v),           # JGE
+        n ^ v,              # JL
+        d.const(1, 1),
+    ])
+    is_jcc = is_op[isa.OP_JCC] & ~irq_take
+    is_jmp = is_op[isa.OP_JMP]
+    is_jrr = is_op[isa.OP_JRR]
+    branch_point = d.name_sig("branch_point", is_jcc)
+    branch_taken = d.name_sig("branch_taken", is_jcc & cond_true)
+    pc_plus1, _ = pc.q.add(d.const(1, PC_WIDTH))
+    pc_next = mux(branch_taken, pc_plus1, addr9.zext(PC_WIDTH))
+    pc_next = mux(is_jmp, pc_next, addr10)
+    pc_next = mux(is_jrr, pc_next, rd_val[0:PC_WIDTH])
+    pc_next = mux(irq_take, pc_next, ivec.q)
+    pc.drive(pc_next)
+
+    # -- ports ----------------------------------------------------------------------
+    d.output("pmem_addr", pc.q)
+    d.output("pc", pc.q)
+    d.output("dmem_addr", dmem_addr)
+    d.output("dmem_wdata", wdata)
+    d.output("dmem_we", st_ok & ~is_periph)
+    d.output("gpio_out", gpio_out.q)
+    d.output("branch_point_o", branch_point)
+    d.output("branch_taken_o", branch_taken)
+    d.output("flags", flag_n.q.cat(flag_z.q, flag_c.q, flag_v.q))
+
+    netlist = d.finalize()
+    meta = CoreMeta(
+        name="omsp430",
+        isa="MSP430",
+        word_width=WORD,
+        pc_width=PC_WIDTH,
+        dmem_addr_width=DMEM_ADDR_WIDTH,
+        monitored=[("sr_n", 1), ("sr_z", 1), ("sr_c", 1), ("sr_v", 1)],
+        branch_point="branch_point",
+        branch_force="branch_taken",
+        features=("16-bit microcontroller with 16x16 hardware multiplier, "
+                  "watchdog, GPIO, TimerA, interrupt controller"),
+    )
+    return netlist, meta

@@ -1,0 +1,60 @@
+"""ASCII renderings of the paper's figures.
+
+* Figure 5: percentage reduction of toggled (exercisable) gates per
+  benchmark, grouped by design.
+* Figure 6: number of simulated paths per benchmark, grouped by design
+  (log-scaled bars, since path counts span orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..coanalysis.results import CoAnalysisResult
+
+ResultGrid = Mapping[str, Mapping[str, CoAnalysisResult]]
+
+
+def _bar(value: float, vmax: float, width: int = 40) -> str:
+    if vmax <= 0:
+        return ""
+    n = int(round(width * value / vmax))
+    return "#" * max(0, min(width, n))
+
+
+def figure5(results: ResultGrid, benchmarks: Sequence[str],
+            designs: Sequence[str], width: int = 40) -> str:
+    """Gate-count reduction per benchmark (paper Figure 5)."""
+    lines = ["Figure 5: % reduction in exercisable gate count",
+             "(designs with unused peripherals prune the most)", ""]
+    vmax = 100.0
+    for bench in benchmarks:
+        lines.append(bench)
+        for design in designs:
+            r = results[design][bench]
+            pct = r.reduction_percent
+            lines.append(f"  {design:<10} |{_bar(pct, vmax, width):<{width}}|"
+                         f" {pct:5.1f}%")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure6(results: ResultGrid, benchmarks: Sequence[str],
+            designs: Sequence[str], width: int = 40) -> str:
+    """Simulated path counts per benchmark (paper Figure 6), log scale."""
+    lines = ["Figure 6: simulation paths per benchmark (log scale)",
+             "(wide compare registers need more paths than 1-bit flags)",
+             ""]
+    vmax = max(math.log10(max(results[d][b].paths_created, 1) + 1)
+               for d in designs for b in benchmarks)
+    for bench in benchmarks:
+        lines.append(bench)
+        for design in designs:
+            r = results[design][bench]
+            logv = math.log10(r.paths_created + 1)
+            lines.append(
+                f"  {design:<10} |{_bar(logv, vmax, width):<{width}}| "
+                f"{r.paths_created}")
+        lines.append("")
+    return "\n".join(lines)

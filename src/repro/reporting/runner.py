@@ -1,0 +1,104 @@
+"""Experiment runner: the full (design x benchmark) co-analysis grid.
+
+Every table and figure in the paper's evaluation is a projection of one
+grid of co-analysis runs (3 designs x 6 benchmarks).  This module runs
+that grid once and caches results on disk, so the per-table benchmark
+harnesses in ``benchmarks/`` can each render their artifact without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from ..coanalysis.engine import CoAnalysisEngine
+from ..coanalysis.results import CoAnalysisResult
+from ..csm.constraints import ConstraintSet, parse_constraints
+from ..csm.manager import ConservativeStateManager
+from ..csm.strategies import MergeStrategy, UberConservative
+from ..workloads import WORKLOAD_ORDER, WORKLOADS, build_target
+
+DESIGN_ORDER = ["bm32", "omsp430", "dr5"]     # paper table column order
+
+_GRID_VERSION = 5   # bump to invalidate caches when semantics change
+
+
+def run_one(design: str, benchmark: str,
+            strategy: Optional[MergeStrategy] = None,
+            max_cycles_per_path: int = 20000,
+            max_total_cycles: int = 2_000_000,
+            use_constraints: bool = True) -> CoAnalysisResult:
+    """One symbolic co-analysis run (no caching)."""
+    workload = WORKLOADS[benchmark]
+    target = build_target(design, workload)
+    constraints = None
+    text = workload.constraints.get(design) if use_constraints else None
+    if text:
+        constraints = ConstraintSet(parse_constraints(text),
+                                    target.state_net_positions())
+    csm = ConservativeStateManager(strategy or UberConservative(),
+                                   constraints=constraints)
+    engine = CoAnalysisEngine(target, csm=csm,
+                              max_cycles_per_path=max_cycles_per_path,
+                              max_total_cycles=max_total_cycles,
+                              application=benchmark)
+    return engine.run()
+
+
+def _cache_path(cache_dir: Path, design: str, benchmark: str,
+                tag: str) -> Path:
+    return cache_dir / f"grid_v{_GRID_VERSION}_{design}_{benchmark}_{tag}.pkl"
+
+
+def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
+             benchmarks: Sequence[str] = tuple(WORKLOAD_ORDER),
+             strategy_factory: Callable[[], MergeStrategy] =
+             UberConservative,
+             cache_dir: Optional[Path] = None,
+             verbose: bool = False,
+             ) -> Dict[str, Dict[str, CoAnalysisResult]]:
+    """Run (or load) the full co-analysis grid.
+
+    Returns ``results[design][benchmark]``.  When ``cache_dir`` is given,
+    completed runs are pickled there and reused; the cache key includes
+    the strategy name, so ablations get distinct entries.
+    """
+    tag = strategy_factory().name
+    results: Dict[str, Dict[str, CoAnalysisResult]] = {}
+    for design in designs:
+        results[design] = {}
+        for benchmark in benchmarks:
+            cached = None
+            path = None
+            if cache_dir is not None:
+                cache_dir.mkdir(parents=True, exist_ok=True)
+                path = _cache_path(cache_dir, design, benchmark, tag)
+                if path.exists():
+                    with path.open("rb") as fh:
+                        cached = pickle.load(fh)
+            if cached is not None:
+                results[design][benchmark] = cached
+                continue
+            t0 = time.perf_counter()
+            result = run_one(design, benchmark,
+                             strategy=strategy_factory())
+            if verbose:
+                print(f"  {design:>8} / {benchmark:<10}"
+                      f" paths={result.paths_created:<5}"
+                      f" skipped={result.paths_skipped:<5}"
+                      f" cycles={result.simulated_cycles:<7}"
+                      f" exercisable={result.exercisable_gate_count}"
+                      f" ({time.perf_counter() - t0:.1f}s)")
+            results[design][benchmark] = result
+            if path is not None:
+                with path.open("wb") as fh:
+                    pickle.dump(result, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+    return results
+
+
+def default_cache_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / ".repro_cache"

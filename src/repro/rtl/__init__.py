@@ -1,0 +1,5 @@
+"""Structural-RTL construction kit that elaborates directly to gates."""
+
+from .module import Design, Reg, Sig, mux, mux_tree, onehot_mux
+
+__all__ = ["Design", "Reg", "Sig", "mux", "mux_tree", "onehot_mux"]

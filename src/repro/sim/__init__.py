@@ -1,0 +1,21 @@
+"""Simulation engines, state management, memories, and system tasks."""
+
+from .activity import ToggleProfile
+from .cycle_sim import CompiledNetlist, CycleSim
+from .events import EventScheduler, HaltSimulation, Region
+from .event_sim import (EventSim, LabeledSymbolDomain, PlainXDomain,
+                        ValueDomain)
+from .memory import XMemory
+from .state import SimState
+from .tasks import (InitializeState, MonitorX, load_state_file,
+                    parse_signal_list, save_state_file)
+
+__all__ = [
+    "ToggleProfile",
+    "CompiledNetlist", "CycleSim",
+    "EventScheduler", "HaltSimulation", "Region",
+    "EventSim", "PlainXDomain", "LabeledSymbolDomain", "ValueDomain",
+    "XMemory", "SimState",
+    "MonitorX", "InitializeState",
+    "parse_signal_list", "save_state_file", "load_state_file",
+]

@@ -1,0 +1,91 @@
+"""Gate activity profiles (Algorithm 1, lines 24 and 29-43).
+
+The primary output of co-analysis is the dichotomy of gates into
+*exercisable* (some input could toggle them) and *guaranteed-unexercisable*.
+A net contributes to the exercisable set when it either toggled during any
+explored path or ever carried an ``X`` (an ``X`` means "could be 0 or 1
+depending on input", i.e. could toggle).  The driver gate of an exercised
+net is exercisable; untoggled gates are annotated with their constant
+value for bespoke re-synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from ..logic.value import Logic
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class ToggleProfile:
+    """Per-net activity accumulated across all simulated paths."""
+
+    netlist: Netlist
+    toggled: np.ndarray        # bool per net: value changed at some cycle
+    ever_x: np.ndarray         # bool per net: carried X at some cycle
+    const_val: np.ndarray      # bool per net: final settled value
+    const_known: np.ndarray
+
+    @staticmethod
+    def empty(netlist: Netlist) -> "ToggleProfile":
+        n = len(netlist.nets)
+        return ToggleProfile(netlist,
+                             np.zeros(n, dtype=bool),
+                             np.zeros(n, dtype=bool),
+                             np.zeros(n, dtype=bool),
+                             np.zeros(n, dtype=bool))
+
+    def absorb(self, toggled: np.ndarray, ever_x: np.ndarray,
+               val: np.ndarray, known: np.ndarray) -> None:
+        """Merge one path's activity (Algorithm 1 line 24 / 29-32)."""
+        self.toggled |= toggled
+        self.ever_x |= ever_x
+        self.const_val[:] = val
+        self.const_known[:] = known
+
+    def merge(self, other: "ToggleProfile") -> None:
+        self.toggled |= other.toggled
+        self.ever_x |= other.ever_x
+        self.const_val[:] = other.const_val
+        self.const_known[:] = other.const_known
+
+    # -- derived sets -----------------------------------------------------
+    def exercised_nets(self) -> np.ndarray:
+        return self.toggled | self.ever_x
+
+    def exercisable_gates(self) -> Set[int]:
+        """Gate indices whose output net was exercised, plus all
+        sequential and tie cells (state/constant cells are kept)."""
+        nets = self.exercised_nets()
+        out: Set[int] = set()
+        for gate in self.netlist.gates:
+            if nets[gate.output]:
+                out.add(gate.index)
+        return out
+
+    def unexercisable_gates(self) -> Set[int]:
+        ex = self.exercisable_gates()
+        return {g.index for g in self.netlist.gates if g.index not in ex}
+
+    def constant_value(self, gate_index: int) -> Optional[Logic]:
+        """The settled constant output of an unexercised gate
+        (Algorithm 1 line 42), or None if it was exercised."""
+        net = self.netlist.gates[gate_index].output
+        if self.exercised_nets()[net]:
+            return None
+        if not self.const_known[net]:
+            return Logic.X
+        return Logic.L1 if self.const_val[net] else Logic.L0
+
+    def summary(self) -> Dict[str, int]:
+        total = len(self.netlist.gates)
+        exercisable = len(self.exercisable_gates())
+        return {
+            "total_gates": total,
+            "exercisable_gates": exercisable,
+            "unexercisable_gates": total - exercisable,
+        }

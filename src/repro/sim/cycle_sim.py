@@ -1,0 +1,371 @@
+"""Vectorized levelized cycle engine.
+
+The event kernel in :mod:`repro.sim.event_sim` reproduces the paper's
+iverilog architecture faithfully, but a pure-Python event queue cannot
+sweep a whole processor for thousands of cycles.  This engine is the
+throughput path: it compiles the netlist once into per-(level, kind) index
+arrays and evaluates each cycle with a handful of numpy operations.
+
+Encoding: every net is a pair of booleans ``(val, known)`` across two
+numpy planes; ``known == False`` is ``X`` (``Z`` collapses to ``X``, which
+is safe for the non-tristate cell library).  All evaluators implement the
+same Kleene semantics as :mod:`repro.logic.tables`; engine equivalence is
+enforced by randomized cross-tests.
+
+The engine supports the three paper-specific features directly:
+
+* **monitoring** -- arbitrary net lists can be read back as
+  :class:`~repro.logic.vector.LVec`;
+* **state save/restore** -- :meth:`CycleSim.snapshot` /
+  :meth:`CycleSim.restore` capture flop outputs, primary inputs and
+  attached memories (comb logic is re-settled on restore);
+* **forcing** -- :meth:`CycleSim.force` pins a net to a value during
+  settle, which is how the co-analysis engine steers a forked simulation
+  down one side of a branch ("appropriate control flow signals are set",
+  paper section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.value import Logic
+from ..logic.vector import LVec
+from ..netlist.netlist import Netlist
+from .memory import XMemory
+from .state import SimState
+
+
+class _Group:
+    """All gates of one kind within one topological level."""
+
+    __slots__ = ("kind", "ins", "out")
+
+    def __init__(self, kind: str, ins: List[np.ndarray], out: np.ndarray):
+        self.kind = kind
+        self.ins = ins
+        self.out = out
+
+
+class CompiledNetlist:
+    """Netlist lowered to index arrays for vectorized evaluation."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self.n_nets = len(netlist.nets)
+        levels = netlist.levelize()
+
+        # comb schedule: (level, kind) groups in level order
+        buckets: Dict[Tuple[int, str], List[int]] = {}
+        for g in netlist.gates:
+            if g.is_sequential:
+                continue
+            buckets.setdefault((levels[g.index], g.kind), []).append(g.index)
+        self.schedule: List[_Group] = []
+        for (lvl, kind), gate_ids in sorted(buckets.items()):
+            arity = netlist.gates[gate_ids[0]].cell.arity
+            ins = [np.array([netlist.gates[gi].inputs[p] for gi in gate_ids],
+                            dtype=np.int64) for p in range(arity)]
+            out = np.array([netlist.gates[gi].output for gi in gate_ids],
+                           dtype=np.int64)
+            self.schedule.append(_Group(kind, ins, out))
+
+        # sequential schedule: flops grouped by kind
+        seq_buckets: Dict[str, List[int]] = {}
+        for g in netlist.gates:
+            if g.is_sequential:
+                seq_buckets.setdefault(g.kind, []).append(g.index)
+        self.flops: List[_Group] = []
+        for kind, gate_ids in sorted(seq_buckets.items()):
+            arity = netlist.gates[gate_ids[0]].cell.arity
+            ins = [np.array([netlist.gates[gi].inputs[p] for gi in gate_ids],
+                            dtype=np.int64) for p in range(arity)]
+            out = np.array([netlist.gates[gi].output for gi in gate_ids],
+                           dtype=np.int64)
+            self.flops.append(_Group(kind, ins, out))
+
+        # state nets: flop outputs + primary inputs (the restorable part)
+        state: List[int] = [n for n in netlist.inputs]
+        for grp in self.flops:
+            state.extend(grp.out.tolist())
+        self.state_nets = np.array(sorted(set(state)), dtype=np.int64)
+
+        # map net -> driver gate (for toggle attribution)
+        self.driver = np.full(self.n_nets, -1, dtype=np.int64)
+        for g in netlist.gates:
+            self.driver[g.output] = g.index
+
+
+class CycleSim:
+    """Cycle-accurate four-valued simulator over a compiled netlist."""
+
+    def __init__(self, compiled: CompiledNetlist,
+                 record_activity: bool = True):
+        self.c = compiled
+        n = compiled.n_nets
+        self.val = np.zeros(n, dtype=bool)
+        self.known = np.zeros(n, dtype=bool)   # everything starts X
+        self.cycle = 0
+        self.memories: Dict[str, XMemory] = {}
+        self.record_activity = record_activity
+        self.toggled = np.zeros(n, dtype=bool)
+        self.ever_x = np.zeros(n, dtype=bool)
+        self._activity_armed = False
+        self._prev_val = np.zeros(n, dtype=bool)
+        self._prev_known = np.zeros(n, dtype=bool)
+        self._force_nets = np.zeros(0, dtype=np.int64)
+        self._force_val = np.zeros(0, dtype=bool)
+        self._force_known = np.zeros(0, dtype=bool)
+        self._tie_init()
+
+    # -- memories ------------------------------------------------------------
+    def attach_memory(self, memory: XMemory) -> XMemory:
+        if memory.name in self.memories:
+            raise ValueError(f"memory {memory.name!r} already attached")
+        self.memories[memory.name] = memory
+        return memory
+
+    # -- net access -----------------------------------------------------------
+    def set_net(self, net: int, value: Logic) -> None:
+        if value.is_known:
+            self.val[net] = value is Logic.L1
+            self.known[net] = True
+        else:
+            self.val[net] = False
+            self.known[net] = False
+
+    def get_net(self, net: int) -> Logic:
+        if not self.known[net]:
+            return Logic.X
+        return Logic.L1 if self.val[net] else Logic.L0
+
+    def set_bus(self, nets: Sequence[int], value: LVec) -> None:
+        if len(nets) != value.width:
+            raise ValueError("bus width mismatch")
+        for net, bit in zip(nets, value.bits):
+            self.set_net(net, bit)
+
+    def get_bus(self, nets: Sequence[int]) -> LVec:
+        return LVec([self.get_net(n) for n in nets])
+
+    def set_input(self, name: str, value) -> None:
+        """Drive a named primary input (scalar Logic/int or LVec)."""
+        nl = self.c.netlist
+        if isinstance(value, LVec):
+            self.set_bus(nl.bus(name, value.width), value)
+        else:
+            level = value if isinstance(value, Logic) else \
+                (Logic.L1 if value else Logic.L0)
+            self.set_net(nl.net_index(name), level)
+
+    # -- forcing ------------------------------------------------------------
+    def force(self, net: int, value: Logic) -> None:
+        """Pin a net to ``value`` during settle until :meth:`release`."""
+        nets = self._force_nets.tolist()
+        vals = self._force_val.tolist()
+        knowns = self._force_known.tolist()
+        if net in nets:
+            i = nets.index(net)
+            vals[i] = value is Logic.L1
+            knowns[i] = value.is_known
+        else:
+            nets.append(net)
+            vals.append(value is Logic.L1)
+            knowns.append(value.is_known)
+        self._force_nets = np.array(nets, dtype=np.int64)
+        self._force_val = np.array(vals, dtype=bool)
+        self._force_known = np.array(knowns, dtype=bool)
+
+    def release(self, net: Optional[int] = None) -> None:
+        """Remove one force, or all forces when ``net`` is None."""
+        if net is None:
+            self._force_nets = np.zeros(0, dtype=np.int64)
+            self._force_val = np.zeros(0, dtype=bool)
+            self._force_known = np.zeros(0, dtype=bool)
+            return
+        keep = self._force_nets != net
+        self._force_nets = self._force_nets[keep]
+        self._force_val = self._force_val[keep]
+        self._force_known = self._force_known[keep]
+
+    def _apply_forces(self) -> None:
+        if self._force_nets.size:
+            self.val[self._force_nets] = self._force_val
+            self.known[self._force_nets] = self._force_known
+
+    # -- evaluation ------------------------------------------------------------
+    def _tie_init(self) -> None:
+        for grp in self.c.schedule:
+            if grp.kind == "TIE0":
+                self.val[grp.out] = False
+                self.known[grp.out] = True
+            elif grp.kind == "TIE1":
+                self.val[grp.out] = True
+                self.known[grp.out] = True
+
+    def settle(self) -> None:
+        """One full combinational sweep in topological order."""
+        val, known = self.val, self.known
+        self._apply_forces()
+        for grp in self.c.schedule:
+            kind = grp.kind
+            out = grp.out
+            if kind == "BUF":
+                a = grp.ins[0]
+                val[out] = val[a]
+                known[out] = known[a]
+            elif kind == "NOT":
+                a = grp.ins[0]
+                ka = known[a]
+                val[out] = ~val[a] & ka
+                known[out] = ka
+            elif kind in ("AND", "NAND"):
+                a, b = grp.ins
+                va, ka = val[a], known[a]
+                vb, kb = val[b], known[b]
+                one = va & ka & vb & kb
+                zero = (ka & ~va) | (kb & ~vb)
+                k = one | zero
+                v = one if kind == "AND" else (zero & k)
+                val[out] = v
+                known[out] = k
+            elif kind in ("OR", "NOR"):
+                a, b = grp.ins
+                va, ka = val[a], known[a]
+                vb, kb = val[b], known[b]
+                one = (va & ka) | (vb & kb)
+                zero = (ka & ~va) & (kb & ~vb)
+                k = one | zero
+                v = one if kind == "OR" else zero
+                val[out] = v
+                known[out] = k
+            elif kind in ("XOR", "XNOR"):
+                a, b = grp.ins
+                k = known[a] & known[b]
+                x = val[a] ^ val[b]
+                val[out] = (x if kind == "XOR" else ~x) & k
+                known[out] = k
+            elif kind == "MUX2":
+                d0, d1, s = grp.ins
+                vs, ks = val[s], known[s]
+                v0, k0 = val[d0], known[d0]
+                v1, k1 = val[d1], known[d1]
+                s1 = ks & vs
+                s0 = ks & ~vs
+                agree = k0 & k1 & (v0 == v1)
+                k = (s0 & k0) | (s1 & k1) | (~ks & agree)
+                v = ((s0 & v0) | (s1 & v1) | (~ks & agree & v0)) & k
+                val[out] = v
+                known[out] = k
+            # TIE0/TIE1 already initialized and never change
+            if self._force_nets.size:
+                self._apply_forces()
+
+    def clock_edge(self) -> None:
+        """Advance all flops one positive edge (synchronous semantics)."""
+        val, known = self.val, self.known
+        for grp in self.c.flops:
+            kind = grp.kind
+            out = grp.out
+            d = grp.ins[0]
+            vd, kd = val[d], known[d]
+            vq, kq = val[out], known[out]
+            if kind in ("DFFE", "DFFER"):
+                e = grp.ins[1]
+                ve, ke = val[e], known[e]
+                hold_v, hold_k = vq, kq
+                agree = kd & kq & (vd == vq)
+                nv = np.where(ke, np.where(ve, vd, hold_v), agree & vd)
+                nk = np.where(ke, np.where(ve, kd, hold_k), agree)
+            else:
+                nv, nk = vd.copy(), kd.copy()
+            if kind in ("DFFR", "DFFER"):
+                r = grp.ins[-1]
+                vr, kr = val[r], known[r]
+                r_on = kr & vr
+                r_off = kr & ~vr
+                known_zero = nk & ~nv
+                nk = np.where(r_on, True, np.where(r_off, nk, known_zero))
+                nv = np.where(r_on, False, np.where(r_off, nv, False))
+            val[out] = nv
+            known[out] = nk
+        self.cycle += 1
+
+    # -- activity ---------------------------------------------------------------
+    def arm_activity(self) -> None:
+        """Begin toggle recording (call after reset settles)."""
+        self._activity_armed = True
+        self._prev_val = self.val.copy()
+        self._prev_known = self.known.copy()
+
+    def record_activity_now(self) -> None:
+        if not (self.record_activity and self._activity_armed):
+            return
+        self.ever_x |= ~self.known
+        changed = (self.val != self._prev_val) | \
+                  (self.known != self._prev_known)
+        self.toggled |= changed
+        self._prev_val[:] = self.val
+        self._prev_known[:] = self.known
+
+    def exercised_nets(self) -> np.ndarray:
+        """Boolean per-net array: net toggled or was ever X."""
+        return self.toggled | self.ever_x
+
+    def reset_activity(self) -> None:
+        self.toggled[:] = False
+        self.ever_x[:] = False
+        self._activity_armed = False
+
+    # -- stepping ---------------------------------------------------------------
+    def step(self, drive: Optional[Callable[["CycleSim"], None]] = None,
+             on_edge: Optional[Callable[["CycleSim"], None]] = None) -> None:
+        """One full clock cycle.
+
+        ``drive`` is called between two settle sweeps so a testbench can
+        respond combinationally to design outputs (e.g. feed instruction
+        words for the fetched address).  ``on_edge`` is called after the
+        settled values are final and before flops advance -- the place to
+        commit memory writes.
+        """
+        self.settle()
+        if drive is not None:
+            drive(self)
+            self.settle()
+        self.record_activity_now()
+        if on_edge is not None:
+            on_edge(self)
+        self.clock_edge()
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self, pc: Optional[int] = None) -> SimState:
+        sn = self.c.state_nets
+        return SimState(
+            net_val=(self.val[sn] & self.known[sn]).copy(),
+            net_known=self.known[sn].copy(),
+            memories={name: mem.snapshot()
+                      for name, mem in self.memories.items()},
+            cycle=self.cycle,
+            pc=pc,
+        )
+
+    def restore(self, state: SimState) -> None:
+        sn = self.c.state_nets
+        if state.net_val.shape != sn.shape:
+            raise ValueError("snapshot does not match this netlist")
+        self.val[:] = False
+        self.known[:] = False
+        self._tie_init()
+        self.val[sn] = state.net_val
+        self.known[sn] = state.net_known
+        for name, snap in state.memories.items():
+            self.memories[name].restore(snap)
+        self.cycle = state.cycle
+        self.release()
+        self.settle()
+        if self._activity_armed:
+            self._prev_val[:] = self.val
+            self._prev_known[:] = self.known

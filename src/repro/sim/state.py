@@ -1,0 +1,119 @@
+"""Simulation state snapshots (paper section 3, items 2-3).
+
+A :class:`SimState` captures everything needed to halt a simulation at a
+PC-changing instruction and later *continue from the halted state* in a
+fresh simulator instance -- the reproduction of the paper's
+``$initialize_state()`` flow.  For the cycle engine this is the values of
+all state nets (flop outputs and primary inputs) plus every attached
+memory; comb nets are re-derived on restore.
+
+States also implement the two CSM primitives (strict-subset test and
+merge) over their full contents, vectorized with numpy.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SimState:
+    """A resumable, mergeable snapshot of architectural state.
+
+    Attributes:
+        net_val / net_known: bitplanes over the *state nets* of the design
+            (indexed positionally; the owning engine knows the mapping).
+        memories: per-memory ``(val, known)`` word-bitplanes.
+        cycle: simulation time at capture, in cycles.
+        pc: program counter at capture (``None`` if it contained Xs).
+        meta: free-form annotations (forced branch decision, path id, ...).
+    """
+
+    net_val: np.ndarray
+    net_known: np.ndarray
+    memories: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    cycle: int = 0
+    pc: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "SimState":
+        return SimState(
+            self.net_val.copy(), self.net_known.copy(),
+            {k: (v.copy(), m.copy()) for k, (v, m) in self.memories.items()},
+            self.cycle, self.pc, dict(self.meta))
+
+    # -- CSM primitives -------------------------------------------------------
+    def _pairs(self, other: "SimState"):
+        yield (self.net_val, self.net_known,
+               other.net_val, other.net_known)
+        for name, (val, known) in self.memories.items():
+            oval, oknown = other.memories[name]
+            yield val, known, oval, oknown
+
+    def compatible(self, other: "SimState") -> bool:
+        if self.net_val.shape != other.net_val.shape:
+            return False
+        if set(self.memories) != set(other.memories):
+            return False
+        return all(self.memories[k][0].shape == other.memories[k][0].shape
+                   for k in self.memories)
+
+    def covers(self, other: "SimState") -> bool:
+        """Strict-subset test: is ``other`` contained in this state?
+
+        Per bit: an unknown here covers anything; a known bit covers only
+        an identical known bit.
+        """
+        for val, known, oval, oknown in self._pairs(other):
+            ok = ~known | (oknown & (val == oval))
+            if not ok.all():
+                return False
+        return True
+
+    def merge(self, other: "SimState") -> "SimState":
+        """Least conservative state covering both (differing bits -> X)."""
+        out = self.copy()
+        for (val, known, oval, oknown) in out._pairs(other):
+            both = known & oknown & (val == oval)
+            val &= both
+            known &= both
+        out.pc = self.pc if self.pc == other.pc else None
+        out.cycle = min(self.cycle, other.cycle)
+        return out
+
+    def count_x(self) -> int:
+        total = int((~self.net_known).sum())
+        for val, known in self.memories.values():
+            total += int((~known).sum())
+        return total
+
+    def state_bits(self) -> int:
+        total = self.net_known.size
+        for _, known in self.memories.values():
+            total += known.size
+        return total
+
+    # -- serialization ---------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize for hand-off to another process (parallel paths)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "SimState":
+        state = pickle.loads(blob)
+        if not isinstance(state, SimState):
+            raise TypeError("blob does not contain a SimState")
+        return state
+
+    def fingerprint(self) -> bytes:
+        """Cheap content key (used for memoization in tests)."""
+        parts = [self.net_val.tobytes(), self.net_known.tobytes()]
+        for name in sorted(self.memories):
+            val, known = self.memories[name]
+            parts.append(val.tobytes())
+            parts.append(known.tobytes())
+        return b"".join(parts)

@@ -1,0 +1,115 @@
+"""System tasks: ``$monitor_x`` and ``$initialize_state``.
+
+The paper adds two system tasks to iverilog (section 3.2):
+
+* ``$monitor_x(signals)`` -- watch a list of control-flow signals and halt
+  the simulation, from the Symbolic event region, when any of them carries
+  an ``X`` (optionally gated by a qualifier signal such as "a PC-changing
+  instruction is resolving now").
+* ``$initialize_state(state)`` -- override the processor and simulator
+  state with a previously saved one and continue simulation.
+
+Both tasks keep the paper's file-based interface (Listing 1 passes
+``control_signals.ini`` / ``sim_state.log``) alongside a direct in-memory
+API, so testbenches can be written either way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..logic.value import Logic
+from .events import HaltSimulation
+from .event_sim import EventSim
+
+
+def parse_signal_list(text: str) -> List[str]:
+    """Parse a ``control_signals.ini`` body: one signal per line,
+    ``#`` comments, blank lines ignored."""
+    signals = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            signals.append(line)
+    return signals
+
+
+class MonitorX:
+    """The ``$monitor_x`` task.
+
+    Attach to an :class:`EventSim` via ``sim.add_symbolic_task(monitor)``.
+    Runs in the Symbolic region of every time step; when the qualifier is
+    true (or absent) and any monitored signal is ``X``, raises
+    :class:`HaltSimulation` with reason ``"monitor_x"``.
+    """
+
+    def __init__(self, signals: Union[str, Path, Sequence[str]],
+                 qualifier: Optional[str] = None):
+        if isinstance(signals, (str, Path)) and Path(signals).exists():
+            names = parse_signal_list(Path(signals).read_text())
+        elif isinstance(signals, str):
+            names = parse_signal_list(signals)
+        else:
+            names = list(signals)
+        if not names:
+            raise ValueError("monitor_x needs at least one signal")
+        self.signal_names = names
+        self.qualifier = qualifier
+        self.triggered_signals: List[str] = []
+        self.halt_count = 0
+
+    def __call__(self, sim: EventSim) -> None:
+        if self.qualifier is not None:
+            if sim.get_logic_by_name(self.qualifier) is not Logic.L1:
+                return
+        unknown = [name for name in self.signal_names
+                   if not sim.get_logic_by_name(name).is_known]
+        if unknown:
+            self.triggered_signals = unknown
+            self.halt_count += 1
+            raise HaltSimulation("monitor_x")
+
+
+class InitializeState:
+    """The ``$initialize_state`` task (direct-call form).
+
+    Restores a saved state into a simulator.  The file form serializes
+    through JSON with four-valued values spelled ``0/1/x/z`` -- adequate
+    for the plain-X domain the co-analysis flow uses.
+    """
+
+    def __init__(self, state_file: Optional[Union[str, Path]] = None):
+        self.state_file = Path(state_file) if state_file else None
+
+    def __call__(self, sim: EventSim,
+                 state: Optional[dict] = None) -> None:
+        if state is None:
+            if self.state_file is None:
+                raise ValueError("no state or state file given")
+            state = load_state_file(self.state_file)
+        sim.restore_state(state)
+
+
+def save_state_file(path: Union[str, Path], state: dict) -> None:
+    """Write a ``sim_state.log``-style file for hand-off between simulator
+    instances (the paper forks new iverilog processes from these)."""
+    encoded = {
+        "netlist": state["netlist"],
+        "cycle": state["cycle"],
+        "values": "".join(str(v) for v in state["values"]),
+    }
+    Path(path).write_text(json.dumps(encoded))
+
+
+def load_state_file(path: Union[str, Path]) -> dict:
+    encoded = json.loads(Path(path).read_text())
+    values = [ {"0": Logic.L0, "1": Logic.L1,
+                "x": Logic.X, "z": Logic.Z}[ch]
+               for ch in encoded["values"] ]
+    return {
+        "netlist": encoded["netlist"],
+        "cycle": encoded["cycle"],
+        "values": values,
+    }

@@ -1,0 +1,147 @@
+"""VCD (Value Change Dump) waveform emission.
+
+Standard debugging companion for any gate-level simulator: dump selected
+nets (or everything) cycle by cycle into the IEEE 1364 VCD format that
+GTKWave and friends read.  Four-valued values map directly (``0 1 x``;
+``z`` never leaves the non-tristate cell library).
+
+Usage::
+
+    with VcdWriter(path, netlist, nets=netlist.bus("pc", 10)) as vcd:
+        for _ in range(100):
+            sim.step()
+            sim.settle()
+            vcd.sample(sim)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Sequence, Union
+
+from ..logic.value import Logic
+from ..netlist.netlist import Netlist
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for the index-th variable."""
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        out.append(_ID_CHARS[rem])
+    return "".join(out)
+
+
+class VcdWriter:
+    """Streams net values of a simulation into a VCD file."""
+
+    def __init__(self, path: Union[str, Path], netlist: Netlist,
+                 nets: Optional[Sequence[int]] = None,
+                 timescale: str = "1ns",
+                 module: Optional[str] = None):
+        self.netlist = netlist
+        self.nets: List[int] = list(nets) if nets is not None else \
+            [n.index for n in netlist.nets]
+        if not self.nets:
+            raise ValueError("no nets selected for dumping")
+        self._path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self._ids: Dict[int, str] = {
+            net: _identifier(i) for i, net in enumerate(self.nets)}
+        self._last: Dict[int, str] = {}
+        self._time = 0
+        self._header_done = False
+        self.timescale = timescale
+        self.module = module or netlist.name
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "VcdWriter":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def open(self) -> None:
+        self._fh = self._path.open("w")
+        self._write_header()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- emission ------------------------------------------------------------
+    def _write_header(self) -> None:
+        fh = self._fh
+        assert fh is not None
+        fh.write("$date repro symbolic simulator $end\n")
+        fh.write(f"$timescale {self.timescale} $end\n")
+        fh.write(f"$scope module {_sanitize(self.module)} $end\n")
+        for net in self.nets:
+            name = _sanitize(self.netlist.net_name(net))
+            fh.write(f"$var wire 1 {self._ids[net]} {name} $end\n")
+        fh.write("$upscope $end\n")
+        fh.write("$enddefinitions $end\n")
+        self._header_done = True
+
+    def sample(self, sim, time: Optional[int] = None) -> None:
+        """Record the current values (only changes are written)."""
+        if self._fh is None:
+            raise RuntimeError("writer is not open")
+        stamp = time if time is not None else self._time
+        wrote_time = False
+        for net in self.nets:
+            value = _vcd_char(sim.get_net(net))
+            if self._last.get(net) == value:
+                continue
+            if not wrote_time:
+                self._fh.write(f"#{stamp}\n")
+                wrote_time = True
+            self._fh.write(f"{value}{self._ids[net]}\n")
+            self._last[net] = value
+        self._time = stamp + 1
+
+
+def _vcd_char(value: Logic) -> str:
+    if value is Logic.L0:
+        return "0"
+    if value is Logic.L1:
+        return "1"
+    if value is Logic.Z:
+        return "z"
+    return "x"
+
+
+def _sanitize(name: str) -> str:
+    return name.replace("[", "_").replace("]", "").replace(" ", "_")
+
+
+def parse_vcd_changes(text: str) -> Dict[str, List[tuple]]:
+    """Minimal VCD reader (for tests): returns per-signal change lists
+    ``[(time, value_char), ...]`` keyed by signal name."""
+    ids_to_name: Dict[str, str] = {}
+    changes: Dict[str, List[tuple]] = {}
+    time = 0
+    in_defs = True
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if in_defs:
+            if line.startswith("$var"):
+                parts = line.split()
+                ids_to_name[parts[3]] = parts[4]
+                changes[parts[4]] = []
+            elif line.startswith("$enddefinitions"):
+                in_defs = False
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif line[0] in "01xz":
+            name = ids_to_name[line[1:]]
+            changes[name].append((time, line[0]))
+    return changes

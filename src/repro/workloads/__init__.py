@@ -1,0 +1,53 @@
+"""Benchmark applications (Table 1) and target construction helpers."""
+
+from typing import Optional, Tuple
+
+from ..isa import ASSEMBLERS
+from ..isa.asm import Program
+from ..netlist.netlist import Netlist
+from ..processors import BUILDERS, CoreMeta, CoreTarget
+from .catalog import (BSEARCH_TABLE, INPUT_BASE, OUT_BASE, TABLE_BASE,
+                      THOLD_THRESHOLD, WORKLOAD_ORDER, WORKLOADS, Workload)
+
+_CORE_CACHE = {}
+
+
+def built_core(design: str) -> Tuple[Netlist, CoreMeta]:
+    """Build (and memoize) a processor model by name."""
+    if design not in _CORE_CACHE:
+        try:
+            builder = BUILDERS[design]
+        except KeyError:
+            raise KeyError(f"unknown design {design!r}; "
+                           f"known: {sorted(BUILDERS)}") from None
+        _CORE_CACHE[design] = builder()
+    return _CORE_CACHE[design]
+
+
+def assemble_workload(design: str, workload: Workload) -> Program:
+    assembler = ASSEMBLERS[design]()
+    return assembler.assemble(workload.source_for(design),
+                              name=f"{workload.name}-{design}")
+
+
+def build_target(design: str, workload: Workload,
+                 netlist: Optional[Netlist] = None) -> CoreTarget:
+    """Assemble the workload for ``design`` and wrap it in a harness.
+
+    Pass ``netlist`` to target a different netlist with the same
+    interface (e.g. a bespoke re-synthesis of the core).
+    """
+    base_netlist, meta = built_core(design)
+    program = assemble_workload(design, workload)
+    return CoreTarget(netlist if netlist is not None else base_netlist,
+                      meta, program,
+                      symbolic_ranges=workload.symbolic_ranges,
+                      data_init=workload.data_init)
+
+
+__all__ = [
+    "Workload", "WORKLOADS", "WORKLOAD_ORDER",
+    "INPUT_BASE", "OUT_BASE", "TABLE_BASE",
+    "BSEARCH_TABLE", "THOLD_THRESHOLD",
+    "built_core", "assemble_workload", "build_target",
+]

@@ -1,0 +1,797 @@
+"""The benchmark applications (paper Table 1), one assembly program per
+ISA.
+
+All programs share a memory layout:
+
+* ``INPUT_BASE``  (64): application inputs -- set to X for co-analysis;
+* ``OUT_BASE``    (96): results;
+* ``TABLE_BASE`` (112): constant data (e.g. binSearch's sorted array).
+
+The per-ISA sources deliberately keep the idioms the paper attributes to
+each compiler/ISA (section 5.0.3):
+
+* **omsp430**: compares via ``CMP`` writing only N/Z/C/V; conditional
+  jumps on flags.  tHold carries *three* data-dependent branches per
+  sample (the equality + magnitude pattern the paper observed in the
+  compiled binary) vs two elsewhere.
+* **bm32**: equality compares via ``subu`` into a temp register followed
+  by ``beq/bne`` against ``r0`` -- the full-width compare-result register
+  the paper describes; the ``mult`` benchmark uses the hardware
+  multiplier.
+* **dr5**: two-operand register branches; no multiplier, so ``mult`` is a
+  software shift-and-add loop with an input-dependent branch per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+INPUT_BASE = 64
+OUT_BASE = 96
+TABLE_BASE = 112
+
+#: binSearch's constant sorted table
+BSEARCH_TABLE = [3, 9, 17, 25, 38, 51, 70, 90]
+THOLD_THRESHOLD = 100
+TEA_ROUNDS = 8
+# compact key/delta constants (fit both the 16-bit and the imm-limited
+# encodings; the round structure, not the key width, is what matters
+# for co-analysis)
+TEA_DELTA = 0x37
+TEA_K = [0x12, 0x5E, 0x33, 0x49]
+
+
+@dataclass
+class Workload:
+    """One benchmark application, portable across the three cores."""
+
+    name: str
+    description: str
+    sources: Dict[str, str]                 # ISA name -> assembly source
+    input_len: int
+    cases: List[Dict[int, int]]             # concrete inputs (validation)
+    reference: Callable[[List[int], int], Dict[int, int]]
+    data_init: Dict[int, int] = field(default_factory=dict)
+    out_len: int = 4
+    #: optional CSM constraint file text per design (paper section 3.3 /
+    #: [15]): facts the designer knows hold on every real execution, used
+    #: to stop conservative merging from over-approximating
+    constraints: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def symbolic_ranges(self) -> List[Tuple[int, int]]:
+        return [(INPUT_BASE, INPUT_BASE + self.input_len)]
+
+    def source_for(self, design: str) -> str:
+        try:
+            return self.sources[design]
+        except KeyError:
+            raise KeyError(
+                f"workload {self.name!r} has no program for {design!r}") \
+                from None
+
+    def case_inputs(self, case: Dict[int, int]) -> List[int]:
+        return [case.get(INPUT_BASE + i, 0) for i in range(self.input_len)]
+
+    def expected(self, case: Dict[int, int],
+                 word_width: int) -> Dict[int, int]:
+        return self.reference(self.case_inputs(case), word_width)
+
+
+# =============================================================================
+# Div -- unsigned integer division (repeated subtraction)
+# =============================================================================
+
+_DIV_MSP = """
+; unsigned division: out[0] = a / b, out[1] = a % b
+    li r1, 64
+    ld r2, 0(r1)       ; remainder = dividend
+    ld r3, 1(r1)       ; divisor
+    clr r4             ; quotient
+    movi r5, 1
+loop:
+    cmp r2, r3         ; C = 1 when remainder >= divisor (no borrow)
+    jnc done
+    sub r2, r3
+    add r4, r5
+    jmp loop
+done:
+    li r6, 96
+    st r4, 0(r6)
+    st r2, 1(r6)
+_halt:
+    jmp _halt
+"""
+
+_DIV_BM32 = """
+    addiu r1, r0, 64
+    lw r2, 0(r1)       ; remainder
+    lw r3, 1(r1)       ; divisor
+    addiu r4, r0, 0    ; quotient
+loop:
+    sltu r7, r2, r3    ; compare writes a register ...
+    bne r7, r0, done   ; ... the branch tests it against r0
+    subu r2, r2, r3
+    addiu r4, r4, 1
+    j loop
+done:
+    addiu r6, r0, 96
+    sw r4, 0(r6)
+    sw r2, 1(r6)
+_halt:
+    j _halt
+"""
+
+_DIV_DR5 = """
+    addi r1, r0, 64
+    lw r2, 0(r1)
+    lw r3, 1(r1)
+    addi r4, r0, 0
+loop:
+    bltu r2, r3, done
+    sub r2, r2, r3
+    addi r4, r4, 1
+    j loop
+done:
+    addi r6, r0, 96
+    sw r4, 0(r6)
+    sw r2, 1(r6)
+_halt:
+    j _halt
+"""
+
+
+def _div_ref(inputs: List[int], width: int) -> Dict[int, int]:
+    a, b = inputs[0], inputs[1]
+    return {OUT_BASE: a // b, OUT_BASE + 1: a % b}
+
+
+# =============================================================================
+# inSort -- in-place insertion sort of 6 words
+# =============================================================================
+
+_INSORT_N = 6
+
+_INSORT_MSP = """
+; insertion sort of a[0..5] in place at 64
+    movi r0, 1         ; constant one
+    li r1, 64          ; base
+    movi r2, 1         ; i
+    movi r6, 6
+outer:
+    cmp r2, r6
+    jc done            ; i >= 6
+    mov r3, r1
+    add r3, r2         ; &a[i]
+    ld r4, 0(r3)       ; key
+    mov r5, r3         ; insertion point (&a[j+1])
+inner:
+    cmp r5, r1
+    jeq place          ; j < 0
+    ld r7, -1(r5)      ; a[j]
+    cmp r7, r4         ; a[j] ? key
+    jnc place          ; a[j] < key
+    jeq place          ; a[j] == key
+    st r7, 0(r5)       ; shift right
+    sub r5, r0
+    jmp inner
+place:
+    st r4, 0(r5)
+    add r2, r0
+    jmp outer
+done:
+_halt:
+    jmp _halt
+"""
+
+_INSORT_BM32 = """
+    addiu r1, r0, 64
+    addiu r2, r0, 1    ; i
+    addiu r6, r0, 6
+outer:
+    subu r7, r2, r6    ; compare-as-subtraction into r7
+    beq r7, r0, done
+    addu r3, r1, r2    ; &a[i]
+    lw r4, 0(r3)       ; key
+    addu r5, r3, r0    ; insertion point
+inner:
+    subu r7, r5, r1
+    beq r7, r0, place  ; j < 0
+    lw r7, -1(r5)      ; a[j]
+    sltu r3, r4, r7    ; key < a[j]  <=>  a[j] > key
+    beq r3, r0, place
+    sw r7, 0(r5)
+    addiu r5, r5, -1
+    j inner
+place:
+    sw r4, 0(r5)
+    addiu r2, r2, 1
+    j outer
+done:
+_halt:
+    j _halt
+"""
+
+_INSORT_DR5 = """
+    addi r1, r0, 64
+    addi r2, r0, 1
+    addi r6, r0, 6
+outer:
+    beq r2, r6, done
+    add r3, r1, r2
+    lw r4, 0(r3)
+    add r5, r3, r0
+inner:
+    beq r5, r1, place
+    lw r7, -1(r5)
+    bgeu r4, r7, place  ; key >= a[j]
+    sw r7, 0(r5)
+    addi r5, r5, -1
+    j inner
+place:
+    sw r4, 0(r5)
+    addi r2, r2, 1
+    j outer
+done:
+_halt:
+    j _halt
+"""
+
+
+def _insort_ref(inputs: List[int], width: int) -> Dict[int, int]:
+    out = sorted(inputs[:_INSORT_N])
+    return {INPUT_BASE + i: v for i, v in enumerate(out)}
+
+
+def _pin_register(reg: str, value: int, width: int,
+                  low_free_bits: int) -> str:
+    """Constraint text pinning a register's upper bits to ``value``'s."""
+    return "\n".join(
+        f"net {reg}[{bit}] {(value >> bit) & 1}"
+        for bit in range(low_free_bits, width))
+
+
+def _insort_constraints(i_reg: str, ptr_reg: str, width: int) -> str:
+    """inSort invariants for the CSM (paper section 3.3 / [15]).
+
+    On every real execution the outer index stays in [0, 8) and the
+    insertion pointer stays in [INPUT_BASE, INPUT_BASE + 8); without
+    these facts, conservative merging lets fictitious forced paths wrap
+    the pointer through the whole address space, over-approximating the
+    exercisable set (e.g. marking peripherals reachable).
+    """
+    header = ("# inSort bounds: index in [0,8), insertion pointer in "
+              f"[{INPUT_BASE}, {INPUT_BASE + 8})\n")
+    return (header
+            + _pin_register(i_reg, 0, width, low_free_bits=3) + "\n"
+            + _pin_register(ptr_reg, INPUT_BASE, width, low_free_bits=3))
+
+
+# =============================================================================
+# binSearch -- binary search in a constant sorted table of 8
+# =============================================================================
+
+_BSEARCH_MSP = """
+; search key (in[0]) in table at 112; out[0] = index, 255 if absent
+    li r1, 64
+    ld r2, 0(r1)       ; key
+    li r1, 112         ; table base
+    clr r3             ; lo
+    movi r4, 7         ; hi
+loop:
+    cmp r4, r3
+    jl notfound        ; hi < lo (signed; values are small)
+    mov r5, r3
+    add r5, r4
+    srl r5             ; mid = (lo + hi) >> 1
+    mov r6, r1
+    add r6, r5
+    ld r7, 0(r6)       ; v = table[mid]
+    cmp r7, r2
+    jeq found
+    jl  golow          ; v < key -> search upper half
+    mov r4, r5         ; hi = mid - 1
+    movi r6, 1
+    sub r4, r6
+    jmp loop
+golow:
+    mov r3, r5
+    movi r6, 1
+    add r3, r6         ; lo = mid + 1
+    jmp loop
+found:
+    li r1, 96
+    st r5, 0(r1)
+    jmp _halt
+notfound:
+    li r5, 255         ; li, not movi: movi sign-extends 0xFF
+    li r1, 96
+    st r5, 0(r1)
+_halt:
+    jmp _halt
+"""
+
+_BSEARCH_BM32 = """
+    addiu r1, r0, 64
+    lw r2, 0(r1)       ; key
+    addiu r1, r0, 112
+    addiu r3, r0, 0    ; lo
+    addiu r4, r0, 7    ; hi
+loop:
+    slt r7, r4, r3     ; hi < lo ?
+    bne r7, r0, notfound
+    addu r5, r3, r4
+    srl r5, r5, 1      ; mid
+    addu r6, r1, r5
+    lw r6, 0(r6)       ; v
+    subu r7, r6, r2    ; compare-as-subtraction
+    beq r7, r0, found
+    slt r7, r6, r2     ; v < key
+    bne r7, r0, golow
+    addiu r4, r5, -1   ; hi = mid - 1
+    j loop
+golow:
+    addiu r3, r5, 1    ; lo = mid + 1
+    j loop
+found:
+    addiu r1, r0, 96
+    sw r5, 0(r1)
+    j _halt
+notfound:
+    addiu r5, r0, 255
+    addiu r1, r0, 96
+    sw r5, 0(r1)
+_halt:
+    j _halt
+"""
+
+_BSEARCH_DR5 = """
+    addi r1, r0, 64
+    lw r2, 0(r1)
+    addi r1, r0, 112
+    addi r3, r0, 0
+    addi r4, r0, 7
+loop:
+    blt r4, r3, notfound
+    add r5, r3, r4
+    srli r5, r5, 1
+    add r6, r1, r5
+    lw r6, 0(r6)
+    beq r6, r2, found
+    blt r6, r2, golow
+    addi r4, r5, -1
+    j loop
+golow:
+    addi r3, r5, 1
+    j loop
+found:
+    addi r1, r0, 96
+    sw r5, 0(r1)
+    j _halt
+notfound:
+    addi r5, r0, 255
+    addi r1, r0, 96
+    sw r5, 0(r1)
+_halt:
+    j _halt
+"""
+
+
+def _bsearch_ref(inputs: List[int], width: int) -> Dict[int, int]:
+    key = inputs[0]
+    idx = BSEARCH_TABLE.index(key) if key in BSEARCH_TABLE else 255
+    return {OUT_BASE: idx}
+
+
+# =============================================================================
+# tHold -- digital threshold detector over 8 samples
+# =============================================================================
+
+_THOLD_N = 8
+
+# The omsp430 binary carries three data-dependent branches per sample
+# (jeq + jnc for the threshold test, jnc for the max test) -- the
+# paper's explanation for tHold's inverted path-count trend.
+_THOLD_MSP = """
+; count samples >= 100 (out[0]) and track the max sample (out[1])
+    movi r0, 1
+    li r1, 64
+    clr r2             ; count
+    clr r3             ; max
+    movi r4, 8         ; remaining samples
+    movi r5, 100       ; threshold
+loop:
+    ld r6, 0(r1)       ; sample
+    cmp r6, r5
+    jeq count_it       ; sample == threshold   (data branch 1)
+    jnc past_count     ; sample <  threshold   (data branch 2)
+count_it:
+    add r2, r0
+past_count:
+    cmp r6, r3
+    jnc past_max       ; sample < max          (data branch 3)
+    mov r3, r6
+past_max:
+    add r1, r0
+    sub r4, r0         ; concrete loop counter
+    jne loop
+    li r1, 96
+    st r2, 0(r1)
+    st r3, 1(r1)
+_halt:
+    jmp _halt
+"""
+
+_THOLD_BM32 = """
+    addiu r1, r0, 64
+    addiu r2, r0, 0    ; count
+    addiu r3, r0, 0    ; max
+    addiu r4, r0, 8
+    addiu r5, r0, 100
+loop:
+    lw r6, 0(r1)
+    sltu r7, r6, r5    ; sample < threshold
+    bne r7, r0, past_count          ; (data branch 1)
+    addiu r2, r2, 1
+past_count:
+    sltu r7, r3, r6    ; max < sample
+    beq r7, r0, past_max            ; (data branch 2)
+    addu r3, r6, r0
+past_max:
+    addiu r1, r1, 1
+    addiu r4, r4, -1
+    bne r4, r0, loop   ; concrete counter
+    addiu r1, r0, 96
+    sw r2, 0(r1)
+    sw r3, 1(r1)
+_halt:
+    j _halt
+"""
+
+_THOLD_DR5 = """
+    addi r1, r0, 64
+    addi r2, r0, 0
+    addi r3, r0, 0
+    addi r4, r0, 8
+    addi r5, r0, 100
+loop:
+    lw r6, 0(r1)
+    bltu r6, r5, past_count         ; (data branch 1)
+    addi r2, r2, 1
+past_count:
+    bgeu r3, r6, past_max           ; (data branch 2)
+    add r3, r6, r0
+past_max:
+    addi r1, r1, 1
+    addi r4, r4, -1
+    bne r4, r0, loop
+    addi r1, r0, 96
+    sw r2, 0(r1)
+    sw r3, 1(r1)
+_halt:
+    j _halt
+"""
+
+
+def _thold_ref(inputs: List[int], width: int) -> Dict[int, int]:
+    samples = inputs[:_THOLD_N]
+    count = sum(1 for s in samples if s >= THOLD_THRESHOLD)
+    return {OUT_BASE: count, OUT_BASE + 1: max(samples)}
+
+
+# =============================================================================
+# mult -- unsigned multiplication
+# =============================================================================
+
+_MULT_MSP = """
+; product of in[0] * in[1] via the memory-mapped hardware multiplier
+    li r1, 64
+    ld r2, 0(r1)
+    ld r3, 1(r1)
+    li r4, 256         ; MPY_OP1 (peripheral page)
+    st r2, 0(r4)
+    st r3, 1(r4)
+    ld r5, 2(r4)       ; RESLO
+    ld r6, 3(r4)       ; RESHI
+    li r7, 96
+    st r5, 0(r7)
+    st r6, 1(r7)
+_halt:
+    jmp _halt
+"""
+
+_MULT_BM32 = """
+    addiu r1, r0, 64
+    lw r2, 0(r1)
+    lw r3, 1(r1)
+    mult r2, r3        ; hardware multiplier, result a cycle later
+    nop
+    mflo r5
+    mfhi r6
+    addiu r7, r0, 96
+    sw r5, 0(r7)
+    sw r6, 1(r7)
+_halt:
+    j _halt
+"""
+
+_MULT_DR5 = """
+; software shift-and-add (no hardware multiplier on dr5)
+    addi r1, r0, 64
+    lw r2, 0(r1)       ; multiplicand
+    lw r3, 1(r1)       ; multiplier
+    addi r4, r0, 0     ; accumulator
+    addi r5, r0, 16    ; bit counter
+loop:
+    andi r6, r3, 1
+    beq r6, r0, skip   ; input-dependent branch per bit
+    add r4, r4, r2
+skip:
+    slli r2, r2, 1
+    srli r3, r3, 1
+    addi r5, r5, -1
+    bne r5, r0, loop
+    addi r7, r0, 96
+    sw r4, 0(r7)
+_halt:
+    j _halt
+"""
+
+
+def _mult_ref_msp(inputs: List[int], width: int) -> Dict[int, int]:
+    product = inputs[0] * inputs[1]
+    mask = (1 << width) - 1
+    return {OUT_BASE: product & mask, OUT_BASE + 1: (product >> width) & mask}
+
+
+# =============================================================================
+# tea8 -- TEA-style encryption, 8 rounds, straight-line data flow
+# =============================================================================
+
+def _tea_msp_source(rounds: int = TEA_ROUNDS) -> str:
+    shl4 = "    add r6, r6\n" * 4
+    shr5 = "    srl r6\n" * 5
+    round_half = (
+        "{load}"
+        "{shift}"
+        "    movi r0, {kconst}\n"
+        "    add r6, r0\n"
+        "    movi r0, 1\n"
+        "    mov r5, r6\n"          # r5 = shifted + k
+        "{load2}"
+        "    add r6, r4\n"          # r6 = v_other + sum
+        "    xor r5, r6\n"
+        "{load3}"
+        "{shift2}"
+        "    movi r0, {kconst2}\n"
+        "    add r6, r0\n"
+        "    movi r0, 1\n"
+        "    xor r5, r6\n"
+        "    add {target}, r5\n")
+    half1 = round_half.format(
+        load="    mov r6, r3\n", shift=shl4,
+        load2="    mov r6, r3\n",
+        load3="    mov r6, r3\n", shift2=shr5,
+        kconst=TEA_K[0], kconst2=TEA_K[1], target="r2")
+    half2 = round_half.format(
+        load="    mov r6, r2\n", shift=shl4,
+        load2="    mov r6, r2\n",
+        load3="    mov r6, r2\n", shift2=shr5,
+        kconst=TEA_K[2], kconst2=TEA_K[3], target="r3")
+    return f"""
+; TEA-style mixing of (in[0], in[1]) over {rounds} rounds
+    movi r0, 1
+    li r1, 64
+    ld r2, 0(r1)       ; v0
+    ld r3, 1(r1)       ; v1
+    clr r4             ; sum
+    movi r7, {rounds}
+round:
+    movi r6, {TEA_DELTA}
+    add r4, r6         ; sum += delta
+{half1}
+{half2}
+    sub r7, r0
+    jne round
+    li r1, 96
+    st r2, 0(r1)
+    st r3, 1(r1)
+_halt:
+    jmp _halt
+"""
+
+
+def _tea_rv_source(addi: str, add: str, slli: str, srli: str,
+                   bne_tail: str, store: str,
+                   rounds: int = TEA_ROUNDS) -> str:
+    half = (
+        "    {slli} r5, {src}, 4\n"
+        "    {addi} r5, r5, {k0}\n"
+        "    {add} r6, {src}, r4\n"
+        "    xor r5, r5, r6\n"
+        "    {srli} r6, {src}, 5\n"
+        "    {addi} r6, r6, {k1}\n"
+        "    xor r5, r5, r6\n"
+        "    {add} {dst}, {dst}, r5\n")
+    half1 = half.format(addi=addi, add=add, slli=slli, srli=srli,
+                        src="r3", dst="r2", k0=TEA_K[0], k1=TEA_K[1])
+    half2 = half.format(addi=addi, add=add, slli=slli, srli=srli,
+                        src="r2", dst="r3", k0=TEA_K[2], k1=TEA_K[3])
+    return f"""
+    {addi} r1, r0, 64
+    lw r2, 0(r1)
+    lw r3, 1(r1)
+    {addi} r4, r0, 0
+    {addi} r7, r0, {rounds}
+round:
+    {addi} r4, r4, {TEA_DELTA}
+{half1}
+{half2}
+    {addi} r7, r7, -1
+    {bne_tail}
+    {addi} r1, r0, 96
+    {store} r2, 0(r1)
+    {store} r3, 1(r1)
+_halt:
+    j _halt
+"""
+
+
+# bm32's sll/srl and dr5's slli/srli share the operand order
+# (dest, source, shamt), so one template serves both.
+_TEA_BM32 = _tea_rv_source(
+    addi="addiu", add="addu", slli="sll", srli="srl",
+    bne_tail="bne r7, r0, round", store="sw",
+)
+
+_TEA_DR5 = _tea_rv_source(
+    addi="addi", add="add", slli="slli", srli="srli",
+    bne_tail="bne r7, r0, round", store="sw",
+)
+
+
+def _make_tea_ref(rounds: int):
+    def ref(inputs: List[int], width: int) -> Dict[int, int]:
+        mask = (1 << width) - 1
+        v0, v1 = inputs[0] & mask, inputs[1] & mask
+        total = 0
+        for _ in range(rounds):
+            total = (total + TEA_DELTA) & mask
+            v0 = (v0 + ((((v1 << 4) & mask) + TEA_K[0])
+                        ^ ((v1 + total) & mask)
+                        ^ ((v1 >> 5) + TEA_K[1]))) & mask
+            v1 = (v1 + ((((v0 << 4) & mask) + TEA_K[2])
+                        ^ ((v0 + total) & mask)
+                        ^ ((v0 >> 5) + TEA_K[3]))) & mask
+        return {OUT_BASE: v0, OUT_BASE + 1: v1}
+    return ref
+
+
+_tea_ref = _make_tea_ref(TEA_ROUNDS)
+
+
+# =============================================================================
+# the catalog
+# =============================================================================
+
+def _mult_reference(inputs: List[int], width: int) -> Dict[int, int]:
+    # dispatched per design in Workload.expected via width: 16 -> msp
+    if width == 16:
+        return _mult_ref_msp(inputs, width)
+    return {OUT_BASE: (inputs[0] * inputs[1]) & 0xFFFFFFFF}
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(w: Workload) -> Workload:
+    WORKLOADS[w.name] = w
+    return w
+
+
+DIV = _register(Workload(
+    name="Div",
+    description="Unsigned integer division",
+    sources={"omsp430": _DIV_MSP, "bm32": _DIV_BM32, "dr5": _DIV_DR5},
+    input_len=2,
+    cases=[{INPUT_BASE: 17, INPUT_BASE + 1: 5},
+           {INPUT_BASE: 100, INPUT_BASE + 1: 7},
+           {INPUT_BASE: 3, INPUT_BASE + 1: 9}],
+    reference=_div_ref,
+    out_len=2,
+))
+
+INSORT = _register(Workload(
+    name="inSort",
+    description="in-place insertion sort",
+    sources={"omsp430": _INSORT_MSP, "bm32": _INSORT_BM32,
+             "dr5": _INSORT_DR5},
+    input_len=_INSORT_N,
+    cases=[{INPUT_BASE + i: v for i, v in
+            enumerate([9, 3, 25, 1, 17, 5])},
+           {INPUT_BASE + i: v for i, v in
+            enumerate([6, 6, 2, 8, 1, 1])}],
+    reference=_insort_ref,
+    out_len=0,
+    constraints={
+        "omsp430": _insort_constraints("r2", "r5", 16),
+        "bm32": _insort_constraints("r2", "r5", 32),
+        "dr5": _insort_constraints("x2", "x5", 32),
+    },
+))
+
+BINSEARCH = _register(Workload(
+    name="binSearch",
+    description="Binary search",
+    sources={"omsp430": _BSEARCH_MSP, "bm32": _BSEARCH_BM32,
+             "dr5": _BSEARCH_DR5},
+    input_len=1,
+    cases=[{INPUT_BASE: 25}, {INPUT_BASE: 90}, {INPUT_BASE: 4}],
+    reference=_bsearch_ref,
+    data_init={TABLE_BASE + i: v for i, v in enumerate(BSEARCH_TABLE)},
+    out_len=1,
+))
+
+THOLD = _register(Workload(
+    name="tHold",
+    description="Digital threshold detector",
+    sources={"omsp430": _THOLD_MSP, "bm32": _THOLD_BM32,
+             "dr5": _THOLD_DR5},
+    input_len=_THOLD_N,
+    cases=[{INPUT_BASE + i: v for i, v in
+            enumerate([12, 150, 99, 100, 230, 30, 101, 5])},
+           {INPUT_BASE + i: v for i, v in
+            enumerate([1, 2, 3, 4, 5, 6, 7, 8])}],
+    reference=_thold_ref,
+    out_len=2,
+))
+
+MULT = _register(Workload(
+    name="mult",
+    description="unsigned multiplication",
+    sources={"omsp430": _MULT_MSP, "bm32": _MULT_BM32, "dr5": _MULT_DR5},
+    input_len=2,
+    cases=[{INPUT_BASE: 7, INPUT_BASE + 1: 9},
+           {INPUT_BASE: 255, INPUT_BASE + 1: 255},
+           {INPUT_BASE: 0, INPUT_BASE + 1: 1234}],
+    reference=_mult_reference,
+    out_len=2,
+))
+
+TEA8 = _register(Workload(
+    name="tea8",
+    description="TEA encryption algorithm",
+    sources={"omsp430": _tea_msp_source(), "bm32": _TEA_BM32,
+             "dr5": _TEA_DR5},
+    input_len=2,
+    cases=[{INPUT_BASE: 0x1234, INPUT_BASE + 1: 0x5678},
+           {INPUT_BASE: 0, INPUT_BASE + 1: 0xFFFF}],
+    reference=_tea_ref,
+    out_len=2,
+))
+
+#: paper Table 1 ordering
+WORKLOAD_ORDER = ["Div", "inSort", "binSearch", "tHold", "mult", "tea8"]
+
+
+def make_tea_workload(rounds: int) -> Workload:
+    """A tea variant with a custom round count (unregistered; used by the
+    scalability sweep in ``benchmarks/bench_scaling.py``)."""
+    return Workload(
+        name=f"tea{rounds}",
+        description=f"TEA encryption, {rounds} rounds",
+        sources={
+            "omsp430": _tea_msp_source(rounds),
+            "bm32": _tea_rv_source(
+                addi="addiu", add="addu", slli="sll", srli="srl",
+                bne_tail="bne r7, r0, round", store="sw", rounds=rounds),
+            "dr5": _tea_rv_source(
+                addi="addi", add="add", slli="slli", srli="srli",
+                bne_tail="bne r7, r0, round", store="sw", rounds=rounds),
+        },
+        input_len=2,
+        cases=[{INPUT_BASE: 0x1234, INPUT_BASE + 1: 0x5678}],
+        reference=_make_tea_ref(rounds),
+        out_len=2,
+    )

@@ -1,0 +1,83 @@
+"""Randomized concrete-input generation for validation sweeps.
+
+The paper validates bespoke netlists with "fixed known inputs"; a
+downstream user wants *many* such vectors.  Each workload has input
+preconditions (a divisor must be nonzero, binSearch keys should span
+hit/miss cases, sample values fit the word width), so generation is
+workload-aware.  Deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .catalog import BSEARCH_TABLE, INPUT_BASE, WORKLOADS, Workload
+
+
+def _base(values: List[int]) -> Dict[int, int]:
+    return {INPUT_BASE + i: v for i, v in enumerate(values)}
+
+
+def _gen_div(rng: random.Random, width: int) -> Dict[int, int]:
+    # bounded quotient keeps repeated-subtraction runtimes sane
+    divisor = rng.randint(1, 50)
+    quotient = rng.randint(0, 40)
+    remainder = rng.randint(0, divisor - 1)
+    return _base([divisor * quotient + remainder, divisor])
+
+
+def _gen_insort(rng: random.Random, width: int) -> Dict[int, int]:
+    return _base([rng.randint(0, 255) for _ in range(6)])
+
+
+def _gen_binsearch(rng: random.Random, width: int) -> Dict[int, int]:
+    if rng.random() < 0.5:
+        key = rng.choice(BSEARCH_TABLE)           # hit
+    else:
+        key = rng.randint(0, 100)                  # likely miss
+    return _base([key])
+
+
+def _gen_thold(rng: random.Random, width: int) -> Dict[int, int]:
+    return _base([rng.randint(0, 255) for _ in range(8)])
+
+
+def _gen_mult(rng: random.Random, width: int) -> Dict[int, int]:
+    return _base([rng.randint(0, 0xFF), rng.randint(0, 0xFF)])
+
+
+def _gen_tea(rng: random.Random, width: int) -> Dict[int, int]:
+    mask = (1 << width) - 1
+    return _base([rng.randint(0, mask), rng.randint(0, mask)])
+
+
+_GENERATORS = {
+    "Div": _gen_div,
+    "inSort": _gen_insort,
+    "binSearch": _gen_binsearch,
+    "tHold": _gen_thold,
+    "mult": _gen_mult,
+    "tea8": _gen_tea,
+}
+
+
+def generate_cases(workload: Workload, count: int, seed: int = 0,
+                   word_width: int = 16) -> List[Dict[int, int]]:
+    """``count`` deterministic random input cases for ``workload``."""
+    try:
+        gen = _GENERATORS[workload.name]
+    except KeyError:
+        raise KeyError(
+            f"no input generator for workload {workload.name!r}; "
+            f"known: {sorted(_GENERATORS)}") from None
+    rng = random.Random(seed)
+    return [gen(rng, word_width) for _ in range(count)]
+
+
+def generate_all(count_per_workload: int, seed: int = 0,
+                 word_width: int = 16):
+    """Cases for every catalog workload, keyed by workload name."""
+    return {name: generate_cases(WORKLOADS[name], count_per_workload,
+                                 seed=seed, word_width=word_width)
+            for name in _GENERATORS}

@@ -1,0 +1,63 @@
+"""Helpers for instruction-level core tests.
+
+Runs a snippet of assembly on the real gate-level core and exposes the
+architectural state (register flops, memories, flags) for assertions.
+"""
+
+from typing import Dict, Optional
+
+from repro.coanalysis.concrete import run_concrete
+from repro.isa import ASSEMBLERS
+from repro.logic import Logic
+from repro.processors import CoreTarget
+from repro.workloads import built_core
+
+
+class SnippetRun:
+    """Result of executing one assembly snippet."""
+
+    def __init__(self, target: CoreTarget, run):
+        self.target = target
+        self.run = run
+        self.netlist = target.netlist
+        self.sim = run.final_sim
+
+    @property
+    def finished(self) -> bool:
+        return self.run.finished
+
+    @property
+    def cycles(self) -> int:
+        return self.run.cycles
+
+    def reg(self, name: str, width: Optional[int] = None) -> int:
+        """Architectural register value read straight from the flops."""
+        width = width or self.target.meta.word_width
+        nets = self.netlist.bus(name, width)
+        value = self.sim.get_bus(nets)
+        assert value.is_known, f"register {name} = {value}"
+        return value.to_int()
+
+    def flag(self, name: str) -> int:
+        level = self.sim.get_net(self.netlist.net_index(name))
+        assert level.is_known, f"flag {name} is {level}"
+        return 1 if level is Logic.L1 else 0
+
+    def mem(self, addr: int) -> int:
+        return self.target.read_dmem_int(self.sim, addr)
+
+
+def run_snippet(design: str, body: str,
+                data: Optional[Dict[int, int]] = None,
+                max_cycles: int = 2000) -> SnippetRun:
+    """Assemble ``body`` (which must end in a ``_halt`` loop or use the
+    ``halt`` pseudo) and run it to completion on the gate-level core."""
+    if "_halt" not in body:
+        body = body + "\n_halt: halt\n"
+    netlist, meta = built_core(design)
+    program = ASSEMBLERS[design]().assemble(body, name="snippet")
+    target = CoreTarget(netlist, meta, program)
+    run = run_concrete(target, data or {}, max_cycles=max_cycles)
+    result = SnippetRun(target, run)
+    assert result.finished, f"snippet did not halt in {max_cycles} cycles"
+    return result

@@ -1,0 +1,225 @@
+"""Instruction-level tests of the bm32 core (MIPS32 subset)."""
+
+import pytest
+
+from .isa_harness import run_snippet
+
+M32 = 0xFFFFFFFF
+
+
+class TestImmediatesAndMoves:
+    def test_addiu(self):
+        s = run_snippet("bm32", "addiu r1, r0, 1234")
+        assert s.reg("r1") == 1234
+
+    def test_addiu_negative_immediate(self):
+        s = run_snippet("bm32", "addiu r1, r0, -5")
+        assert s.reg("r1") == (-5) & M32
+
+    def test_lui_ori_li(self):
+        s = run_snippet("bm32", "li r2, 0xDEADBEEF")
+        assert s.reg("r2") == 0xDEADBEEF
+
+    def test_r0_is_hardwired_zero(self):
+        s = run_snippet("bm32", """
+            addiu r0, r0, 999
+            addu r1, r0, r0
+        """)
+        assert s.reg("r1") == 0
+
+    def test_move_pseudo(self):
+        s = run_snippet("bm32", """
+            addiu r3, r0, 77
+            move r4, r3
+        """)
+        assert s.reg("r4") == 77
+
+
+class TestRType:
+    def test_addu_subu(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 1000
+            addiu r2, r0, 234
+            addu r3, r1, r2
+            subu r4, r1, r2
+        """)
+        assert s.reg("r3") == 1234
+        assert s.reg("r4") == 766
+
+    def test_subu_wraps(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 1
+            addiu r2, r0, 2
+            subu r3, r1, r2
+        """)
+        assert s.reg("r3") == M32
+
+    def test_logic(self):
+        s = run_snippet("bm32", """
+            li r1, 0xFF00FF00
+            li r2, 0x0FF00FF0
+            and r3, r1, r2
+            or  r4, r1, r2
+            xor r5, r1, r2
+        """)
+        assert s.reg("r3") == 0x0F000F00
+        assert s.reg("r4") == 0xFFF0FFF0
+        assert s.reg("r5") == 0xF0F0F0F0
+
+    @pytest.mark.parametrize("a,b,slt,sltu", [
+        (3, 5, 1, 1),
+        (5, 3, 0, 0),
+        (4, 4, 0, 0),
+        (0xFFFFFFFF, 1, 1, 0),    # -1 < 1 signed; huge > 1 unsigned
+    ])
+    def test_slt_sltu(self, a, b, slt, sltu):
+        s = run_snippet("bm32", f"""
+            li r1, {a}
+            li r2, {b}
+            slt r3, r1, r2
+            sltu r4, r1, r2
+        """)
+        assert s.reg("r3") == slt
+        assert s.reg("r4") == sltu
+
+    def test_shifts(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 0x0F0
+            sll r2, r1, 4
+            srl r3, r1, 4
+        """)
+        assert s.reg("r2") == 0xF00
+        assert s.reg("r3") == 0x00F
+
+    def test_shift_by_zero(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 123
+            sll r2, r1, 0
+        """)
+        assert s.reg("r2") == 123
+
+
+class TestImmediatesLogical:
+    def test_andi_ori_xori_zero_extend(self):
+        s = run_snippet("bm32", """
+            li r1, 0xFFFF1234
+            andi r2, r1, 0xFF00
+            ori  r3, r1, 0x00FF
+            xori r4, r1, 0xFFFF
+        """)
+        assert s.reg("r2") == 0x1200
+        assert s.reg("r3") == 0xFFFF12FF
+        assert s.reg("r4") == 0xFFFFEDCB
+
+
+class TestMultiplier:
+    def test_mult_mflo(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 300
+            addiu r2, r0, 200
+            mult r1, r2
+            nop
+            mflo r3
+        """)
+        assert s.reg("r3") == 60000
+
+    def test_mult_latency_one_cycle(self):
+        """LO is architected to hold the product one instruction later."""
+        s = run_snippet("bm32", """
+            addiu r1, r0, 6
+            addiu r2, r0, 7
+            mult r1, r2
+            addiu r4, r0, 1
+            mflo r3
+        """)
+        assert s.reg("r3") == 42
+
+    def test_mfhi_zero_for_16bit_operands(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 0xFFF
+            mult r1, r1
+            nop
+            mfhi r3
+        """)
+        assert s.reg("r3") == 0
+
+
+class TestMemory:
+    def test_lw_sw(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 64
+            li r2, 0x12345678
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+        """)
+        assert s.mem(64) == 0x12345678
+        assert s.reg("r3") == 0x12345678
+
+    def test_negative_offset(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 70
+            addiu r2, r0, 55
+            sw r2, -6(r1)
+            lw r3, -6(r1)
+        """)
+        assert s.mem(64) == 55
+        assert s.reg("r3") == 55
+
+    def test_initial_data(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 100
+            lw r2, 0(r1)
+        """, data={100: 4242})
+        assert s.reg("r2") == 4242
+
+
+class TestControlFlow:
+    def test_j(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 1
+            j over
+            addiu r1, r0, 2
+        over:
+        """)
+        assert s.reg("r1") == 1
+
+    @pytest.mark.parametrize("br,a,b,taken", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+    ])
+    def test_branches(self, br, a, b, taken):
+        s = run_snippet("bm32", f"""
+            addiu r1, r0, {a}
+            addiu r2, r0, {b}
+            addiu r3, r0, 0
+            {br} r1, r2, hit
+            j out
+        hit:
+            addiu r3, r0, 1
+        out:
+        """)
+        assert s.reg("r3") == (1 if taken else 0)
+
+    def test_compare_as_subtraction_idiom(self):
+        """The paper's bm32 idiom: subu into a temp, branch against r0."""
+        s = run_snippet("bm32", """
+            addiu r1, r0, 9
+            addiu r2, r0, 9
+            subu r7, r1, r2
+            addiu r3, r0, 0
+            bne r7, r0, out
+            addiu r3, r0, 1
+        out:
+        """)
+        assert s.reg("r3") == 1
+
+    def test_countdown_loop(self):
+        s = run_snippet("bm32", """
+            addiu r1, r0, 6
+            addiu r2, r0, 0
+        loop:
+            addiu r2, r2, 3
+            addiu r1, r1, -1
+            bne r1, r0, loop
+        """)
+        assert s.reg("r2") == 18

@@ -1,0 +1,238 @@
+"""Instruction-level tests of the dr5 core (RV32E subset).
+
+dr5 is a two-phase (FETCH/EXEC) machine, so each instruction takes two
+cycles; the harness only observes architectural state at halt, so the
+tests read like the single-cycle ones.
+"""
+
+import pytest
+
+from .isa_harness import run_snippet
+
+M32 = 0xFFFFFFFF
+
+
+class TestImmediates:
+    def test_addi(self):
+        s = run_snippet("dr5", "addi x1, r0, 77".replace("x1", "r1"))
+        assert s.reg("x1") == 77
+
+    def test_addi_negative(self):
+        s = run_snippet("dr5", "addi r1, r0, -3")
+        assert s.reg("x1") == (-3) & M32
+
+    def test_li(self):
+        s = run_snippet("dr5", "li r2, 0xCAFEBABE")
+        assert s.reg("x2") == 0xCAFEBABE
+
+    def test_lui_high_half(self):
+        s = run_snippet("dr5", "lui r3, 0x12340000")
+        assert s.reg("x3") == 0x12340000
+
+    def test_x0_hardwired_zero(self):
+        s = run_snippet("dr5", """
+            addi r0, r0, 55
+            add r1, r0, r0
+        """)
+        assert s.reg("x1") == 0
+
+    def test_mv_pseudo(self):
+        s = run_snippet("dr5", """
+            addi r2, r0, 31
+            mv r3, r2
+        """)
+        assert s.reg("x3") == 31
+
+
+class TestRType:
+    def test_add_sub(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 500
+            addi r2, r0, 123
+            add r3, r1, r2
+            sub r4, r1, r2
+        """)
+        assert s.reg("x3") == 623
+        assert s.reg("x4") == 377
+
+    def test_logic(self):
+        s = run_snippet("dr5", """
+            li r1, 0xF0F0F0F0
+            li r2, 0x0FF00FF0
+            and r3, r1, r2
+            or  r4, r1, r2
+            xor r5, r1, r2
+        """)
+        assert s.reg("x3") == 0x00F000F0
+        assert s.reg("x4") == 0xFFF0FFF0
+        assert s.reg("x5") == 0xFF00FF00
+
+    @pytest.mark.parametrize("a,b,slt,sltu", [
+        (1, 2, 1, 1),
+        (2, 1, 0, 0),
+        (0xFFFFFFFE, 3, 1, 0),   # -2 < 3 signed, huge unsigned
+    ])
+    def test_slt_sltu(self, a, b, slt, sltu):
+        s = run_snippet("dr5", f"""
+            li r1, {a}
+            li r2, {b}
+            slt r3, r1, r2
+            sltu r4, r1, r2
+        """)
+        assert s.reg("x3") == slt
+        assert s.reg("x4") == sltu
+
+    def test_register_shift_amount(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 3
+            addi r2, r0, 5
+            sll r3, r2, r1
+            srl r4, r3, r1
+        """)
+        assert s.reg("x3") == 40
+        assert s.reg("x4") == 5
+
+    def test_immediate_shifts(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 0x0F0
+            slli r2, r1, 8
+            srli r3, r1, 4
+        """)
+        assert s.reg("x2") == 0xF000
+        assert s.reg("x3") == 0xF
+
+    def test_logical_immediates(self):
+        s = run_snippet("dr5", """
+            li r1, 0xFFFF1234
+            andi r2, r1, 0xFF00
+            ori  r3, r1, 0x000F
+            xori r4, r1, 0xFFFF
+        """)
+        assert s.reg("x2") == 0x1200
+        assert s.reg("x3") == 0xFFFF123F
+        assert s.reg("x4") == 0xFFFFEDCB
+
+
+class TestMemory:
+    def test_lw_sw(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 64
+            li r2, 0x89ABCDEF
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+        """)
+        assert s.mem(64) == 0x89ABCDEF
+        assert s.reg("x3") == 0x89ABCDEF
+
+    def test_offsets(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 66
+            addi r2, r0, 7
+            sw r2, -2(r1)
+            sw r2, 2(r1)
+            lw r3, -2(r1)
+        """)
+        assert s.mem(64) == 7
+        assert s.mem(68) == 7
+        assert s.reg("x3") == 7
+
+    def test_initial_data(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 90
+            lw r2, 0(r1)
+        """, data={90: 31337})
+        assert s.reg("x2") == 31337
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("br,a,b,taken", [
+        ("beq", 4, 4, True), ("beq", 4, 5, False),
+        ("bne", 4, 5, True), ("bne", 4, 4, False),
+        ("blt", 3, 9, True), ("blt", 9, 3, False),
+        ("bge", 9, 3, True), ("bge", 3, 9, False),
+        ("bge", 4, 4, True),
+        ("bltu", 3, 9, True), ("bltu", 9, 3, False),
+        ("bgeu", 9, 3, True), ("bgeu", 3, 9, False),
+    ])
+    def test_branches(self, br, a, b, taken):
+        s = run_snippet("dr5", f"""
+            addi r1, r0, {a}
+            addi r2, r0, {b}
+            addi r3, r0, 0
+            {br} r1, r2, hit
+            j out
+        hit:
+            addi r3, r0, 1
+        out:
+        """)
+        assert s.reg("x3") == (1 if taken else 0)
+
+    def test_signed_vs_unsigned_branch_disagree(self):
+        s = run_snippet("dr5", """
+            li r1, 0xFFFFFFFF    ; -1 signed / max unsigned
+            addi r2, r0, 1
+            addi r3, r0, 0
+            addi r4, r0, 0
+            blt r1, r2, s_hit
+            j check_u
+        s_hit:
+            addi r3, r0, 1
+        check_u:
+            bltu r1, r2, u_hit
+            j out
+        u_hit:
+            addi r4, r0, 1
+        out:
+        """)
+        assert s.reg("x3") == 1   # signed: -1 < 1
+        assert s.reg("x4") == 0   # unsigned: max > 1
+
+    def test_jal_links(self):
+        s = run_snippet("dr5", """
+            jal r5, target
+            addi r1, r0, 99      ; skipped
+        target:
+            addi r2, r0, 1
+        """)
+        assert s.reg("x2") == 1
+        assert s.reg("x5") == 1   # link = address after the jal
+
+    def test_jal_call_return(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 0
+            jal r5, func
+            addi r1, r1, 100     ; runs after "return"
+            j done
+        func:
+            addi r1, r1, 10
+            ; return: jump to the link address held in r5 -- dr5 has no
+            ; jalr in this subset, so emulate with a computed branch
+            ; (store-and-match): here we simply fall through via beq
+            beq r0, r0, back
+        back:
+            j ret_site
+        ret_site:
+            addi r1, r1, 1
+        done:
+        """, max_cycles=400)
+        assert s.finished
+
+    def test_loop(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 5
+            addi r2, r0, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+        """)
+        assert s.reg("x2") == 15
+
+    def test_two_cycles_per_instruction(self):
+        s = run_snippet("dr5", """
+            addi r1, r0, 1
+            addi r2, r0, 2
+            addi r3, r0, 3
+        """)
+        # 3 instructions x 2 phases each; halt detected at the _halt fetch
+        assert s.cycles == 6

@@ -1,0 +1,58 @@
+"""Integration: the standalone example programs assemble and compute."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.coanalysis.concrete import run_concrete
+from repro.isa import ASSEMBLERS
+from repro.processors import CoreTarget
+from repro.workloads import built_core
+
+PROGRAMS = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+
+def load(design, filename, data=None):
+    source = (PROGRAMS / filename).read_text()
+    netlist, meta = built_core(design)
+    program = ASSEMBLERS[design]().assemble(source, name=filename)
+    return CoreTarget(netlist, meta, program)
+
+
+def test_fibonacci_omsp430():
+    target = load("omsp430", "fibonacci.omsp430.s")
+    run = run_concrete(target, {}, max_cycles=200)
+    assert run.finished
+    assert target.read_dmem_int(run.final_sim, 96) == 55
+
+
+@pytest.mark.parametrize("a,b,gcd", [(48, 18, 6), (7, 13, 1),
+                                     (100, 100, 100)])
+def test_gcd_dr5(a, b, gcd):
+    target = load("dr5", "gcd.dr5.s")
+    run = run_concrete(target, {64: a, 65: b}, max_cycles=2000)
+    assert run.finished
+    assert target.read_dmem_int(run.final_sim, 96) == gcd
+
+
+def test_checksum_bm32():
+    block = [0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88]
+    expected = 0
+    for w in block:
+        expected ^= w
+        expected = ((expected << 1) | (expected >> 31)) & 0xFFFFFFFF
+    target = load("bm32", "checksum.bm32.s")
+    run = run_concrete(target, {64 + i: v for i, v in enumerate(block)},
+                       max_cycles=400)
+    assert run.finished
+    assert target.read_dmem_int(run.final_sim, 96) == expected
+
+
+def test_programs_assemble_via_cli(tmp_path, capsys):
+    from repro.cli import main
+    for design, filename in (("omsp430", "fibonacci.omsp430.s"),
+                             ("dr5", "gcd.dr5.s"),
+                             ("bm32", "checksum.bm32.s")):
+        rc = main(["asm", design, str(PROGRAMS / filename)])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("0000:")

@@ -1,0 +1,90 @@
+"""Integration: security-style guarantee via symbolic co-analysis.
+
+Prior work [7] uses the methodology for gate-level security guarantees.
+A minimal reproduction of that style of claim: with the interrupt pin
+modeled as fully attacker-controlled (X) but GIE provably never set by
+the application, the ISR remains unreachable -- its program words are
+dead, the interrupt-take logic never leaves constant 0, and the bespoke
+core prunes the interrupt path entirely.
+"""
+
+import pytest
+
+from repro.analysis import analyze_coverage
+from repro.bespoke import generate_bespoke
+from repro.isa import Msp430Assembler
+from repro.logic import Logic
+from repro.processors import CoreTarget
+from repro.workloads import built_core
+
+PROGRAM = """
+; processes two symbolic inputs; never touches IE_CTL
+    li r1, 64
+    ld r2, 0(r1)
+    ld r3, 1(r1)
+    add r2, r3
+    li r4, 96
+    st r2, 0(r4)
+    jmp _halt
+isr:                    ; present in the binary, never reachable
+    movi r5, 1
+    li r6, 260          ; GPIO_OUT: the "leak"
+    st r5, 0(r6)
+    reti
+_halt:
+    jmp _halt
+"""
+
+
+class HostileIrqTarget(CoreTarget):
+    """The interrupt pin is an unknown, attacker-controlled input."""
+
+    def apply_symbolic_inputs(self, sim):
+        super().apply_symbolic_inputs(sim)
+        sim.set_input("irq", Logic.X)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    netlist, meta = built_core("omsp430")
+    program = Msp430Assembler().assemble(PROGRAM, name="irq-sec")
+    target = HostileIrqTarget(netlist, meta, program,
+                              symbolic_ranges=[(64, 66)])
+    return target, analyze_coverage(target, application="irq-sec")
+
+
+def test_isr_is_dead_code(analysis):
+    target, coverage = analysis
+    isr = target.program.label("isr")
+    dead = set(coverage.dead)
+    # every ISR word (isr .. _halt) is unreachable for any input
+    for addr in range(isr, target.program.label("_halt")):
+        assert addr in dead, f"ISR word {addr} reachable"
+
+
+def test_interrupt_take_provably_constant(analysis):
+    target, coverage = analysis
+    nl = target.netlist
+    ex = coverage.analysis.profile.exercised_nets()
+    assert not ex[nl.net_index("irq_take")], \
+        "irq_take must stay constant 0 (GIE is never set)"
+    # ... even though the pin itself is symbolic
+    assert ex[nl.net_index("irq")]
+
+
+def test_leak_path_unexercisable(analysis):
+    """The GPIO 'leak' the ISR would perform can never happen."""
+    target, coverage = analysis
+    nl = target.netlist
+    ex = coverage.analysis.profile.exercised_nets()
+    assert not any(ex[n] for n in nl.find_nets("gpio_out_r"))
+
+
+def test_bespoke_prunes_interrupt_logic(analysis):
+    target, coverage = analysis
+    bespoke = generate_bespoke(target.netlist,
+                               coverage.analysis.profile)
+    assert bespoke.gate_count() < target.netlist.gate_count()
+    # the vector register and its fanout are gone
+    assert not bespoke.has_net("ivec_r[0]") or not any(
+        g.name.startswith("ivec_r_ff") for g in bespoke.gates)

@@ -1,0 +1,472 @@
+"""Instruction-level tests of the omsp430 core (m16 ISA).
+
+Every instruction class is executed on the gate-level netlist and the
+architectural result (register flops, N/Z/C/V flags, memory,
+peripherals) is checked against the ISA definition.
+"""
+
+import pytest
+
+from repro.coanalysis.concrete import run_concrete
+from repro.isa import Msp430Assembler
+from repro.logic import Logic
+from repro.processors import CoreTarget
+from repro.workloads import built_core
+
+from .isa_harness import run_snippet
+
+
+def r(name):
+    return name  # readability helper
+
+
+class TestDataMovement:
+    def test_movi_positive(self):
+        s = run_snippet("omsp430", "movi r1, 42")
+        assert s.reg("r1") == 42
+
+    def test_movi_sign_extends(self):
+        s = run_snippet("omsp430", "movi r1, 0xF0")
+        assert s.reg("r1") == 0xFFF0
+
+    def test_movhi_sets_high_byte(self):
+        s = run_snippet("omsp430", """
+            movi r1, 0x34
+            movhi r1, 0x1200
+        """)
+        assert s.reg("r1") == 0x1234
+
+    def test_li_full_word(self):
+        s = run_snippet("omsp430", "li r2, 0xBEEF")
+        assert s.reg("r2") == 0xBEEF
+
+    def test_mov_register(self):
+        s = run_snippet("omsp430", """
+            li r1, 0x1234
+            mov r3, r1
+        """)
+        assert s.reg("r3") == 0x1234
+
+    def test_clr(self):
+        s = run_snippet("omsp430", "clr r4")
+        assert s.reg("r4") == 0
+
+
+class TestAluAndFlags:
+    def test_add(self):
+        s = run_snippet("omsp430", """
+            movi r1, 100
+            movi r2, 27
+            add r1, r2
+        """)
+        assert s.reg("r1") == 127
+
+    def test_add_sets_carry_and_zero(self):
+        s = run_snippet("omsp430", """
+            li r1, 0xFFFF
+            movi r2, 1
+            add r1, r2
+        """)
+        assert s.reg("r1") == 0
+        assert s.flag("sr_c") == 1
+        assert s.flag("sr_z") == 1
+
+    def test_add_overflow_flag(self):
+        s = run_snippet("omsp430", """
+            li r1, 0x7FFF
+            movi r2, 1
+            add r1, r2
+        """)
+        assert s.flag("sr_v") == 1
+        assert s.flag("sr_n") == 1
+
+    def test_sub(self):
+        s = run_snippet("omsp430", """
+            movi r1, 50
+            movi r2, 8
+            sub r1, r2
+        """)
+        assert s.reg("r1") == 42
+
+    def test_cmp_sets_flags_without_writeback(self):
+        s = run_snippet("omsp430", """
+            movi r1, 5
+            movi r2, 5
+            cmp r1, r2
+        """)
+        assert s.reg("r1") == 5
+        assert s.flag("sr_z") == 1
+        assert s.flag("sr_c") == 1    # no borrow
+
+    def test_cmp_borrow_clears_carry(self):
+        s = run_snippet("omsp430", """
+            movi r1, 3
+            movi r2, 5
+            cmp r1, r2
+        """)
+        assert s.flag("sr_c") == 0
+        assert s.flag("sr_n") == 1
+
+    def test_logic_ops(self):
+        s = run_snippet("omsp430", """
+            li r1, 0xFF00
+            li r2, 0x0FF0
+            mov r3, r1
+            and r3, r2
+            mov r4, r1
+            bis r4, r2
+            mov r5, r1
+            xor r5, r2
+        """)
+        assert s.reg("r3") == 0x0F00
+        assert s.reg("r4") == 0xFFF0
+        assert s.reg("r5") == 0xF0F0
+
+    def test_logic_clears_carry_overflow(self):
+        s = run_snippet("omsp430", """
+            li r1, 0xFFFF
+            movi r2, 1
+            add r1, r2
+            movi r3, 1
+            and r3, r3
+        """)
+        assert s.flag("sr_c") == 0
+        assert s.flag("sr_v") == 0
+
+    def test_mov_preserves_flags(self):
+        s = run_snippet("omsp430", """
+            movi r1, 0
+            movi r2, 0
+            cmp r1, r2
+            movi r3, 9
+        """)
+        # MOVI writes a register but must not disturb the flags
+        assert s.flag("sr_z") == 1
+
+
+class TestShifts:
+    def test_rra_arithmetic(self):
+        s = run_snippet("omsp430", """
+            li r1, 0x8004
+            rra r1
+        """)
+        assert s.reg("r1") == 0xC002
+
+    def test_srl_logical(self):
+        s = run_snippet("omsp430", """
+            li r1, 0x8004
+            srl r1
+        """)
+        assert s.reg("r1") == 0x4002
+
+    def test_shift_carry_is_shifted_out_bit(self):
+        s = run_snippet("omsp430", """
+            movi r1, 3
+            srl r1
+        """)
+        assert s.reg("r1") == 1
+        assert s.flag("sr_c") == 1
+
+
+class TestMemory:
+    def test_load_store(self):
+        s = run_snippet("omsp430", """
+            movi r1, 64
+            li r2, 0xCAFE
+            st r2, 0(r1)
+            ld r3, 0(r1)
+        """)
+        assert s.mem(64) == 0xCAFE
+        assert s.reg("r3") == 0xCAFE
+
+    def test_negative_offset(self):
+        s = run_snippet("omsp430", """
+            movi r1, 70
+            movi r2, 99
+            st r2, -6(r1)
+        """, )
+        assert s.mem(64) == 99
+
+    def test_load_initial_data(self):
+        s = run_snippet("omsp430", """
+            movi r1, 80
+            ld r2, 0(r1)
+        """, data={80: 777})
+        assert s.reg("r2") == 777
+
+
+class TestControlFlow:
+    def test_jrr_register_indirect(self):
+        s = run_snippet("omsp430", """
+            movi r1, target
+            jrr r1
+            movi r2, 9         ; skipped
+        target:
+            movi r3, 1
+        """)
+        assert s.reg("r3") == 1
+
+    def test_jmp(self):
+        s = run_snippet("omsp430", """
+            movi r1, 1
+            jmp over
+            movi r1, 2
+        over:
+        """)
+        assert s.reg("r1") == 1
+
+    @pytest.mark.parametrize("jcc,a,b,taken", [
+        ("jeq", 5, 5, True), ("jeq", 5, 6, False),
+        ("jne", 5, 6, True), ("jne", 5, 5, False),
+        ("jc", 7, 5, True), ("jc", 5, 7, False),
+        ("jnc", 5, 7, True), ("jnc", 7, 5, False),
+        ("jn", 3, 9, True), ("jn", 9, 3, False),
+        ("jge", 9, 3, True), ("jge", 3, 9, False),
+        ("jl", 3, 9, True), ("jl", 9, 3, False),
+    ])
+    def test_conditional_jumps(self, jcc, a, b, taken):
+        s = run_snippet("omsp430", f"""
+            movi r1, {a}
+            movi r2, {b}
+            movi r3, 0
+            cmp r1, r2
+            {jcc} hit
+            jmp out
+        hit:
+            movi r3, 1
+        out:
+        """)
+        assert s.reg("r3") == (1 if taken else 0)
+
+    def test_signed_jl_across_zero(self):
+        s = run_snippet("omsp430", """
+            li r1, 0xFFFF     ; -1
+            movi r2, 1
+            movi r3, 0
+            cmp r1, r2
+            jl hit
+            jmp out
+        hit:
+            movi r3, 1
+        out:
+        """)
+        assert s.reg("r3") == 1
+
+    def test_loop_with_counter(self):
+        s = run_snippet("omsp430", """
+            movi r0, 1
+            movi r1, 5
+            movi r2, 0
+        loop:
+            add r2, r0
+            sub r1, r0
+            jne loop
+        """)
+        assert s.reg("r2") == 5
+        assert s.reg("r1") == 0
+
+
+class TestPeripherals:
+    def test_hardware_multiplier(self):
+        s = run_snippet("omsp430", """
+            li r4, 256         ; MPY_OP1
+            movi r1, 7
+            movi r2, 9
+            st r1, 0(r4)
+            st r2, 1(r4)
+            ld r5, 2(r4)       ; RESLO
+            ld r6, 3(r4)       ; RESHI
+        """)
+        assert s.reg("r5") == 63
+        assert s.reg("r6") == 0
+
+    def test_multiplier_high_half(self):
+        s = run_snippet("omsp430", """
+            li r4, 256
+            li r1, 0x0200
+            li r2, 0x0300
+            st r1, 0(r4)
+            st r2, 1(r4)
+            ld r5, 2(r4)
+            ld r6, 3(r4)
+        """)
+        product = 0x0200 * 0x0300
+        assert s.reg("r5") == product & 0xFFFF
+        assert s.reg("r6") == product >> 16
+
+    def test_gpio_out_register(self):
+        s = run_snippet("omsp430", """
+            li r4, 260         ; GPIO_OUT
+            li r1, 0xA5A5
+            st r1, 0(r4)
+            ld r2, 0(r4)
+        """)
+        assert s.reg("r2") == 0xA5A5
+
+    def test_watchdog_counts_when_enabled(self):
+        s = run_snippet("omsp430", """
+            li r4, 262         ; WDT_CTL
+            movi r1, 1
+            st r1, 0(r4)       ; enable
+            nop
+            nop
+            nop
+            ld r2, 1(r4)       ; WDT_CNT
+        """)
+        assert s.reg("r2") >= 3
+
+    def test_watchdog_idle_by_default(self):
+        s = run_snippet("omsp430", """
+            li r4, 263         ; WDT_CNT
+            nop
+            nop
+            ld r2, 0(r4)
+        """)
+        assert s.reg("r2") == 0
+
+    def test_timer_counts_and_compares(self):
+        s = run_snippet("omsp430", """
+            li r4, 264         ; TA_CTL
+            movi r1, 1
+            st r1, 0(r4)       ; enable timer
+            nop
+            nop
+            ld r2, 1(r4)       ; TA_CNT
+        """)
+        assert s.reg("r2") >= 2
+
+    def test_gie_and_ivec_registers(self):
+        s = run_snippet("omsp430", """
+            li r4, 267         ; IE_CTL
+            li r5, 268         ; IVEC
+            movi r1, 99
+            st r1, 0(r5)
+            movi r1, 1
+            st r1, 0(r4)
+            ld r2, 0(r4)       ; read GIE back
+            ld r3, 0(r5)       ; read vector back
+        """)
+        assert s.reg("r2") == 1
+        assert s.reg("r3") == 99
+
+    def test_interrupt_logic_idle_without_irq(self):
+        """With irq strapped low and GIE at its reset value, the
+        interrupt never fires and normal execution is unaffected."""
+        s = run_snippet("omsp430", """
+            movi r1, 5
+            movi r2, 6
+            add r1, r2
+        """)
+        assert s.reg("r1") == 11
+        assert s.flag("gie") == 0
+
+    def test_peripheral_space_does_not_alias_dmem(self):
+        s = run_snippet("omsp430", """
+            movi r1, 0         ; dmem address 0
+            li r2, 0x1111
+            st r2, 0(r1)
+            li r4, 256         ; MPY_OP1 (peripheral page)
+            ld r3, 0(r4)
+        """)
+        assert s.mem(0) == 0x1111
+        assert s.reg("r3") == 0   # peripheral register unaffected
+
+
+class TestInterrupts:
+    def run_with_irq(self, src, pulse_at, pulse_len=1, max_cycles=60):
+        nl, meta = built_core("omsp430")
+        program = Msp430Assembler().assemble(src)
+        target = CoreTarget(nl, meta, program)
+        sim = target.make_sim()
+        target.reset(sim)
+        target.apply_concrete_inputs(sim, {})
+        for cycle in range(max_cycles):
+            target.drive_all(sim)
+            sim.set_input("irq",
+                          Logic.L1 if pulse_at <= cycle <
+                          pulse_at + pulse_len else Logic.L0)
+            target.drive_all(sim)
+            if target.is_done(sim):
+                break
+            target.on_edge(sim)
+            sim.clock_edge()
+        target.drive_all(sim)
+        assert target.is_done(sim), "program did not halt"
+        return nl, sim
+
+    SIMPLE = """
+        li r4, 267
+        li r5, 268
+        movi r1, isr
+        st r1, 0(r5)
+        movi r1, 1
+        st r1, 0(r4)
+    spin:
+        jmp spin
+    isr:
+        movi r3, 77
+        jmp _halt
+    _halt:
+        jmp _halt
+    """
+
+    def test_irq_vectors_and_links(self):
+        nl, sim = self.run_with_irq(self.SIMPLE, pulse_at=12)
+        assert sim.get_bus(nl.bus("r3", 16)).to_int() == 77
+        # link register holds the preempted spin-loop address
+        program = Msp430Assembler().assemble(self.SIMPLE)
+        assert sim.get_bus(nl.bus("r7", 16)).to_int() == \
+            program.label("spin")
+        # GIE auto-cleared on take
+        assert sim.get_net(nl.net_index("gie")) is Logic.L0
+
+    def test_reti_returns_to_preempted_code(self):
+        src = """
+            li r4, 267
+            li r5, 268
+            movi r1, isr
+            st r1, 0(r5)
+            movi r1, 1
+            st r1, 0(r4)
+            movi r2, 0
+            movi r3, 0          ; ISR flag (X until written otherwise)
+        loop:
+            movi r6, 1
+            add r2, r6          ; keeps incrementing
+            cmp r3, r1          ; r3 == 1 once ISR ran?  r1 == 1
+            jeq _halt
+            jmp loop
+        isr:
+            movi r3, 1
+            reti
+        _halt:
+            jmp _halt
+        """
+        nl, sim = self.run_with_irq(src, pulse_at=14)
+        # the ISR ran (r3 = 1) and execution resumed to reach _halt
+        assert sim.get_bus(nl.bus("r3", 16)).to_int() == 1
+        assert sim.get_bus(nl.bus("r2", 16)).to_int() >= 1
+
+    def test_no_gie_no_take(self):
+        src = """
+            li r5, 268
+            movi r1, isr
+            st r1, 0(r5)        ; vector set but GIE stays 0
+            movi r2, 0
+            movi r6, 8
+        loop:
+            movi r1, 1
+            add r2, r1
+            cmp r2, r6
+            jne loop
+            jmp _halt
+        isr:
+            movi r3, 77
+        _halt:
+            jmp _halt
+        """
+        nl, sim = self.run_with_irq(src, pulse_at=10, pulse_len=4,
+                                    max_cycles=80)
+        r3 = sim.get_bus(nl.bus("r3", 16))
+        assert not (r3.is_known and r3.to_int() == 77)
+        assert sim.get_bus(nl.bus("r2", 16)).to_int() == 8

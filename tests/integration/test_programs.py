@@ -1,0 +1,84 @@
+"""Integration: every benchmark program runs correctly on its core.
+
+This is program-level bring-up: the assembled binary, the gate-level
+core, and the memory harness together must compute the documented
+function for every concrete validation case.
+"""
+
+import pytest
+
+from repro.coanalysis.concrete import run_concrete
+from repro.workloads import (WORKLOAD_ORDER, WORKLOADS, build_target,
+                             built_core)
+
+DESIGNS = ["omsp430", "bm32", "dr5"]
+
+
+@pytest.fixture(scope="module")
+def targets():
+    cache = {}
+
+    def get(design, wname):
+        key = (design, wname)
+        if key not in cache:
+            cache[key] = build_target(design, WORKLOADS[wname])
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+@pytest.mark.parametrize("wname", WORKLOAD_ORDER)
+def test_program_matches_reference(design, wname, targets):
+    workload = WORKLOADS[wname]
+    target = targets(design, wname)
+    _, meta = built_core(design)
+    for case in workload.cases:
+        run = run_concrete(target, case, max_cycles=6000)
+        assert run.finished, (
+            f"{design}/{wname} did not reach _halt in {run.cycles} cycles")
+        for addr, want in workload.expected(case, meta.word_width).items():
+            got = target.read_dmem(run.final_sim, addr)
+            assert got.is_known, f"{design}/{wname}@{addr} is {got}"
+            assert got.to_int() == want, (
+                f"{design}/{wname}@{addr}: got {got.to_int()}, want {want}")
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_pc_trace_is_deterministic(design, targets):
+    """Two identical concrete runs produce identical PC traces."""
+    workload = WORKLOADS["Div"]
+    target = targets(design, "Div")
+    r1 = run_concrete(target, workload.cases[0], max_cycles=3000)
+    r2 = run_concrete(target, workload.cases[0], max_cycles=3000)
+    assert r1.pc_trace == r2.pc_trace
+    assert r1.cycles == r2.cycles
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_distinct_inputs_distinct_outputs(design, targets):
+    workload = WORKLOADS["tea8"]
+    target = targets(design, "tea8")
+    _, meta = built_core(design)
+    runs = [run_concrete(target, case, max_cycles=3000)
+            for case in workload.cases[:2]]
+    outs = [target.read_dmem_int(r.final_sim, 96) for r in runs]
+    assert outs[0] != outs[1]
+
+
+def test_halt_is_stable(targets):
+    """Staying past _halt must not change architectural state."""
+    target = targets("omsp430", "Div")
+    case = WORKLOADS["Div"].cases[0]
+    r1 = run_concrete(target, case, max_cycles=3000)
+    # run again with extra cycles after halt by raising the budget on a
+    # second target run -- the halt self-loop parks the PC
+    sim = r1.final_sim
+    before = target.read_dmem_int(sim, 96)
+    for _ in range(5):
+        target.drive_all(sim)
+        target.on_edge(sim)
+        sim.clock_edge()
+    target.drive_all(sim)
+    assert target.is_done(sim)
+    assert target.read_dmem_int(sim, 96) == before

@@ -1,0 +1,111 @@
+"""Integration: symbolic co-analysis reproduces the paper's key shapes.
+
+Runs a fast subset of the (design x benchmark) grid and asserts the
+qualitative results the paper reports in section 5:
+
+* ``mult`` is single-path on the two cores with hardware multipliers and
+  multi-path on dr5 (software multiply);
+* ``tea8`` is single-path everywhere (straight-line dataflow);
+* the concretely exercised set is always a subset of the symbolically
+  exercisable set (soundness, section 5.0.1);
+* omsp430 shows the largest bespoke reduction (unused peripherals), dr5
+  the smallest (no peripherals).
+"""
+
+import pytest
+
+from repro.coanalysis.concrete import run_concrete
+from repro.reporting.runner import run_one
+from repro.workloads import WORKLOADS, build_target
+
+
+@pytest.fixture(scope="module")
+def grid():
+    designs = ["omsp430", "bm32", "dr5"]
+    benchmarks = ["Div", "binSearch", "mult", "tea8"]
+    return {d: {b: run_one(d, b) for b in benchmarks} for d in designs}
+
+
+class TestPathShapes:
+    def test_mult_single_path_with_hw_multiplier(self, grid):
+        assert grid["omsp430"]["mult"].paths_created == 1
+        assert grid["bm32"]["mult"].paths_created == 1
+
+    def test_mult_multi_path_on_dr5(self, grid):
+        assert grid["dr5"]["mult"].paths_created > 1
+
+    def test_tea8_single_path_everywhere(self, grid):
+        for d in grid:
+            assert grid[d]["tea8"].paths_created == 1
+            assert grid[d]["tea8"].splits == 0
+
+    def test_div_wide_compare_cores_need_more_paths(self, grid):
+        """bm32/dr5 resolve branches from full-width registers; omsp430
+        from 1-bit flags (paper section 5.0.3)."""
+        assert grid["bm32"]["Div"].paths_created > \
+            grid["omsp430"]["Div"].paths_created
+        assert grid["dr5"]["Div"].paths_created > \
+            grid["omsp430"]["Div"].paths_created
+
+    def test_paths_created_consistent_with_splits(self, grid):
+        for d in grid:
+            for b in grid[d]:
+                r = grid[d][b]
+                assert r.paths_created == 1 + 2 * r.splits
+
+    def test_no_truncated_paths(self, grid):
+        for d in grid:
+            for b in grid[d]:
+                assert grid[d][b].truncated_paths == 0
+
+
+class TestReductionShapes:
+    def test_reduction_ordering_matches_figure5(self, grid):
+        """omsp430 (peripherals) > bm32 > dr5 (bare core)."""
+        for b in ("Div", "binSearch", "tea8"):
+            assert grid["omsp430"][b].reduction_percent > \
+                grid["bm32"][b].reduction_percent
+            assert grid["bm32"][b].reduction_percent > \
+                grid["dr5"][b].reduction_percent
+
+    def test_mult_prunes_least_where_multiplier_used(self, grid):
+        for d in ("omsp430", "bm32"):
+            others = [grid[d][b].reduction_percent
+                      for b in ("Div", "binSearch", "tea8")]
+            assert grid[d]["mult"].reduction_percent < min(others)
+
+    def test_some_gates_always_survive(self, grid):
+        for d in grid:
+            for b in grid[d]:
+                r = grid[d][b]
+                assert 0 < r.exercisable_gate_count < r.total_gates
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("design", ["omsp430", "bm32", "dr5"])
+    @pytest.mark.parametrize("bench", ["Div", "binSearch", "mult",
+                                       "tea8"])
+    def test_concrete_exercised_subset_of_symbolic(self, design, bench,
+                                                   grid):
+        result = grid[design][bench]
+        workload = WORKLOADS[bench]
+        target = build_target(design, workload)
+        exercisable = result.profile.exercised_nets()
+        for case in workload.cases[:2]:
+            run = run_concrete(target, case, max_cycles=6000)
+            extra = run.exercised_nets & ~exercisable
+            names = [target.netlist.net_name(i)
+                     for i in extra.nonzero()[0][:5]]
+            assert not extra.any(), (
+                f"{design}/{bench}: concretely exercised nets missing "
+                f"from the symbolic exercisable set: {names}")
+
+
+class TestCycleCounts:
+    def test_cycles_scale_with_paths(self, grid):
+        for d in grid:
+            r = grid[d]["Div"]
+            assert r.simulated_cycles >= r.paths_created
+
+    def test_wall_time_recorded(self, grid):
+        assert grid["omsp430"]["Div"].wall_seconds > 0

@@ -1,0 +1,127 @@
+"""Property tests for the logic substrate.
+
+The central soundness property of the whole tool: a four-valued
+evaluation *covers* every concrete completion of its inputs.  If that
+holds per gate and per vector op, the co-analysis engine's claim that
+unexercised gates can never toggle is justified.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic import (COMB_EVAL, Logic, SymBit, covers, evaluate,
+                         l_and, l_nand, l_nor, l_not, l_or, l_xnor, l_xor,
+                         merge)
+from repro.logic.vector import LVec
+
+logic_values = st.sampled_from([Logic.L0, Logic.L1, Logic.X, Logic.Z])
+known_values = st.sampled_from([Logic.L0, Logic.L1])
+
+
+def completions(v: Logic):
+    """All concrete values a four-valued level may stand for."""
+    return [v] if v.is_known else [Logic.L0, Logic.L1]
+
+
+BINARY_OPS = [l_and, l_or, l_xor, l_nand, l_nor, l_xnor]
+
+
+class TestGateSoundness:
+    @given(logic_values, logic_values)
+    def test_binary_ops_cover_all_completions(self, a, b):
+        for op in BINARY_OPS:
+            out = op(a, b)
+            for ca in completions(a):
+                for cb in completions(b):
+                    assert covers(out, op(ca, cb)), (op.__name__, a, b)
+
+    @given(logic_values)
+    def test_not_covers_completions(self, a):
+        out = l_not(a)
+        for ca in completions(a):
+            assert covers(out, l_not(ca))
+
+    @given(logic_values, logic_values, logic_values)
+    def test_mux_covers_completions(self, s, d0, d1):
+        out = evaluate("MUX2", [d0, d1, s])
+        for cs in completions(s):
+            for c0 in completions(d0):
+                for c1 in completions(d1):
+                    concrete = evaluate("MUX2", [c0, c1, cs])
+                    assert covers(out, concrete)
+
+
+class TestAlgebraicLaws:
+    @given(logic_values, logic_values)
+    def test_commutativity(self, a, b):
+        for op in BINARY_OPS:
+            assert op(a, b) is op(b, a)
+
+    @given(logic_values, logic_values)
+    def test_de_morgan(self, a, b):
+        assert l_not(l_and(a, b)) is l_or(l_not(a), l_not(b))
+        assert l_not(l_or(a, b)) is l_and(l_not(a), l_not(b))
+
+    @given(logic_values)
+    def test_double_negation_known(self, a):
+        out = l_not(l_not(a))
+        if a.is_known:
+            assert out is a
+        else:
+            assert out is Logic.X
+
+
+class TestCoversMergeLaws:
+    @given(logic_values, logic_values)
+    def test_merge_is_least_upper_bound(self, a, b):
+        m = merge(a, b)
+        assert covers(m, a) and covers(m, b)
+
+    @given(logic_values, logic_values)
+    def test_merge_commutes(self, a, b):
+        assert merge(a, b) is merge(b, a)
+
+    @given(logic_values, logic_values, logic_values)
+    def test_merge_associates(self, a, b, c):
+        assert merge(merge(a, b), c) is merge(a, merge(b, c))
+
+    @given(logic_values)
+    def test_covers_reflexive(self, a):
+        assert covers(a, a)
+
+    @given(logic_values, logic_values, logic_values)
+    def test_covers_transitive(self, a, b, c):
+        if covers(a, b) and covers(b, c):
+            assert covers(a, c)
+
+
+class TestSymbolicRefinesPlain:
+    """A labeled-symbol evaluation is never *more* conservative than the
+    plain-X evaluation, and always sound for consistent assignments."""
+
+    syms = st.sampled_from(["a", "b"])
+
+    @given(st.sampled_from(["and", "or", "xor"]), syms, syms,
+           st.booleans(), st.booleans())
+    def test_symbolic_result_sound(self, opname, s1, s2, n1, n2):
+        x = SymBit.symbol(s1)
+        if n1:
+            x = x.inv()
+        y = SymBit.symbol(s2)
+        if n2:
+            y = y.inv()
+        out = getattr(x, opname + "_")(y)
+        # check against every consistent assignment of symbols a, b
+        for va in (0, 1):
+            for vb in (0, 1):
+                env = {"a": va, "b": vb}
+                cx = env[s1] ^ n1
+                cy = env[s2] ^ n2
+                if opname == "and":
+                    cz = cx & cy
+                elif opname == "or":
+                    cz = cx | cy
+                else:
+                    cz = cx ^ cy
+                assert covers(out.level,
+                              Logic.L1 if cz else Logic.L0)

@@ -1,0 +1,97 @@
+"""Property tests: symbolic memory soundness.
+
+The memory model must over-approximate: whatever a concrete memory would
+contain after a sequence of reads/writes, the symbolic memory's contents
+must cover it -- including under X addresses and X write-enables.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic import Logic
+from repro.logic.vector import LVec
+from repro.sim import XMemory
+
+WORDS = 8
+WIDTH = 4
+ADDR_BITS = 3
+
+
+@st.composite
+def partial_addr(draw):
+    concrete = draw(st.integers(0, WORDS - 1))
+    xmask = draw(st.integers(0, WORDS - 1))
+    bits = []
+    for i in range(ADDR_BITS):
+        if (xmask >> i) & 1:
+            bits.append(Logic.X)
+        else:
+            bits.append(Logic.L1 if (concrete >> i) & 1 else Logic.L0)
+    # ensure the concrete address is a completion of the partial one
+    concrete_masked = concrete
+    return LVec(bits), concrete_masked
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 6))):
+        addr, concrete_addr = draw(partial_addr())
+        data = draw(st.integers(0, (1 << WIDTH) - 1))
+        enable = draw(st.sampled_from([Logic.L1, Logic.X]))
+        en_concrete = draw(st.booleans()) if enable is Logic.X else True
+        ops.append((addr, concrete_addr, data, enable, en_concrete))
+    return ops
+
+
+class TestWriteSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_symbolic_memory_covers_concrete_execution(self, ops):
+        sym = XMemory(WORDS, WIDTH)
+        concrete = [0] * WORDS
+        for addr, concrete_addr, data, enable, en_concrete in ops:
+            sym.write(addr, LVec.from_int(data, WIDTH), enable=enable)
+            if en_concrete:
+                concrete[concrete_addr] = data
+        for a in range(WORDS):
+            assert sym.read_concrete(a).covers(
+                LVec.from_int(concrete[a], WIDTH)), (
+                f"word {a}: {sym.read_concrete(a)} does not cover "
+                f"{concrete[a]}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(partial_addr(), st.integers(0, (1 << WIDTH) - 1))
+    def test_symbolic_read_covers_concrete_read(self, pa, seed):
+        addr, concrete_addr = pa
+        mem = XMemory(WORDS, WIDTH)
+        for a in range(WORDS):
+            mem.load_word(a, (seed + 3 * a) % (1 << WIDTH))
+        symbolic = mem.read(addr)
+        concrete = mem.read_concrete(concrete_addr)
+        assert symbolic.covers(concrete)
+
+
+class TestCoversMergeLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_merge_from_covers_both(self, v1, v2):
+        a = XMemory(2, WIDTH)
+        b = XMemory(2, WIDTH)
+        a.load_word(0, v1)
+        b.load_word(0, v2)
+        merged = XMemory(2, WIDTH)
+        merged.load_word(0, v1)
+        merged.merge_from(b)
+        assert merged.covers(a)
+        assert merged.covers(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 15))
+    def test_snapshot_restore_identity(self, v):
+        m = XMemory(2, WIDTH)
+        m.load_word(1, v)
+        snap = m.snapshot()
+        m.fill_unknown()
+        m.restore(snap)
+        assert m.read_concrete(1).to_int() == v

@@ -1,0 +1,97 @@
+"""Property tests: structural transformations (resynthesis, Verilog IO).
+
+* re-synthesis is idempotent (a second pass changes nothing),
+* re-synthesis never grows a netlist,
+* Verilog emission/parsing round-trips arbitrary netlists losslessly.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bespoke import resynthesize
+from repro.netlist import Netlist, parse_verilog, write_verilog
+
+COMB_KINDS = ["AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "BUF",
+              "MUX2", "TIE0", "TIE1"]
+
+
+@st.composite
+def random_netlist(draw):
+    n_inputs = draw(st.integers(1, 4))
+    n_gates = draw(st.integers(2, 16))
+    nl = Netlist("rand")
+    pool = []
+    for i in range(n_inputs):
+        net = nl.add_net(f"in{i}")
+        nl.mark_input(net)
+        pool.append(net)
+    for g in range(n_gates):
+        kind = draw(st.sampled_from(COMB_KINDS))
+        arity = {"NOT": 1, "BUF": 1, "MUX2": 3,
+                 "TIE0": 0, "TIE1": 0}.get(kind, 2)
+        ins = [pool[draw(st.integers(0, len(pool) - 1))]
+               for _ in range(arity)]
+        out = nl.add_net(f"n{g}")
+        nl.add_gate(f"g{g}", kind, ins, out)
+        pool.append(out)
+    if draw(st.booleans()):
+        q = nl.add_net("q0")
+        nl.add_gate("ff0", "DFF", [pool[draw(st.integers(
+            0, len(pool) - 1))]], q)
+        nl.mark_output(q)
+    nl.mark_output(pool[-1])
+    return nl
+
+
+class TestResynthesisProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_netlist())
+    def test_never_grows(self, nl):
+        out = resynthesize(nl)
+        assert out.gate_count() <= nl.gate_count()
+        assert out.area() <= nl.area() + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_netlist())
+    def test_idempotent(self, nl):
+        once = resynthesize(nl)
+        twice = resynthesize(once)
+        assert twice.gate_count() == once.gate_count()
+        assert [g.kind for g in twice.gates] == \
+            [g.kind for g in once.gates]
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_netlist())
+    def test_outputs_preserved(self, nl):
+        out = resynthesize(nl)
+        assert [out.net_name(i) for i in out.outputs] == \
+            [nl.net_name(i) for i in nl.outputs]
+        assert [out.net_name(i) for i in out.inputs] == \
+            [nl.net_name(i) for i in nl.inputs]
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_netlist())
+    def test_result_validates(self, nl):
+        resynthesize(nl).validate()
+
+
+class TestVerilogRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(random_netlist())
+    def test_roundtrip_structure(self, nl):
+        back = parse_verilog(write_verilog(nl))
+        assert back.gate_count() == nl.gate_count()
+        assert [g.kind for g in back.gates] == [g.kind for g in nl.gates]
+        assert [g.name for g in back.gates] == [g.name for g in nl.gates]
+        for gb, ga in zip(back.gates, nl.gates):
+            assert [back.net_name(i) for i in gb.inputs] == \
+                [nl.net_name(i) for i in ga.inputs]
+        assert len(back.inputs) == len(nl.inputs)
+        assert len(back.outputs) == len(nl.outputs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_netlist())
+    def test_double_roundtrip_stable(self, nl):
+        text1 = write_verilog(nl)
+        text2 = write_verilog(parse_verilog(text1))
+        assert text1 == text2

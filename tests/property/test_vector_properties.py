@@ -1,0 +1,98 @@
+"""Property tests: vector arithmetic soundness under partial knowledge."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic import Logic
+from repro.logic.vector import LVec
+
+WIDTH = 8
+
+
+@st.composite
+def partial_vectors(draw, width=WIDTH):
+    """A vector with X bits plus one concrete completion of it."""
+    concrete = draw(st.integers(0, (1 << width) - 1))
+    xmask = draw(st.integers(0, (1 << width) - 1))
+    bits = []
+    for i in range(width):
+        if (xmask >> i) & 1:
+            bits.append(Logic.X)
+        else:
+            bits.append(Logic.L1 if (concrete >> i) & 1 else Logic.L0)
+    return LVec(bits), concrete
+
+
+class TestArithmeticSoundness:
+    @given(partial_vectors(), partial_vectors())
+    def test_add_covers_concrete(self, pa, pb):
+        (va, ca), (vb, cb) = pa, pb
+        symbolic = va + vb
+        concrete = LVec.from_int(ca + cb, WIDTH)
+        assert symbolic.covers(concrete)
+
+    @given(partial_vectors(), partial_vectors())
+    def test_sub_covers_concrete(self, pa, pb):
+        (va, ca), (vb, cb) = pa, pb
+        assert (va - vb).covers(LVec.from_int(ca - cb, WIDTH))
+
+    @given(partial_vectors(), partial_vectors())
+    def test_bitwise_cover(self, pa, pb):
+        (va, ca), (vb, cb) = pa, pb
+        assert (va & vb).covers(LVec.from_int(ca & cb, WIDTH))
+        assert (va | vb).covers(LVec.from_int(ca | cb, WIDTH))
+        assert (va ^ vb).covers(LVec.from_int(ca ^ cb, WIDTH))
+        assert (~va).covers(LVec.from_int(~ca, WIDTH))
+
+    @given(partial_vectors(), partial_vectors())
+    def test_eq_ult_cover(self, pa, pb):
+        from repro.logic.value import covers
+        (va, ca), (vb, cb) = pa, pb
+        assert covers(va.eq(vb),
+                      Logic.L1 if ca == cb else Logic.L0)
+        assert covers(va.ult(vb),
+                      Logic.L1 if ca < cb else Logic.L0)
+
+    @given(partial_vectors(), st.integers(0, WIDTH))
+    def test_shifts_cover(self, pa, amount):
+        va, ca = pa
+        assert va.shl(amount).covers(LVec.from_int(ca << amount, WIDTH))
+        assert va.shr(amount).covers(LVec.from_int(ca >> amount, WIDTH))
+
+
+class TestExactOnKnown:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_exact(self, a, b):
+        out = LVec.from_int(a, WIDTH) + LVec.from_int(b, WIDTH)
+        assert out.to_int() == (a + b) & 0xFF
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_sub_exact(self, a, b):
+        out = LVec.from_int(a, WIDTH) - LVec.from_int(b, WIDTH)
+        assert out.to_int() == (a - b) & 0xFF
+
+    @given(st.integers(0, 255))
+    def test_roundtrip(self, a):
+        assert LVec.from_int(a, WIDTH).to_int() == a
+        assert LVec.from_str(str(LVec.from_int(a, WIDTH))).to_int() == a
+
+
+class TestMergeCoversLaws:
+    @given(partial_vectors(), partial_vectors())
+    def test_merge_covers_both(self, pa, pb):
+        va, _ = pa
+        vb, _ = pb
+        m = va.merge(vb)
+        assert m.covers(va) and m.covers(vb)
+
+    @given(partial_vectors())
+    def test_covers_reflexive(self, pa):
+        va, ca = pa
+        assert va.covers(va)
+        assert va.covers(LVec.from_int(ca, WIDTH))
+
+    @given(partial_vectors(), partial_vectors(), partial_vectors())
+    def test_covers_transitive(self, pa, pb, pc):
+        va, vb, vc = pa[0], pb[0], pc[0]
+        if va.covers(vb) and vb.covers(vc):
+            assert va.covers(vc)

@@ -1,0 +1,131 @@
+"""Unit tests for the power / peak-power analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PowerMeter, analyze_peak_power, compare_power,
+                            concrete_peak, leakage_power,
+                            measure_concrete_run)
+from repro.analysis.power import SWITCH_ENERGY
+from repro.bespoke import generate_bespoke
+from repro.logic import Logic
+from repro.netlist.cells import LIBRARY
+from repro.rtl import Design
+from repro.sim import CompiledNetlist, CycleSim
+from repro.workloads import WORKLOADS, build_target
+
+
+def counter_netlist(width=4):
+    d = Design("cnt")
+    en = d.input("en")
+    r = d.reg(width, "c", reset=True)
+    s, _ = r.q.add(d.const(1, width))
+    r.drive(s, enable=en)
+    d.output("y", r.q)
+    return d.finalize()
+
+
+class TestPowerMeter:
+    def test_every_cell_kind_has_energy(self):
+        assert set(SWITCH_ENERGY) == set(LIBRARY)
+
+    def test_idle_circuit_no_dynamic_energy(self):
+        nl = counter_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.set_input("en", Logic.L0)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        sim.settle()
+        meter = PowerMeter(nl)
+        for _ in range(5):
+            sim.step()
+            sim.settle()
+            meter.observe(sim)
+        assert meter.dynamic_energy() == 0.0
+        assert meter.total_toggles == 0
+        report = meter.report("cnt")
+        assert report.clock_energy > 0         # clock always burns
+        assert report.leakage_energy > 0
+
+    def test_active_circuit_burns_energy(self):
+        nl = counter_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.set_input("en", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        sim.settle()
+        meter = PowerMeter(nl)
+        for _ in range(8):
+            sim.step()
+            sim.settle()
+            meter.observe(sim)
+        assert meter.dynamic_energy() > 0
+        assert meter.cycles == 7
+
+    def test_leakage_scales_with_area(self):
+        small = counter_netlist(2)
+        big = counter_netlist(8)
+        assert leakage_power(big) > leakage_power(small)
+
+    def test_report_totals_consistent(self):
+        nl = counter_netlist()
+        meter = PowerMeter(nl)
+        report = meter.report("x")
+        assert report.total_energy == pytest.approx(
+            report.dynamic_energy + report.clock_energy
+            + report.leakage_energy)
+
+
+class TestConcreteMeasurement:
+    @pytest.fixture(scope="class")
+    def target(self):
+        return build_target("dr5", WORKLOADS["mult"])
+
+    def test_measure_concrete_run(self, target):
+        report = measure_concrete_run(target, WORKLOADS["mult"].cases[0])
+        assert report.cycles > 0
+        assert report.toggles > 0
+        assert report.average_power > 0
+
+    def test_bespoke_saves_power(self, target):
+        from repro.reporting.runner import run_one
+        result = run_one("dr5", "mult")
+        bespoke_nl = generate_bespoke(target.netlist, result.profile)
+        bespoke = build_target("dr5", WORKLOADS["mult"],
+                               netlist=bespoke_nl)
+        savings = compare_power(target, bespoke,
+                                WORKLOADS["mult"].cases[0])
+        assert savings.leakage_saving_percent > 0
+        assert savings.energy_saving_percent > 0
+
+
+class TestPeakPower:
+    @pytest.fixture(scope="class")
+    def peak(self):
+        target = build_target("omsp430", WORKLOADS["mult"])
+        return target, analyze_peak_power(target, application="mult")
+
+    def test_peak_is_positive(self, peak):
+        _, result = peak
+        assert result.peak_bound > 0
+        assert result.peak_cycle >= 0
+
+    def test_concrete_never_exceeds_bound(self, peak):
+        """The soundness property of the peak bound (prior work [5])."""
+        target, result = peak
+        for case in WORKLOADS["mult"].cases:
+            measured = concrete_peak(target, case)
+            assert measured <= result.peak_bound + 1e-9
+
+    def test_per_path_peaks_recorded(self, peak):
+        _, result = peak
+        assert result.per_path_peaks
+        assert max(result.per_path_peaks.values()) == \
+            pytest.approx(result.peak_bound)
+
+    def test_analysis_attached(self, peak):
+        _, result = peak
+        assert result.analysis is not None
+        assert result.analysis.paths_created >= 1

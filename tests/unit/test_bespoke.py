@@ -1,0 +1,202 @@
+"""Unit tests for bespoke pruning and re-synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.bespoke import (area_report, generate_bespoke, prune_report,
+                           prune_unexercisable, resynthesize)
+from repro.logic import Logic, LVec
+from repro.netlist import Netlist
+from repro.rtl import Design, mux
+from repro.sim import CompiledNetlist, CycleSim
+from repro.sim.activity import ToggleProfile
+
+
+def profile_for(netlist, exercised_names, const_values=None):
+    """Hand-build a ToggleProfile: listed nets exercised, rest constant."""
+    p = ToggleProfile.empty(netlist)
+    for name in exercised_names:
+        p.toggled[netlist.net_index(name)] = True
+    p.const_known[:] = True
+    if const_values:
+        for name, v in const_values.items():
+            p.const_val[netlist.net_index(name)] = bool(v)
+    return p
+
+
+def two_path_netlist():
+    """y = sel ? a : b, with separate AND cones for each path."""
+    d = Design("t")
+    a = d.input("a")
+    b = d.input("b")
+    sel = d.input("sel")
+    path_a = d.name_sig("pa", a & d.const(1, 1))
+    path_b = d.name_sig("pb", b & d.const(1, 1))
+    d.output("y", mux(sel, path_b, path_a))
+    return d.finalize()
+
+
+class TestPrune:
+    def test_unexercised_gates_become_ties(self):
+        nl = two_path_netlist()
+        # only the a-path was exercised; pb stuck at 0
+        prof = profile_for(nl, ["a", "pa", "y", "sel"],
+                           const_values={"pb": 0})
+        pruned = prune_unexercisable(nl, prof)
+        kinds = {g.name: g.kind for g in pruned.gates}
+        assert kinds["pb_nbuf0"] == "TIE0"
+        assert pruned.gate_count() == nl.gate_count()  # same size pre-fold
+
+    def test_constant_one(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"],
+                           const_values={"pb": 1})
+        pruned = prune_unexercisable(nl, prof)
+        kinds = {g.name: g.kind for g in pruned.gates}
+        assert kinds["pb_nbuf0"] == "TIE1"
+
+    def test_protect_set(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"])
+        keep = nl.gate_index("pb_nbuf0")
+        pruned = prune_unexercisable(nl, prof, protect={keep})
+        kinds = {g.name: g.kind for g in pruned.gates}
+        assert kinds["pb_nbuf0"] == "BUF"
+
+    def test_profile_netlist_mismatch(self):
+        nl = two_path_netlist()
+        other = Netlist("other")
+        prof = ToggleProfile.empty(other)
+        with pytest.raises(ValueError):
+            prune_unexercisable(nl, prof)
+
+    def test_prune_report(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"])
+        rep = prune_report(nl, prof)
+        assert rep["total_gates"] == nl.gate_count()
+        assert rep["prunable_gates"] > 0
+
+
+class TestResynth:
+    def build(self, fn, n_inputs, widths=None):
+        d = Design("r")
+        widths = widths or [1] * n_inputs
+        ins = [d.input(f"i{k}", widths[k]) for k in range(n_inputs)]
+        d.output("y", fn(d, *ins))
+        return d.finalize()
+
+    def equivalent(self, before, after, n_inputs, samples):
+        simb = CycleSim(CompiledNetlist(before))
+        sima = CycleSim(CompiledNetlist(after))
+        for sample in samples:
+            for k, v in enumerate(sample):
+                simb.set_input(f"i{k}", v)
+                if after.has_net(f"i{k}") or after.has_net(f"i{k}[0]"):
+                    sima.set_input(f"i{k}", v)
+            simb.settle()
+            sima.settle()
+            yb = simb.get_net(before.net_index("y"))
+            ya = sima.get_net(after.net_index("y"))
+            assert yb is ya, sample
+
+    def test_and_with_tie1_folds_to_buf(self):
+        nl = self.build(lambda d, a: a & d.const(1, 1), 1)
+        out = resynthesize(nl)
+        assert out.gate_count() < nl.gate_count()
+        self.equivalent(nl, out, 1, [(Logic.L0,), (Logic.L1,)])
+
+    def test_and_with_tie0_folds_to_constant(self):
+        nl = self.build(lambda d, a: a & d.const(0, 1), 1)
+        out = resynthesize(nl)
+        kinds = [g.kind for g in out.gates]
+        assert "AND" not in kinds
+        self.equivalent(nl, out, 1, [(Logic.L0,), (Logic.L1,)])
+
+    def test_xor_with_tie1_becomes_not(self):
+        nl = self.build(lambda d, a: a ^ d.const(1, 1), 1)
+        out = resynthesize(nl)
+        self.equivalent(nl, out, 1, [(Logic.L0,), (Logic.L1,)])
+        assert any(g.kind == "NOT" for g in out.gates)
+
+    def test_mux_const_select(self):
+        def fn(d, a, b):
+            return mux(d.const(1, 1), a, b)
+        nl = self.build(fn, 2)
+        out = resynthesize(nl)
+        assert all(g.kind != "MUX2" for g in out.gates)
+        self.equivalent(nl, out, 2,
+                        [(Logic.L0, Logic.L1), (Logic.L1, Logic.L0)])
+
+    def test_dead_logic_removed(self):
+        d = Design("dead")
+        a = d.input("a")
+        _unused = a & ~a          # drives nothing
+        d.output("y", a)
+        nl = d.finalize()
+        out = resynthesize(nl)
+        assert out.gate_count() < nl.gate_count()
+
+    def test_duplicate_ties_deduped(self):
+        nl = Netlist("ties")
+        a = nl.add_net("a")
+        nl.mark_input(a)
+        t1 = nl.add_net("t1")
+        t2 = nl.add_net("t2")
+        y1 = nl.add_net("y1")
+        y2 = nl.add_net("y2")
+        nl.add_gate("c1", "TIE1", [], t1)
+        nl.add_gate("c2", "TIE1", [], t2)
+        nl.add_gate("g1", "AND", [a, t1], y1)
+        nl.add_gate("g2", "AND", [a, t2], y2)
+        nl.mark_output(y1)
+        nl.mark_output(y2)
+        out = resynthesize(nl)
+        assert sum(1 for g in out.gates if g.kind == "TIE1") <= 1
+
+    def test_flops_not_folded(self):
+        d = Design("seq")
+        r = d.reg(1, "r", reset=True)
+        r.drive(d.const(0, 1))
+        d.output("y", r.q)
+        nl = d.finalize()
+        out = resynthesize(nl)
+        assert any(g.is_sequential for g in out.gates)
+
+    def test_area_report(self):
+        nl = self.build(lambda d, a: a & d.const(0, 1), 1)
+        out = resynthesize(nl)
+        rep = area_report(nl, out)
+        assert rep["gates_after"] <= rep["gates_before"]
+        assert 0 <= rep["gate_reduction_percent"] <= 100
+
+
+class TestGenerateBespoke:
+    def test_end_to_end_shrinks_and_preserves(self):
+        nl = two_path_netlist()
+        # sel stuck at 0 -> y always follows the a path
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("sel", Logic.L0)
+        sim.set_input("a", Logic.L0)
+        sim.set_input("b", Logic.L0)
+        sim.settle()
+        sim.arm_activity()
+        for va in (Logic.L1, Logic.L0, Logic.L1):
+            sim.set_input("a", va)
+            sim.settle()
+            sim.record_activity_now()
+        prof = ToggleProfile.empty(nl)
+        prof.absorb(sim.toggled, sim.ever_x, sim.val & sim.known,
+                    sim.known)
+        bespoke = generate_bespoke(nl, prof)
+        assert bespoke.gate_count() < nl.gate_count()
+        bsim = CycleSim(CompiledNetlist(bespoke))
+        for va in (Logic.L0, Logic.L1):
+            sim.set_input("a", va)
+            bsim.set_input("a", va)
+            if bespoke.has_net("sel"):
+                bsim.set_input("sel", Logic.L0)
+            sim.settle()
+            bsim.settle()
+            assert sim.get_net(nl.net_index("y")) is \
+                bsim.get_net(bespoke.net_index("y"))

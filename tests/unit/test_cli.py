@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "dr5", "mult", "--strategy", "clustered2"])
+        assert args.design == "dr5"
+        assert args.strategy == "clustered2"
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "z80", "mult"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "dr5", "quicksort"])
+
+
+class TestCommands:
+    def test_analyze_json(self, capsys):
+        rc = main(["analyze", "dr5", "mult", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["design"] == "dr5"
+        assert data["paths_created"] > 1
+
+    def test_analyze_plain(self, capsys):
+        rc = main(["analyze", "omsp430", "mult"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exercisable_gates" in out
+
+    def test_bespoke_writes_verilog(self, tmp_path, capsys):
+        out_v = tmp_path / "bespoke.v"
+        rc = main(["bespoke", "dr5", "mult", "-o", str(out_v)])
+        assert rc == 0
+        text = out_v.read_text()
+        assert text.startswith("module")
+        assert "PASS" in capsys.readouterr().out
+
+    def test_asm_lists_words(self, tmp_path, capsys):
+        src = tmp_path / "p.s"
+        src.write_text("movi r1, 7\n_halt: jmp _halt\n")
+        rc = main(["asm", "omsp430", str(src)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("0000:")
+        assert len(out.strip().splitlines()) == 2
+
+    def test_disasm_lists_instructions(self, tmp_path, capsys):
+        src = tmp_path / "p.s"
+        src.write_text("start: movi r1, 7\n_halt: jmp _halt\n")
+        rc = main(["disasm", "omsp430", str(src)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "start:" in out
+        assert "movi r1, 7" in out
+
+    def test_trace_writes_vcd(self, tmp_path, capsys):
+        out_vcd = tmp_path / "w.vcd"
+        rc = main(["trace", "omsp430", "mult", "-o", str(out_vcd)])
+        assert rc == 0
+        assert "$enddefinitions" in out_vcd.read_text()
+
+    def test_power_reports_savings(self, capsys):
+        rc = main(["power", "dr5", "tea8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak switching bound" in out
+        assert "energy saving" in out
+
+    def test_timing_reports_slack(self, capsys):
+        rc = main(["timing", "omsp430", "mult"])
+        assert rc == 0
+        assert "timing slack" in capsys.readouterr().out
+
+    def test_coverage_json(self, capsys):
+        rc = main(["coverage", "dr5", "mult", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["program_words"] > 0

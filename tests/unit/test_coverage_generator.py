@@ -1,0 +1,101 @@
+"""Unit tests for PC coverage analysis and the input-case generator."""
+
+import pytest
+
+from repro.analysis import analyze_coverage
+from repro.workloads import WORKLOADS, build_target, built_core
+from repro.workloads.generator import generate_all, generate_cases
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def tea_coverage(self):
+        target = build_target("dr5", WORKLOADS["tea8"])
+        return analyze_coverage(target, application="tea8")
+
+    def test_straight_line_program_nearly_fully_covered(self,
+                                                        tea_coverage):
+        assert tea_coverage.coverage_percent > 90.0
+
+    def test_dead_words_disjoint_from_reachable(self, tea_coverage):
+        assert not (set(tea_coverage.dead)
+                    & set(tea_coverage.reachable))
+        assert len(tea_coverage.dead) + len(tea_coverage.reachable) == \
+            tea_coverage.program.size
+
+    def test_summary_fields(self, tea_coverage):
+        s = tea_coverage.summary()
+        assert s["program_words"] == tea_coverage.program.size
+        assert 0 <= s["coverage_percent"] <= 100
+
+    def test_branchy_program_covers_both_arms(self):
+        """Symbolic analysis must reach both sides of an input-dependent
+        branch -- the defining property vs a single concrete run."""
+        target = build_target("omsp430", WORKLOADS["binSearch"])
+        cov = analyze_coverage(target, application="binSearch")
+        prog = target.program
+        assert prog.label("found") in cov.visited
+        assert prog.label("notfound") in cov.visited
+
+    def test_analysis_result_attached(self, tea_coverage):
+        assert tea_coverage.analysis.paths_created >= 1
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_cases(WORKLOADS["Div"], 5, seed=3)
+        b = generate_cases(WORKLOADS["Div"], 5, seed=3)
+        c = generate_cases(WORKLOADS["Div"], 5, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_div_divisor_never_zero(self):
+        for case in generate_cases(WORKLOADS["Div"], 50, seed=1):
+            assert case[65] != 0
+
+    def test_div_cases_match_reference_structure(self):
+        w = WORKLOADS["Div"]
+        for case in generate_cases(w, 10, seed=2):
+            expected = w.expected(case, 16)
+            assert expected[96] == case[64] // case[65]
+
+    def test_binsearch_mixes_hits_and_misses(self):
+        from repro.workloads import BSEARCH_TABLE
+        keys = [case[64] for case in
+                generate_cases(WORKLOADS["binSearch"], 40, seed=0)]
+        hits = [k for k in keys if k in BSEARCH_TABLE]
+        misses = [k for k in keys if k not in BSEARCH_TABLE]
+        assert hits and misses
+
+    def test_tea_respects_word_width(self):
+        for case in generate_cases(WORKLOADS["tea8"], 20, seed=0,
+                                   word_width=16):
+            assert all(v < (1 << 16) for v in case.values())
+
+    def test_generate_all_covers_catalog(self):
+        cases = generate_all(2, seed=9)
+        assert set(cases) == set(WORKLOADS)
+
+    def test_unknown_workload_rejected(self):
+        from repro.workloads.catalog import Workload
+        fake = Workload(name="nope", description="", sources={},
+                        input_len=1, cases=[], reference=lambda i, w: {})
+        with pytest.raises(KeyError):
+            generate_cases(fake, 1)
+
+
+class TestGeneratedCasesRunCorrectly:
+    """Random vectors through the real cores against the references."""
+
+    @pytest.mark.parametrize("design", ["omsp430", "dr5"])
+    def test_div_random_sweep(self, design):
+        from repro.coanalysis.concrete import run_concrete
+        w = WORKLOADS["Div"]
+        _, meta = built_core(design)
+        target = build_target(design, w)
+        for case in generate_cases(w, 3, seed=11,
+                                   word_width=meta.word_width):
+            run = run_concrete(target, case, max_cycles=4000)
+            assert run.finished
+            for addr, want in w.expected(case, meta.word_width).items():
+                assert target.read_dmem_int(run.final_sim, addr) == want

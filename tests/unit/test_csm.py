@@ -1,0 +1,205 @@
+"""Unit tests for the Conservative State Manager."""
+
+import numpy as np
+import pytest
+
+from repro.csm import (Clustered, ConservativeStateManager, ConstraintSet,
+                       ConstraintError, ExactSet, MemConstraint,
+                       NetConstraint, UberConservative, load_constraints,
+                       parse_constraints)
+from repro.sim.state import SimState
+
+
+def state(bits, pc=0, mem=None):
+    """bits: string like '10x' (MSB last here: index i = bit i)."""
+    val = [c == "1" for c in bits]
+    known = [c != "x" for c in bits]
+    mems = {}
+    if mem is not None:
+        mval, mknown = mem
+        mems["dmem"] = (np.array(mval, dtype=bool),
+                        np.array(mknown, dtype=bool))
+    return SimState(np.array(val), np.array(known), mems, pc=pc)
+
+
+class TestUberConservative:
+    def test_first_observation_expands(self):
+        csm = ConservativeStateManager(UberConservative())
+        d = csm.observe(10, state("101"))
+        assert not d.covered
+        assert d.resume_state is not None
+
+    def test_repeat_observation_skipped(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(10, state("101"))
+        d = csm.observe(10, state("101"))
+        assert d.covered
+        assert csm.stats.skipped == 1
+
+    def test_new_state_merges(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(10, state("101"))
+        d = csm.observe(10, state("100"))
+        assert not d.covered
+        # third bit differs -> X there, first two stay known
+        assert d.resume_state.net_known.tolist() == [True, True, False]
+
+    def test_single_entry_per_pc(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(10, state("101"))
+        csm.observe(10, state("010"))
+        assert len(csm.states_for(10)) == 1
+
+    def test_distinct_pcs_independent(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(10, state("101", pc=10))
+        d = csm.observe(20, state("101", pc=20))
+        assert not d.covered
+        assert csm.pcs() == [10, 20]
+
+    def test_covered_after_merge(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(10, state("101"))
+        csm.observe(10, state("100"))     # merge -> 10x? (bit0 differs)
+        d = csm.observe(10, state("101"))
+        assert d.covered
+
+
+class TestClustered:
+    def test_keeps_up_to_k_states(self):
+        csm = ConservativeStateManager(Clustered(k=2))
+        csm.observe(5, state("0000"))
+        csm.observe(5, state("1111"))
+        assert len(csm.states_for(5)) == 2
+
+    def test_merges_into_nearest(self):
+        csm = ConservativeStateManager(Clustered(k=2))
+        csm.observe(5, state("0000"))
+        csm.observe(5, state("1111"))
+        csm.observe(5, state("0001"))    # nearest to 0000
+        entries = csm.states_for(5)
+        xcounts = sorted(s.count_x() for s in entries)
+        assert xcounts == [1, 0][::-1] or xcounts == [0, 1]
+
+    def test_less_conservative_than_uber(self):
+        # two natural clusters: {0000, 0001} and {1111, 1110}
+        uber = ConservativeStateManager(UberConservative())
+        clus = ConservativeStateManager(Clustered(k=2))
+        for s in ("0000", "1111", "0001", "1110"):
+            uber.observe(1, state(s))
+            clus.observe(1, state(s))
+        assert clus.conservatism() < uber.conservatism()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            Clustered(k=0)
+
+
+class TestExactSet:
+    def test_never_merges(self):
+        csm = ConservativeStateManager(ExactSet())
+        for s in ("000", "001", "010"):
+            csm.observe(2, state(s))
+        assert len(csm.states_for(2)) == 3
+        assert csm.conservatism() == 0
+
+    def test_detects_duplicates(self):
+        csm = ConservativeStateManager(ExactSet())
+        csm.observe(2, state("01x"))
+        d = csm.observe(2, state("010"))
+        assert d.covered
+
+
+class TestExpansionMemo:
+    def test_identical_merged_state_not_reexpanded(self):
+        csm = ConservativeStateManager(UberConservative())
+        csm.observe(3, state("1x"))
+        # merging "10" into "1x" yields "1x" again -- covered
+        d = csm.observe(3, state("10"))
+        assert d.covered
+
+    def test_constrained_livelock_broken(self):
+        # constraint pins bit1 to 1; raw observations disagree
+        cs = ConstraintSet([NetConstraint("b1", 1)], {"b0": 0, "b1": 1})
+        csm = ConservativeStateManager(UberConservative(), constraints=cs)
+        d1 = csm.observe(7, state("10"))   # bit1=0 -> pinned to 1
+        assert not d1.covered
+        assert d1.resume_state.net_val.tolist() == [True, True]
+        # the same raw observation again: merge produces the same pinned
+        # state -> memo reports covered instead of looping forever
+        d2 = csm.observe(7, state("10"))
+        assert d2.covered
+
+
+class TestConstraints:
+    def test_parse(self):
+        text = """
+        # comment
+        net pc[3] 1
+        mem dmem[5].2 0
+        """
+        cs = parse_constraints(text)
+        assert cs == [NetConstraint("pc[3]", 1),
+                      MemConstraint("dmem", 5, 2, 0)]
+
+    def test_parse_errors(self):
+        with pytest.raises(ConstraintError):
+            parse_constraints("net a")
+        with pytest.raises(ConstraintError):
+            parse_constraints("net a 2")
+        with pytest.raises(ConstraintError):
+            parse_constraints("mem bad 1")
+        with pytest.raises(ConstraintError):
+            parse_constraints("foo a 1")
+
+    def test_load_from_file(self, tmp_path):
+        f = tmp_path / "c.txt"
+        f.write_text("net a 1\n")
+        assert load_constraints(f) == [NetConstraint("a", 1)]
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet([NetConstraint("nope", 1)], {"a": 0})
+
+    def test_apply_net(self):
+        cs = ConstraintSet([NetConstraint("a", 1)], {"a": 0, "b": 1})
+        s = state("xx")
+        cs.apply(s)
+        assert s.net_val.tolist() == [True, False]
+        assert s.net_known.tolist() == [True, False]
+
+    def test_apply_mem(self):
+        cs = ConstraintSet([MemConstraint("dmem", 0, 1, 1)], {})
+        s = state("0", mem=([[0, 0]], [[0, 0]]))
+        cs.apply(s)
+        assert s.memories["dmem"][0].tolist() == [[False, True]]
+        assert s.memories["dmem"][1][0].tolist() == [False, True]
+
+    def test_apply_mem_unknown_memory(self):
+        cs = ConstraintSet([MemConstraint("nope", 0, 0, 1)], {})
+        with pytest.raises(ConstraintError):
+            cs.apply(state("0", mem=([[0]], [[0]])))
+
+    def test_apply_mem_out_of_range(self):
+        cs = ConstraintSet([MemConstraint("dmem", 9, 0, 1)], {})
+        with pytest.raises(ConstraintError):
+            cs.apply(state("0", mem=([[0]], [[0]])))
+
+    def test_len(self):
+        cs = ConstraintSet([NetConstraint("a", 1),
+                            MemConstraint("dmem", 0, 0, 1)], {"a": 0})
+        assert len(cs) == 2
+
+
+class TestStats:
+    def test_counters(self):
+        csm = ConservativeStateManager()
+        csm.observe(1, state("10"))
+        csm.observe(1, state("10"))
+        csm.observe(1, state("01"))
+        snap = csm.stats.snapshot()
+        assert snap["observed"] == 3
+        assert snap["skipped"] == 1
+        assert snap["expanded"] == 2
+        assert snap["distinct_pcs"] == 1
+        assert csm.total_states() == 1

@@ -1,0 +1,288 @@
+"""Unit tests for the vectorized cycle engine."""
+
+import numpy as np
+import pytest
+
+from repro.logic import Logic, LVec
+from repro.netlist import Netlist
+from repro.rtl import Design, mux
+from repro.sim import CompiledNetlist, CycleSim, XMemory
+
+
+def comb_xor_netlist():
+    nl = Netlist("c")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    y = nl.add_net("y")
+    nl.mark_input(a)
+    nl.mark_input(b)
+    nl.add_gate("g", "XOR", [a, b], y)
+    nl.mark_output(y)
+    return nl
+
+
+class TestCombEvaluation:
+    @pytest.mark.parametrize("kind,table", [
+        ("AND", {(0, 0): "0", (0, 1): "0", (1, 1): "1", (0, "x"): "0",
+                 (1, "x"): "x", ("x", "x"): "x"}),
+        ("OR", {(0, 0): "0", (1, 0): "1", (1, "x"): "1", (0, "x"): "x"}),
+        ("XOR", {(1, 1): "0", (1, 0): "1", (1, "x"): "x",
+                 ("x", "x"): "x"}),
+        ("NAND", {(1, 1): "0", (0, "x"): "1", (1, "x"): "x"}),
+        ("NOR", {(0, 0): "1", (1, "x"): "0", (0, "x"): "x"}),
+        ("XNOR", {(1, 1): "1", (1, "x"): "x"}),
+    ])
+    def test_two_input_kinds(self, kind, table):
+        nl = Netlist("k")
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        y = nl.add_net("y")
+        nl.mark_input(a)
+        nl.mark_input(b)
+        nl.add_gate("g", kind, [a, b], y)
+        nl.mark_output(y)
+        sim = CycleSim(CompiledNetlist(nl))
+        from repro.logic.value import coerce
+        for (va, vb), expect in table.items():
+            sim.set_net(a, coerce(va))
+            sim.set_net(b, coerce(vb))
+            sim.settle()
+            assert sim.get_net(y) is coerce(expect), (kind, va, vb)
+
+    def test_not_buf_ties(self):
+        nl = Netlist("k")
+        a = nl.add_net("a")
+        n1 = nl.add_net("n1")
+        n2 = nl.add_net("n2")
+        t0 = nl.add_net("t0")
+        t1 = nl.add_net("t1")
+        nl.mark_input(a)
+        nl.add_gate("g0", "NOT", [a], n1)
+        nl.add_gate("g1", "BUF", [n1], n2)
+        nl.add_gate("g2", "TIE0", [], t0)
+        nl.add_gate("g3", "TIE1", [], t1)
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_net(a, Logic.L0)
+        sim.settle()
+        assert sim.get_net(n2) is Logic.L1
+        assert sim.get_net(t0) is Logic.L0
+        assert sim.get_net(t1) is Logic.L1
+        sim.set_net(a, Logic.X)
+        sim.settle()
+        assert sim.get_net(n2) is Logic.X
+
+    def test_mux2_x_select_agreement(self):
+        nl = Netlist("m")
+        d0 = nl.add_net("d0")
+        d1 = nl.add_net("d1")
+        s = nl.add_net("s")
+        y = nl.add_net("y")
+        for n in (d0, d1, s):
+            nl.mark_input(n)
+        nl.add_gate("g", "MUX2", [d0, d1, s], y)
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_net(d0, Logic.L1)
+        sim.set_net(d1, Logic.L1)
+        sim.set_net(s, Logic.X)
+        sim.settle()
+        assert sim.get_net(y) is Logic.L1
+        sim.set_net(d1, Logic.L0)
+        sim.settle()
+        assert sim.get_net(y) is Logic.X
+
+
+class TestFlopSemantics:
+    def build_dff(self, kind):
+        nl = Netlist("f")
+        pins = [nl.add_net("d")]
+        nl.mark_input(pins[0])
+        if "E" in kind:
+            e = nl.add_net("e")
+            nl.mark_input(e)
+            pins.append(e)
+        if kind.endswith("R"):
+            r = nl.add_net("r")
+            nl.mark_input(r)
+            pins.append(r)
+        q = nl.add_net("q")
+        nl.add_gate("ff", kind, pins, q)
+        nl.mark_output(q)
+        return nl, CycleSim(CompiledNetlist(nl))
+
+    def test_dff_copies_d(self):
+        nl, sim = self.build_dff("DFF")
+        sim.set_input("d", Logic.L1)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.L1
+
+    def test_dffr_reset_dominates(self):
+        nl, sim = self.build_dff("DFFR")
+        sim.set_input("d", Logic.L1)
+        sim.set_input("r", Logic.L1)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.L0
+
+    def test_dffr_x_reset_merges(self):
+        nl, sim = self.build_dff("DFFR")
+        sim.set_input("d", Logic.L1)
+        sim.set_input("r", Logic.X)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.X
+        # merge(0, 0) stays known
+        sim.set_input("d", Logic.L0)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.L0
+
+    def test_dffe_hold_and_load(self):
+        nl, sim = self.build_dff("DFFE")
+        sim.set_input("d", Logic.L1)
+        sim.set_input("e", Logic.L1)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.L1
+        sim.set_input("d", Logic.L0)
+        sim.set_input("e", Logic.L0)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.L1  # held
+
+    def test_dffe_x_enable_merges(self):
+        nl, sim = self.build_dff("DFFE")
+        sim.set_input("d", Logic.L1)
+        sim.set_input("e", Logic.L1)
+        sim.step()
+        sim.set_input("d", Logic.L0)
+        sim.set_input("e", Logic.X)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.X
+        # agreeing data stays known even under X enable
+        sim.set_input("d", Logic.X)
+        sim.set_input("e", Logic.L1)
+        sim.step()
+        sim.set_input("e", Logic.X)
+        sim.step()
+        assert sim.get_net(nl.net_index("q")) is Logic.X
+
+
+class TestForcing:
+    def test_force_overrides_driver(self):
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", Logic.L1)
+        sim.set_input("b", Logic.X)
+        sim.settle()
+        y = nl.net_index("y")
+        assert sim.get_net(y) is Logic.X
+        sim.force(y, Logic.L1)
+        sim.settle()
+        assert sim.get_net(y) is Logic.L1
+        sim.release(y)
+        sim.settle()
+        assert sim.get_net(y) is Logic.X
+
+    def test_force_propagates_downstream(self):
+        d = Design("t")
+        a = d.input("a")
+        n = d.name_sig("mid", a)
+        d.output("y", ~n)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", Logic.X)
+        sim.settle()
+        assert sim.get_net(nl.net_index("y")) is Logic.X
+        sim.force(nl.net_index("mid"), Logic.L0)
+        sim.settle()
+        assert sim.get_net(nl.net_index("y")) is Logic.L1
+
+    def test_force_replaced(self):
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        y = nl.net_index("y")
+        sim.force(y, Logic.L0)
+        sim.force(y, Logic.L1)
+        sim.settle()
+        assert sim.get_net(y) is Logic.L1
+        sim.release()
+        assert sim._force_nets.size == 0
+
+
+class TestSnapshotRestore:
+    def make_counter(self):
+        d = Design("cnt")
+        r = d.reg(4, "cnt", reset=True)
+        s, _ = r.q.add(d.const(1, 4))
+        r.drive(s)
+        d.output("y", r.q)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.attach_memory(XMemory(4, 8, name="m"))
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        return nl, sim
+
+    def test_snapshot_restore_roundtrip(self):
+        nl, sim = self.make_counter()
+        for _ in range(3):
+            sim.step()
+        sim.memories["m"].load_word(2, 0xAB)
+        snap = sim.snapshot(pc=3)
+        for _ in range(5):
+            sim.step()
+        sim.memories["m"].load_word(2, 0x11)
+        sim.restore(snap)
+        sim.settle()
+        assert sim.get_bus(nl.bus("y", 4)).to_int() == 3
+        assert sim.memories["m"].read_concrete(2).to_int() == 0xAB
+        assert sim.cycle == snap.cycle
+
+    def test_restore_requires_matching_shape(self):
+        _, sim = self.make_counter()
+        snap = sim.snapshot()
+        other = comb_xor_netlist()
+        other_sim = CycleSim(CompiledNetlist(other))
+        with pytest.raises(ValueError):
+            other_sim.restore(snap)
+
+    def test_restore_clears_forces(self):
+        nl, sim = self.make_counter()
+        snap = sim.snapshot()
+        sim.force(nl.net_index("y[0]"), Logic.L1)
+        sim.restore(snap)
+        assert sim._force_nets.size == 0
+
+
+class TestActivity:
+    def test_toggles_recorded_after_arming(self):
+        nl, sim = TestSnapshotRestore().make_counter()
+        sim.settle()
+        sim.arm_activity()
+        for _ in range(2):
+            sim.step()
+        sim.settle()
+        sim.record_activity_now()
+        assert sim.exercised_nets()[nl.net_index("y[0]")]
+
+    def test_no_activity_before_arming(self):
+        nl, sim = TestSnapshotRestore().make_counter()
+        for _ in range(3):
+            sim.step()
+        assert not sim.exercised_nets().any()
+
+    def test_ever_x_counts_as_exercised(self):
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", Logic.L0)
+        sim.set_input("b", Logic.L0)
+        sim.settle()
+        sim.arm_activity()
+        sim.set_input("a", Logic.X)
+        sim.settle()
+        sim.record_activity_now()
+        assert sim.exercised_nets()[nl.net_index("y")]
+
+    def test_reset_activity(self):
+        nl, sim = TestSnapshotRestore().make_counter()
+        sim.settle()
+        sim.arm_activity()
+        sim.step()
+        sim.reset_activity()
+        assert not sim.exercised_nets().any()

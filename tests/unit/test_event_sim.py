@@ -1,0 +1,311 @@
+"""Unit tests for the event-driven kernel and the Symbolic event region."""
+
+import pytest
+
+from repro.logic import Logic
+from repro.logic.symbol import SymBit
+from repro.netlist import Netlist
+from repro.rtl import Design
+from repro.sim import (EventScheduler, EventSim, HaltSimulation,
+                       LabeledSymbolDomain, MonitorX, Region)
+from repro.sim.tasks import (InitializeState, load_state_file,
+                             parse_signal_list, save_state_file)
+
+
+def nand_latch_free_netlist():
+    nl = Netlist("comb")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    n1 = nl.add_net("n1")
+    y = nl.add_net("y")
+    nl.mark_input(a)
+    nl.mark_input(b)
+    nl.add_gate("g0", "NAND", [a, b], n1)
+    nl.add_gate("g1", "NOT", [n1], y)
+    nl.mark_output(y)
+    return nl
+
+
+def counter_design(width=4):
+    d = Design("cnt")
+    en = d.input("en")
+    r = d.reg(width, "cnt", reset=True)
+    s, _ = r.q.add(d.const(1, width))
+    r.drive(s, enable=en)
+    d.output("y", r.q)
+    return d.finalize()
+
+
+class TestScheduler:
+    def test_regions_execute_in_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(Region.SYMBOLIC, lambda: order.append("sym"))
+        sched.schedule(Region.NBA, lambda: order.append("nba"))
+        sched.schedule(Region.ACTIVE, lambda: order.append("act"))
+        sched.run_time_step()
+        assert order == ["act", "nba", "sym"]
+
+    def test_nba_event_scheduling_active_reenters(self):
+        sched = EventScheduler()
+        order = []
+
+        def nba_event():
+            order.append("nba")
+            sched.schedule(Region.ACTIVE, lambda: order.append("act2"))
+
+        sched.schedule(Region.NBA, nba_event)
+        sched.run_time_step()
+        assert order == ["nba", "act2"]
+
+    def test_symbolic_runs_only_when_settled(self):
+        sched = EventScheduler()
+        order = []
+
+        def sym():
+            order.append("sym")
+
+        def act():
+            order.append("act")
+            sched.schedule(Region.NBA, lambda: order.append("nba"))
+
+        sched.schedule(Region.SYMBOLIC, sym)
+        sched.schedule(Region.ACTIVE, act)
+        sched.run_time_step()
+        assert order == ["act", "nba", "sym"]
+
+    def test_future_scheduling_and_advance(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(Region.ACTIVE, lambda: hits.append(sched.time),
+                       delay=5)
+        sched.schedule(Region.ACTIVE, lambda: hits.append(sched.time),
+                       delay=2)
+        sched.run()
+        assert hits == [2, 5]
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(Region.ACTIVE, lambda: None, delay=-1)
+
+    def test_event_count(self):
+        sched = EventScheduler()
+        for _ in range(3):
+            sched.schedule(Region.ACTIVE, lambda: None)
+        sched.run_time_step()
+        assert sched.events_executed == 3
+
+    def test_figure2_region_trace(self):
+        """The paper's Figure 2 ordering, observed through the trace:
+        within every time step, Symbolic events execute strictly after
+        all other regions."""
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.add_symbolic_task(lambda s: None)
+        sim.scheduler.trace = []
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L1)
+        for _ in range(3):
+            sim.tick()
+        by_time = {}
+        for when, region in sim.scheduler.trace:
+            by_time.setdefault(when, []).append(region)
+        assert by_time, "trace empty"
+        symbolic_steps = 0
+        for regions in by_time.values():
+            if int(Region.SYMBOLIC) not in regions:
+                continue
+            symbolic_steps += 1
+            first_sym = regions.index(int(Region.SYMBOLIC))
+            assert all(r == int(Region.SYMBOLIC)
+                       for r in regions[first_sym:])
+        assert symbolic_steps >= 3
+
+
+class TestEventSim:
+    def test_combinational_propagation(self):
+        nl = nand_latch_free_netlist()
+        sim = EventSim(nl)
+        sim.poke_by_name("a", Logic.L1)
+        sim.poke_by_name("b", Logic.L1)
+        sim.settle()
+        assert sim.get_logic_by_name("y") is Logic.L1
+
+    def test_x_propagation(self):
+        nl = nand_latch_free_netlist()
+        sim = EventSim(nl)
+        sim.poke_by_name("a", Logic.L0)
+        sim.poke_by_name("b", Logic.X)
+        sim.settle()
+        assert sim.get_logic_by_name("y") is Logic.L0  # AND(0, x) = 0
+
+    def test_poke_gate_driven_net_rejected(self):
+        nl = nand_latch_free_netlist()
+        sim = EventSim(nl)
+        with pytest.raises(ValueError):
+            sim.poke_by_name("y", Logic.L1)
+
+    def test_counter_ticks(self):
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L0)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        sim.poke_by_name("en", Logic.L1)
+        for _ in range(5):
+            sim.tick()
+        got = [sim.get_logic_by_name(f"y[{i}]") for i in range(4)]
+        assert [g is Logic.L1 for g in got] == [True, False, True, False]
+
+    def test_save_restore_state(self):
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L1)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        for _ in range(3):
+            sim.tick()
+        state = sim.save_state()
+        for _ in range(4):
+            sim.tick()
+        sim.restore_state(state)
+        got = [sim.get_logic_by_name(f"y[{i}]") for i in range(4)]
+        assert [g is Logic.L1 for g in got] == [True, True, False, False]
+        assert sim.cycle == 4
+
+    def test_restore_wrong_design_rejected(self):
+        sim1 = EventSim(counter_design())
+        sim2 = EventSim(nand_latch_free_netlist())
+        with pytest.raises(ValueError):
+            sim2.restore_state(sim1.save_state())
+
+    def test_state_file_roundtrip(self, tmp_path):
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L1)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        sim.tick()
+        path = tmp_path / "sim_state.log"
+        save_state_file(path, sim.save_state())
+        sim.tick()
+        sim.tick()
+        InitializeState(path)(sim)
+        got = [sim.get_logic_by_name(f"y[{i}]") for i in range(4)]
+        assert [g is Logic.L1 for g in got] == [True, False, False, False]
+
+
+class TestMonitorX:
+    def test_parse_signal_list(self):
+        text = "# flags\nsr_n\nsr_z  # zero\n\nsr_c\n"
+        assert parse_signal_list(text) == ["sr_n", "sr_z", "sr_c"]
+
+    def test_monitor_halts_on_x(self):
+        nl = counter_design()
+        sim = EventSim(nl)
+        monitor = MonitorX(["y[0]"])
+        sim.add_symbolic_task(monitor)
+        sim.poke_by_name("rst", Logic.L0)
+        sim.poke_by_name("en", Logic.X)
+        with pytest.raises(HaltSimulation) as err:
+            sim.run(10)
+        assert err.value.reason == "monitor_x"
+        assert monitor.triggered_signals == ["y[0]"]
+
+    def test_monitor_quiet_when_known(self):
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.add_symbolic_task(MonitorX(["y[0]"]))
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L1)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        assert sim.run(5) == 5
+
+    def test_monitor_qualifier_gates_halt(self):
+        nl = counter_design()
+        sim = EventSim(nl)
+        # qualified by en: en is 0 -> no halt even though y is X
+        sim.add_symbolic_task(MonitorX(["y[0]"], qualifier="en"))
+        sim.poke_by_name("rst", Logic.L0)
+        sim.poke_by_name("en", Logic.L0)
+        assert sim.run(3) == 3
+
+    def test_monitor_from_file(self, tmp_path):
+        f = tmp_path / "control_signals.ini"
+        f.write_text("y[0]\ny[1]\n")
+        monitor = MonitorX(f)
+        assert monitor.signal_names == ["y[0]", "y[1]"]
+
+    def test_monitor_needs_signals(self):
+        with pytest.raises(ValueError):
+            MonitorX([])
+
+    def test_halt_and_continue_from_saved_state(self):
+        """The paper's full halt/fork/resume loop on the event kernel:
+        halt on X, save the state, make copies with the X re-interpreted
+        as 0 and 1 ("modify each copy with the status that allows the
+        processor to take one of the possible executions"), resume."""
+        nl = counter_design()
+        sim = EventSim(nl)
+        sim.add_symbolic_task(MonitorX(["cnt[0]"]))
+        sim.poke_by_name("rst", Logic.L1)
+        sim.poke_by_name("en", Logic.L1)
+        sim.tick()
+        sim.poke_by_name("rst", Logic.L0)
+        sim.poke_by_name("en", Logic.X)     # unknown enable
+        with pytest.raises(HaltSimulation):
+            sim.run(5)
+        state = sim.save_state()
+        cnt0 = nl.net_index("cnt[0]")
+        assert state["values"][cnt0] is Logic.X
+        # fork: one copy per re-interpretation of the X state bit
+        finals = []
+        for forced in (Logic.L0, Logic.L1):
+            fork = dict(state)
+            fork["values"] = list(state["values"])
+            fork["values"][cnt0] = forced
+            sim.restore_state(fork)
+            assert sim.get_logic_by_name("cnt[0]") is forced
+            sim.poke_by_name("en", Logic.L0)  # deterministic continuation
+            sim.run(1)
+            finals.append([sim.get_logic_by_name(f"y[{i}]")
+                           for i in range(4)])
+        assert finals[0] != finals[1]
+
+
+class TestLabeledDomain:
+    def test_xor_cancellation_through_gates(self):
+        nl = Netlist("x")
+        a = nl.add_net("a")
+        y = nl.add_net("y")
+        nl.mark_input(a)
+        nl.add_gate("g", "XOR", [a, a], y)
+        sim = EventSim(nl, domain=LabeledSymbolDomain())
+        sim.poke(a, SymBit.symbol("s0"))
+        sim.settle()
+        assert sim.get_logic(y) is Logic.L0
+
+    def test_plain_domain_cannot_cancel(self):
+        nl = Netlist("x")
+        a = nl.add_net("a")
+        y = nl.add_net("y")
+        nl.mark_input(a)
+        nl.add_gate("g", "XOR", [a, a], y)
+        sim = EventSim(nl)
+        sim.poke(a, Logic.X)
+        sim.settle()
+        assert sim.get_logic(y) is Logic.X
+
+    def test_taint_reaches_output(self):
+        nl = nand_latch_free_netlist()
+        sim = EventSim(nl, domain=LabeledSymbolDomain())
+        sim.poke(nl.net_index("a"),
+                 SymBit.symbol("k", taint=frozenset({"secret"})))
+        sim.poke(nl.net_index("b"), SymBit.const(1))
+        sim.settle()
+        assert "secret" in sim.get(nl.net_index("y")).taint

@@ -1,0 +1,76 @@
+"""Unit tests for the power-gating (per-path activity) analysis."""
+
+import pytest
+
+from repro.analysis import analyze_gating, gating_from_result
+from repro.coanalysis import CoAnalysisEngine
+from repro.workloads import WORKLOADS, build_target
+
+from .test_coanalysis import ToyTarget, toy_design
+
+
+class TestToyGating:
+    @pytest.fixture(scope="class")
+    def report(self):
+        target = ToyTarget(toy_design())
+        return target, analyze_gating(target, application="toy")
+
+    def test_classes_partition_the_netlist(self, report):
+        target, rep = report
+        total = len(rep.always) + len(rep.sometimes) + len(rep.never)
+        assert total == target.netlist.gate_count()
+
+    def test_two_executions_considered(self, report):
+        _, rep = report
+        assert rep.paths_considered == 2   # taken / not-taken
+
+    def test_fractions_bounded(self, report):
+        _, rep = report
+        assert all(0.0 <= f <= 1.0
+                   for f in rep.exercise_fraction.values())
+        for g in rep.always:
+            assert rep.exercise_fraction[g] == 1.0
+
+    def test_area_accounting(self, report):
+        target, rep = report
+        assert rep.always_area + rep.sometimes_area + rep.never_area == \
+            pytest.approx(target.netlist.area())
+        assert 0 <= rep.gateable_area_percent <= 100
+
+
+class TestResultRequirements:
+    def test_requires_per_path_activity(self):
+        target = ToyTarget(toy_design())
+        result = CoAnalysisEngine(target, application="toy").run()
+        with pytest.raises(ValueError):
+            gating_from_result(target.netlist, result)
+
+    def test_per_path_union_matches_profile(self):
+        """The per-segment recording must not change the global profile."""
+        target = ToyTarget(toy_design())
+        plain = CoAnalysisEngine(target, application="toy").run()
+        recorded = CoAnalysisEngine(
+            target, application="toy",
+            record_per_path_activity=True).run()
+        assert (plain.profile.exercised_nets()
+                == recorded.profile.exercised_nets()).all()
+        assert plain.paths_created == recorded.paths_created
+
+    def test_segments_align_with_records(self):
+        target = ToyTarget(toy_design())
+        result = CoAnalysisEngine(
+            target, application="toy",
+            record_per_path_activity=True).run()
+        assert len(result.per_path_exercised) == len(result.path_records)
+
+
+class TestCoreGating:
+    def test_divider_has_path_dependent_gates(self):
+        """Div's subtract-or-exit structure leaves some gates exercised
+        only on executions that enter the loop body."""
+        target = build_target("dr5", WORKLOADS["Div"])
+        rep = analyze_gating(target, application="Div")
+        assert rep.paths_considered > 5
+        assert rep.sometimes, "expected path-dependent gates on Div"
+        assert rep.gateable_area_percent > \
+            100.0 * rep.never_area / target.netlist.area()

@@ -1,0 +1,207 @@
+"""Unit tests for the assembler framework and the three ISA encoders."""
+
+import pytest
+
+from repro.isa import (AsmError, Bm32Assembler, Dr5Assembler,
+                       Msp430Assembler)
+from repro.isa import mips32, msp430, rv32e
+
+
+class TestFramework:
+    def test_labels_and_comments(self):
+        prog = Msp430Assembler().assemble("""
+        ; comment
+        start:  movi r1, 4    # trailing comment
+        loop:   jmp loop
+        """)
+        assert prog.labels["start"] == 0
+        assert prog.labels["loop"] == 1
+        assert prog.size == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            Msp430Assembler().assemble("a:\na:\n movi r0, 1")
+
+    def test_org_and_word(self):
+        prog = Msp430Assembler().assemble("""
+        .org 4
+        data: .word 0xBEEF
+        """)
+        assert prog.labels["data"] == 4
+        assert prog.words[4] == 0xBEEF
+        assert prog.words[0] == 0
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError) as err:
+            Msp430Assembler().assemble("frobnicate r1, r2")
+        assert "frobnicate" in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as err:
+            Msp430Assembler().assemble("movi r1, 1\nbogus r1")
+        assert "line 2" in str(err.value)
+
+    def test_label_as_operand(self):
+        prog = Msp430Assembler().assemble("""
+        jmp end
+        movi r1, 1
+        end: jmp end
+        """)
+        assert prog.words[0] & 0x3FF == 2
+
+    def test_halt_label_property(self):
+        prog = Msp430Assembler().assemble("_halt: jmp _halt")
+        assert prog.halt_address == 0
+        prog2 = Msp430Assembler().assemble("movi r1, 1")
+        with pytest.raises(AsmError):
+            prog2.halt_address
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            Msp430Assembler().assemble("movi rx, 1")
+
+    def test_mem_operand_parsing(self):
+        prog = Msp430Assembler().assemble("ld r1, -2(r3)")
+        word = prog.words[0]
+        assert (word >> 12) == msp430.OP_LD
+        assert (word >> 9) & 7 == 1
+        assert (word >> 6) & 7 == 3
+        assert word & 0x3F == 0x3E  # -2 in 6-bit two's complement
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(AsmError):
+            Msp430Assembler().assemble("ld r1, 40(r3)")
+
+
+class TestMsp430Encodings:
+    def test_two_reg_ops(self):
+        a = Msp430Assembler()
+        for mn, op in (("mov", msp430.OP_MOV), ("add", msp430.OP_ADD),
+                       ("sub", msp430.OP_SUB), ("cmp", msp430.OP_CMP),
+                       ("and", msp430.OP_AND), ("bis", msp430.OP_BIS),
+                       ("xor", msp430.OP_XOR)):
+            word = a.assemble(f"{mn} r2, r5").words[0]
+            assert word >> 12 == op
+            assert (word >> 9) & 7 == 2
+            assert (word >> 6) & 7 == 5
+
+    def test_movi_masks_low_byte(self):
+        word = Msp430Assembler().assemble("movi r1, 0x1FF").words[0]
+        assert word & 0xFF == 0xFF
+
+    def test_li_expands_to_two_words(self):
+        prog = Msp430Assembler().assemble("li r1, 0x1234")
+        assert prog.size == 2
+        assert prog.words[0] >> 12 == msp430.OP_MOVI
+        assert prog.words[1] >> 12 == msp430.OP_MOVHI
+        assert prog.words[1] & 0xFF == 0x12
+
+    def test_jcc_conditions(self):
+        a = Msp430Assembler()
+        for mn, cond in (("jeq", msp430.COND_JEQ), ("jne", msp430.COND_JNE),
+                         ("jc", msp430.COND_JC), ("jl", msp430.COND_JL)):
+            word = a.assemble(f"t: {mn} t").words[0]
+            assert word >> 12 == msp430.OP_JCC
+            assert (word >> 9) & 7 == cond
+
+    def test_shift_ops(self):
+        a = Msp430Assembler()
+        word = a.assemble("rra r3").words[0]
+        assert word >> 12 == msp430.OP_SHIFT
+        assert (word >> 6) & 7 == msp430.SH_RRA
+        word = a.assemble("srl r3").words[0]
+        assert (word >> 6) & 7 == msp430.SH_SRL
+
+    def test_peripheral_map_is_paged(self):
+        assert msp430.MPY_OP1 == 0x100
+        assert msp430.TA_CCR == 0x10A
+
+
+class TestBm32Encodings:
+    def test_rtype(self):
+        word = Bm32Assembler().assemble("addu r3, r1, r2").words[0]
+        assert word >> 26 == 0
+        assert word & 0x3F == mips32.F_ADDU
+        assert (word >> 23) & 7 == 1   # rs
+        assert (word >> 20) & 7 == 2   # rt
+        assert (word >> 17) & 7 == 3   # rd
+
+    def test_shift_encodes_shamt(self):
+        word = Bm32Assembler().assemble("sll r3, r2, 7").words[0]
+        assert (word >> 6) & 0x1F == 7
+        assert word & 0x3F == mips32.F_SLL
+
+    def test_mult_and_moves(self):
+        a = Bm32Assembler()
+        assert a.assemble("mult r1, r2").words[0] & 0x3F == mips32.F_MULT
+        assert a.assemble("mflo r4").words[0] & 0x3F == mips32.F_MFLO
+        assert a.assemble("mfhi r4").words[0] & 0x3F == mips32.F_MFHI
+
+    def test_branches(self):
+        word = Bm32Assembler().assemble("t: beq r1, r2, t").words[0]
+        assert word >> 26 == mips32.OP_BEQ
+        word = Bm32Assembler().assemble("t: bne r1, r2, t").words[0]
+        assert word >> 26 == mips32.OP_BNE
+
+    def test_lw_sw_negative_offset(self):
+        word = Bm32Assembler().assemble("lw r1, -1(r2)").words[0]
+        assert word >> 26 == mips32.OP_LW
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_li_expansion(self):
+        prog = Bm32Assembler().assemble("li r1, 0x12345678")
+        assert prog.size == 2
+        assert prog.words[0] >> 26 == mips32.OP_LUI
+        assert prog.words[0] & 0xFFFF == 0x1234
+        assert prog.words[1] & 0xFFFF == 0x5678
+
+    def test_addiu_range_checked(self):
+        with pytest.raises(AsmError):
+            Bm32Assembler().assemble("addiu r1, r0, 70000")
+
+    def test_pseudos(self):
+        a = Bm32Assembler()
+        assert a.assemble("nop").words[0] == 0
+        prog = a.assemble("move r2, r3")
+        assert prog.words[0] & 0x3F == mips32.F_ADDU
+
+
+class TestDr5Encodings:
+    def test_rtype_vs_imm_dispatch(self):
+        a = Dr5Assembler()
+        r = a.assemble("add r3, r1, r2").words[0]
+        assert r >> 26 == rv32e.OP_RTYPE
+        assert r & 0x3F == rv32e.F_ADD
+        i = a.assemble("addi r3, r1, 5").words[0]
+        assert i >> 26 == rv32e.OP_ADDI
+
+    def test_all_branches(self):
+        a = Dr5Assembler()
+        for mn, op in (("beq", rv32e.OP_BEQ), ("bne", rv32e.OP_BNE),
+                       ("blt", rv32e.OP_BLT), ("bge", rv32e.OP_BGE),
+                       ("bltu", rv32e.OP_BLTU), ("bgeu", rv32e.OP_BGEU)):
+            word = a.assemble(f"t: {mn} r1, r2, t").words[0]
+            assert word >> 26 == op
+
+    def test_shifts_immediate(self):
+        word = Dr5Assembler().assemble("slli r2, r1, 4").words[0]
+        assert word >> 26 == rv32e.OP_SLLI
+        assert (word >> 6) & 0x1F == 4
+
+    def test_jal_and_j(self):
+        a = Dr5Assembler()
+        word = a.assemble("t: jal r1, t").words[0]
+        assert word >> 26 == rv32e.OP_JAL
+        assert (word >> 17) & 7 == 1
+        word = a.assemble("t: j t").words[0]
+        assert (word >> 17) & 7 == 0   # j == jal r0
+
+    def test_sw_operand_order(self):
+        word = Dr5Assembler().assemble("sw r2, 3(r1)").words[0]
+        assert word >> 26 == rv32e.OP_SW
+        assert (word >> 23) & 7 == 1   # base in rs1
+        assert (word >> 20) & 7 == 2   # stored reg in rs2
+
+    def test_no_multiplier_mnemonic(self):
+        with pytest.raises(AsmError):
+            Dr5Assembler().assemble("mult r1, r2")

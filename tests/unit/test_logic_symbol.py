@@ -1,0 +1,168 @@
+"""Unit tests for labeled symbolic bits (Fig. 4) and taint propagation."""
+
+from repro.logic.symbol import SymBit, SymbolAllocator, nand_, nor_, xnor_
+from repro.logic.value import Logic
+
+
+def sym(name):
+    return SymBit.symbol(name)
+
+
+class TestConstants:
+    def test_const_projection(self):
+        assert SymBit.const(0).level is Logic.L0
+        assert SymBit.const(1).level is Logic.L1
+
+    def test_unknown_projection(self):
+        assert SymBit.unknown().level is Logic.X
+
+    def test_from_logic_normalizes_z(self):
+        assert SymBit.from_logic(Logic.Z).level is Logic.X
+
+
+class TestSameSymbolRecombination:
+    """The Fig. 4 (left) cases: identified symbols resolve."""
+
+    def test_xor_same_symbol_is_zero(self):
+        a = sym("a")
+        assert a.xor_(a).level is Logic.L0
+
+    def test_xor_complement_is_one(self):
+        a = sym("a")
+        assert a.xor_(a.inv()).level is Logic.L1
+
+    def test_and_complement_is_zero(self):
+        a = sym("a")
+        assert a.and_(a.inv()).level is Logic.L0
+
+    def test_or_complement_is_one(self):
+        a = sym("a")
+        assert a.or_(a.inv()).level is Logic.L1
+
+    def test_and_same_symbol_keeps_identity(self):
+        a = sym("a")
+        out = a.and_(a)
+        assert out.sym == "a" and not out.neg
+
+    def test_or_same_symbol_keeps_identity(self):
+        a = sym("a")
+        out = a.or_(a)
+        assert out.sym == "a"
+
+    def test_double_negation(self):
+        a = sym("a")
+        out = a.inv().inv()
+        assert out.sym == "a" and not out.neg
+
+
+class TestDistinctSymbolsDegrade:
+    """Fig. 4 (right): distinct unknowns cannot resolve."""
+
+    def test_xor_distinct_is_x(self):
+        out = sym("a").xor_(sym("b"))
+        assert out.level is Logic.X and out.sym is None
+
+    def test_and_distinct_is_x(self):
+        out = sym("a").and_(sym("b"))
+        assert out.level is Logic.X and out.sym is None
+
+
+class TestControllingValues:
+    def test_and_zero_dominates(self):
+        assert SymBit.const(0).and_(sym("a")).level is Logic.L0
+
+    def test_or_one_dominates(self):
+        assert SymBit.const(1).or_(sym("a")).level is Logic.L1
+
+    def test_and_one_passes_symbol(self):
+        out = SymBit.const(1).and_(sym("a"))
+        assert out.sym == "a"
+
+    def test_xor_with_zero_passes(self):
+        out = sym("a").xor_(SymBit.const(0))
+        assert out.sym == "a" and not out.neg
+
+    def test_xor_with_one_inverts(self):
+        out = sym("a").xor_(SymBit.const(1))
+        assert out.sym == "a" and out.neg
+
+
+class TestMux:
+    def test_select_zero(self):
+        out = SymBit.const(0).mux(sym("a"), sym("b"))
+        assert out.sym == "a"
+
+    def test_select_one(self):
+        out = SymBit.const(1).mux(sym("a"), sym("b"))
+        assert out.sym == "b"
+
+    def test_x_select_agreeing_consts(self):
+        out = sym("s").mux(SymBit.const(1), SymBit.const(1))
+        assert out.level is Logic.L1
+
+    def test_x_select_same_symbol_data(self):
+        a = sym("a")
+        out = sym("s").mux(a, a)
+        assert out.sym == "a"
+
+    def test_x_select_distinct_data(self):
+        out = sym("s").mux(sym("a"), sym("b"))
+        assert out.level is Logic.X and out.sym is None
+
+
+class TestDerivedGates:
+    def test_nand(self):
+        assert nand_(SymBit.const(1), SymBit.const(1)).level is Logic.L0
+        assert nand_(SymBit.const(0), sym("a")).level is Logic.L1
+
+    def test_nor(self):
+        assert nor_(SymBit.const(0), SymBit.const(0)).level is Logic.L1
+
+    def test_xnor_same_symbol(self):
+        a = sym("a")
+        assert xnor_(a, a).level is Logic.L1
+
+
+class TestTaint:
+    def test_taint_unions_through_and(self):
+        a = SymBit.symbol("a", taint=frozenset({"net"}))
+        b = SymBit.symbol("b", taint=frozenset({"disk"}))
+        assert a.and_(b).taint == {"net", "disk"}
+
+    def test_taint_survives_controlling_value(self):
+        secret = SymBit.symbol("k", taint=frozenset({"key"}))
+        gated = SymBit.const(0).and_(secret)
+        assert gated.level is Logic.L0
+        assert "key" in gated.taint
+
+    def test_taint_through_inversion(self):
+        a = SymBit.symbol("a", taint=frozenset({"t"}))
+        assert a.inv().taint == {"t"}
+
+    def test_taint_through_xor_cancellation(self):
+        a = SymBit.symbol("a", taint=frozenset({"t"}))
+        out = a.xor_(a)
+        assert out.level is Logic.L0
+        assert out.taint == {"t"}
+
+    def test_taint_through_mux(self):
+        s = SymBit.symbol("s", taint=frozenset({"ctrl"}))
+        out = s.mux(SymBit.const(0), SymBit.const(1))
+        assert "ctrl" in out.taint
+
+
+class TestAllocator:
+    def test_fresh_names_unique(self):
+        alloc = SymbolAllocator()
+        names = {alloc.fresh().sym for _ in range(10)}
+        assert len(names) == 10
+
+    def test_fresh_vector(self):
+        alloc = SymbolAllocator("m")
+        vec = alloc.fresh_vector(4)
+        assert len(vec) == 4
+        assert all(b.sym.startswith("m") for b in vec)
+
+    def test_prefix(self):
+        alloc = SymbolAllocator("inp")
+        assert alloc.fresh().sym == "inp0"

@@ -1,0 +1,174 @@
+"""Unit tests for four-valued scalar logic."""
+
+import pytest
+
+from repro.logic.value import (Logic, coerce, covers, l_and, l_buf, l_mux,
+                               l_nand, l_nor, l_not, l_or, l_xnor, l_xor,
+                               merge, reduce_and, reduce_or, reduce_xor)
+
+L0, L1, X, Z = Logic.L0, Logic.L1, Logic.X, Logic.Z
+
+
+class TestCoerce:
+    def test_from_int(self):
+        assert coerce(0) is L0
+        assert coerce(1) is L1
+
+    def test_from_bool(self):
+        assert coerce(True) is L1
+        assert coerce(False) is L0
+
+    def test_from_str(self):
+        assert coerce("0") is L0
+        assert coerce("1") is L1
+        assert coerce("x") is X
+        assert coerce("X") is X
+        assert coerce("z") is Z
+
+    def test_identity(self):
+        assert coerce(X) is X
+
+    def test_bad_int(self):
+        with pytest.raises(ValueError):
+            coerce(2)
+
+    def test_bad_str(self):
+        with pytest.raises(ValueError):
+            coerce("q")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            coerce(1.5)
+
+
+class TestKleeneGates:
+    def test_and_controlling_zero(self):
+        assert l_and(L0, X) is L0
+        assert l_and(X, L0) is L0
+        assert l_and(L0, Z) is L0
+
+    def test_and_unknown(self):
+        assert l_and(L1, X) is X
+        assert l_and(X, X) is X
+
+    def test_and_known(self):
+        assert l_and(L1, L1) is L1
+        assert l_and(L1, L0) is L0
+
+    def test_or_controlling_one(self):
+        assert l_or(L1, X) is L1
+        assert l_or(X, L1) is L1
+        assert l_or(L1, Z) is L1
+
+    def test_or_unknown(self):
+        assert l_or(L0, X) is X
+        assert l_or(X, X) is X
+
+    def test_xor_never_resolves_x(self):
+        assert l_xor(X, X) is X
+        assert l_xor(L0, X) is X
+        assert l_xor(L1, X) is X
+
+    def test_xor_known(self):
+        assert l_xor(L0, L1) is L1
+        assert l_xor(L1, L1) is L0
+
+    def test_not(self):
+        assert l_not(L0) is L1
+        assert l_not(L1) is L0
+        assert l_not(X) is X
+        assert l_not(Z) is X
+
+    def test_buf_normalizes_z(self):
+        assert l_buf(Z) is X
+        assert l_buf(L1) is L1
+
+    def test_derived_gates(self):
+        assert l_nand(L1, L1) is L0
+        assert l_nand(L0, X) is L1
+        assert l_nor(L0, L0) is L1
+        assert l_nor(L1, X) is L0
+        assert l_xnor(L1, L1) is L1
+        assert l_xnor(L1, X) is X
+
+    def test_z_treated_as_x(self):
+        assert l_and(L1, Z) is X
+        assert l_or(L0, Z) is X
+        assert l_xor(L0, Z) is X
+
+
+class TestMux:
+    def test_known_select(self):
+        assert l_mux(L0, L1, L0) is L1
+        assert l_mux(L1, L1, L0) is L0
+
+    def test_x_select_agreeing_data(self):
+        assert l_mux(X, L1, L1) is L1
+        assert l_mux(X, L0, L0) is L0
+
+    def test_x_select_disagreeing_data(self):
+        assert l_mux(X, L0, L1) is X
+        assert l_mux(X, X, X) is X
+
+    def test_x_select_unknown_data(self):
+        assert l_mux(X, X, L1) is X
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert reduce_and([L1, L1, L1]) is L1
+        assert reduce_and([L1, L0, X]) is L0
+        assert reduce_and([L1, X, L1]) is X
+
+    def test_reduce_or(self):
+        assert reduce_or([L0, L0]) is L0
+        assert reduce_or([L0, L1, X]) is L1
+        assert reduce_or([L0, X]) is X
+
+    def test_reduce_xor(self):
+        assert reduce_xor([L1, L1, L1]) is L1
+        assert reduce_xor([L1, X]) is X
+        assert reduce_xor([]) is L0
+
+
+class TestCoversMerge:
+    def test_x_covers_all(self):
+        for v in (L0, L1, X, Z):
+            assert covers(X, v)
+
+    def test_known_covers_itself_only(self):
+        assert covers(L0, L0)
+        assert not covers(L0, L1)
+        assert not covers(L1, X)
+
+    def test_merge_identical(self):
+        assert merge(L1, L1) is L1
+        assert merge(L0, L0) is L0
+
+    def test_merge_differing_becomes_x(self):
+        assert merge(L0, L1) is X
+        assert merge(L1, X) is X
+
+    def test_merge_covers_both(self):
+        for a in (L0, L1, X):
+            for b in (L0, L1, X):
+                m = merge(a, b)
+                assert covers(m, a)
+                assert covers(m, b)
+
+
+class TestOperators:
+    def test_dunder_ops(self):
+        assert (L1 & L0) is L0
+        assert (L1 | L0) is L1
+        assert (L1 ^ L1) is L0
+        assert (~L1) is L0
+
+    def test_properties(self):
+        assert L0.is_known and L1.is_known
+        assert not X.is_known and not Z.is_known
+        assert X.is_unknown
+
+    def test_str(self):
+        assert str(L0) == "0"
+        assert str(X) == "x"

@@ -1,0 +1,185 @@
+"""Unit tests for four-valued bit-vectors."""
+
+import pytest
+
+from repro.logic.value import Logic
+from repro.logic.vector import LVec, pack_vectors
+
+
+class TestConstruction:
+    def test_from_int(self):
+        v = LVec.from_int(5, 4)
+        assert str(v) == "0101"
+        assert v.to_int() == 5
+
+    def test_from_int_wraps(self):
+        assert LVec.from_int(-1, 4).to_int() == 15
+        assert LVec.from_int(16, 4).to_int() == 0
+
+    def test_from_str_msb_first(self):
+        v = LVec.from_str("10x1")
+        assert v[0] is Logic.L1
+        assert v[1] is Logic.X
+        assert v[3] is Logic.L1
+
+    def test_unknown(self):
+        v = LVec.unknown(8)
+        assert v.count_x() == 8
+        assert not v.is_known
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            LVec.from_int(0, 0)
+
+
+class TestQueries:
+    def test_to_int_raises_on_x(self):
+        with pytest.raises(ValueError):
+            LVec.from_str("1x0").to_int()
+
+    def test_to_int_or(self):
+        assert LVec.from_str("1x0").to_int_or(-1) == -1
+        assert LVec.from_int(3, 4).to_int_or(-1) == 3
+
+    def test_has_x(self):
+        assert LVec.from_str("1x").has_x
+        assert not LVec.from_int(2, 2).has_x
+
+
+class TestStructure:
+    def test_slice(self):
+        v = LVec.from_int(0b1100, 4)
+        assert v[0:2].to_int() == 0
+        assert v[2:4].to_int() == 3
+
+    def test_concat(self):
+        low = LVec.from_int(0b01, 2)
+        high = LVec.from_int(0b10, 2)
+        assert low.concat(high).to_int() == 0b1001
+
+    def test_zext_sext(self):
+        v = LVec.from_int(0b10, 2)
+        assert v.zext(4).to_int() == 0b0010
+        assert v.sext(4).to_int() == 0b1110
+
+    def test_trunc(self):
+        assert LVec.from_int(0b1011, 4).trunc(2).to_int() == 0b11
+
+    def test_replace(self):
+        v = LVec.from_int(0, 4).replace(2, Logic.L1)
+        assert v.to_int() == 4
+
+    def test_pack_vectors(self):
+        packed = pack_vectors([LVec.from_int(1, 2), LVec.from_int(2, 2)])
+        assert packed.to_int() == 0b1001
+
+
+class TestBitwise:
+    def test_and_or_xor_not(self):
+        a = LVec.from_int(0b1100, 4)
+        b = LVec.from_int(0b1010, 4)
+        assert (a & b).to_int() == 0b1000
+        assert (a | b).to_int() == 0b1110
+        assert (a ^ b).to_int() == 0b0110
+        assert (~a).to_int() == 0b0011
+
+    def test_x_with_controlling(self):
+        a = LVec.from_str("x0x1")
+        zeros = LVec.zeros(4)
+        assert str(a & zeros) == "0000"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            LVec.from_int(0, 2) & LVec.from_int(0, 3)
+
+    def test_shifts(self):
+        v = LVec.from_int(0b0110, 4)
+        assert v.shl(1).to_int() == 0b1100
+        assert v.shr(1).to_int() == 0b0011
+        assert LVec.from_int(0b1000, 4).sar(2).to_int() == 0b1110
+
+    def test_shift_beyond_width(self):
+        assert LVec.from_int(0b1111, 4).shl(10).to_int() == 0
+
+
+class TestArithmetic:
+    def test_add_known(self):
+        a = LVec.from_int(7, 8)
+        b = LVec.from_int(9, 8)
+        assert (a + b).to_int() == 16
+
+    def test_add_wraps(self):
+        a = LVec.from_int(255, 8)
+        assert (a + LVec.from_int(1, 8)).to_int() == 0
+
+    def test_sub(self):
+        assert (LVec.from_int(9, 8) - LVec.from_int(5, 8)).to_int() == 4
+
+    def test_sub_underflow_wraps(self):
+        assert (LVec.from_int(0, 4) - LVec.from_int(1, 4)).to_int() == 15
+
+    def test_x_poisons_carry_chain_upward(self):
+        # X in bit 1 of an addend: bits 0 stays known, bits >= 1 unknown
+        a = LVec.from_str("000x0")
+        b = LVec.from_int(0b00010, 5)
+        out = a + b
+        assert out[0] is Logic.L0
+        assert not out[1].is_known
+
+    def test_x_below_does_not_poison_lower_bits(self):
+        a = LVec.from_str("x0000")
+        b = LVec.from_int(1, 5)
+        out = a + b
+        assert out[0] is Logic.L1
+        assert out.trunc(4).is_known
+
+    def test_eq(self):
+        a = LVec.from_int(5, 4)
+        assert a.eq(LVec.from_int(5, 4)) is Logic.L1
+        assert a.eq(LVec.from_int(6, 4)) is Logic.L0
+
+    def test_eq_with_x_can_stay_unknown(self):
+        a = LVec.from_str("010x")
+        assert a.eq(LVec.from_int(0b0100, 4)) is Logic.X
+
+    def test_eq_with_x_resolves_on_known_mismatch(self):
+        a = LVec.from_str("110x")
+        assert a.eq(LVec.from_int(0b0100, 4)) is Logic.L0
+
+    def test_ult(self):
+        assert LVec.from_int(3, 4).ult(LVec.from_int(7, 4)) is Logic.L1
+        assert LVec.from_int(7, 4).ult(LVec.from_int(3, 4)) is Logic.L0
+        assert LVec.from_int(3, 4).ult(LVec.from_int(3, 4)) is Logic.L0
+
+
+class TestCoversMerge:
+    def test_covers_reflexive(self):
+        v = LVec.from_str("10x1")
+        assert v.covers(v)
+
+    def test_x_covers_concrete(self):
+        assert LVec.from_str("xxxx").covers(LVec.from_int(9, 4))
+
+    def test_concrete_does_not_cover_x(self):
+        assert not LVec.from_int(9, 4).covers(LVec.from_str("xxxx"))
+
+    def test_merge_produces_cover(self):
+        a = LVec.from_int(0b0101, 4)
+        b = LVec.from_int(0b0110, 4)
+        m = a.merge(b)
+        assert m.covers(a) and m.covers(b)
+        assert str(m) == "01xx"
+
+    def test_merge_identical_is_identity(self):
+        a = LVec.from_int(0b1010, 4)
+        assert a.merge(a) == a
+
+
+class TestHashEq:
+    def test_equality_and_hash(self):
+        a = LVec.from_int(3, 4)
+        b = LVec.from_int(3, 4)
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert LVec.from_int(3, 4) != LVec.from_int(3, 5)

@@ -1,0 +1,193 @@
+"""Unit tests for the netlist IR and Verilog round-trip."""
+
+import pytest
+
+from repro.netlist import (LIBRARY, Netlist, NetlistError, kind,
+                           parse_verilog, write_verilog)
+
+
+def tiny_netlist():
+    nl = Netlist("tiny")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    n1 = nl.add_net("n1")
+    y = nl.add_net("y")
+    nl.mark_input(a)
+    nl.mark_input(b)
+    nl.add_gate("g0", "NAND", [a, b], n1)
+    nl.add_gate("g1", "NOT", [n1], y)
+    nl.mark_output(y)
+    return nl
+
+
+class TestCells:
+    def test_library_has_core_kinds(self):
+        for name in ("AND", "OR", "NOT", "XOR", "MUX2", "DFF", "DFFER"):
+            assert name in LIBRARY
+
+    def test_kind_lookup_error(self):
+        with pytest.raises(KeyError):
+            kind("FOO")
+
+    def test_arity(self):
+        assert kind("MUX2").arity == 3
+        assert kind("TIE0").arity == 0
+
+    def test_sequential_flag(self):
+        assert kind("DFF").sequential
+        assert not kind("AND").sequential
+
+
+class TestNetlistConstruction:
+    def test_counts(self):
+        nl = tiny_netlist()
+        assert nl.gate_count() == 2
+        assert len(nl.nets) == 4
+        assert nl.area() > 0
+
+    def test_duplicate_net_rejected(self):
+        nl = Netlist("t")
+        nl.add_net("a")
+        with pytest.raises(NetlistError):
+            nl.add_net("a")
+
+    def test_duplicate_gate_rejected(self):
+        nl = tiny_netlist()
+        n2 = nl.add_net("n2")
+        with pytest.raises(NetlistError):
+            nl.add_gate("g0", "NOT", [nl.net_index("a")], n2)
+
+    def test_multiple_drivers_rejected(self):
+        nl = tiny_netlist()
+        with pytest.raises(NetlistError):
+            nl.add_gate("g2", "NOT", [nl.net_index("a")],
+                        nl.net_index("y"))
+
+    def test_driving_primary_input_rejected(self):
+        nl = tiny_netlist()
+        with pytest.raises(NetlistError):
+            nl.add_gate("g2", "NOT", [nl.net_index("y")],
+                        nl.net_index("a"))
+
+    def test_wrong_arity_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_net("a")
+        y = nl.add_net("y")
+        with pytest.raises(NetlistError):
+            nl.add_gate("g", "AND", [a], y)
+
+    def test_net_lookup(self):
+        nl = tiny_netlist()
+        assert nl.net_name(nl.net_index("n1")) == "n1"
+        with pytest.raises(NetlistError):
+            nl.net_index("nope")
+
+    def test_fanout_tracking(self):
+        nl = tiny_netlist()
+        assert nl.nets[nl.net_index("n1")].fanout == [1]
+
+    def test_stats(self):
+        stats = tiny_netlist().stats()
+        assert stats["gates"] == 2
+        assert stats["kind:NAND"] == 1
+
+
+class TestLevelize:
+    def test_levels_increase_along_paths(self):
+        nl = tiny_netlist()
+        levels = nl.levelize()
+        assert levels[0] < levels[1]
+
+    def test_comb_loop_detected(self):
+        nl = Netlist("loop")
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.add_gate("g0", "NOT", [a], b)
+        nl.add_gate("g1", "NOT", [b], a)
+        with pytest.raises(NetlistError):
+            nl.levelize()
+
+    def test_flop_breaks_loop(self):
+        nl = Netlist("seq")
+        q = nl.add_net("q")
+        d = nl.add_net("d")
+        nl.add_gate("inv", "NOT", [q], d)
+        nl.add_gate("ff", "DFF", [d], q)
+        nl.levelize()  # must not raise
+
+    def test_validate_floating_used_net(self):
+        nl = Netlist("f")
+        a = nl.add_net("a")
+        y = nl.add_net("y")
+        nl.add_gate("g", "NOT", [a], y)  # 'a' has no driver, not an input
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+
+class TestClone:
+    def test_clone_is_deep_and_equal_shape(self):
+        nl = tiny_netlist()
+        dup = nl.clone()
+        assert dup.gate_count() == nl.gate_count()
+        assert [n.name for n in dup.nets] == [n.name for n in nl.nets]
+        dup.add_net("extra")
+        assert not nl.has_net("extra")
+
+
+class TestBusHelpers:
+    def test_bus_lookup(self):
+        nl = Netlist("b")
+        for i in range(4):
+            nl.add_net(f"data[{i}]")
+        assert len(nl.bus("data", 4)) == 4
+
+    def test_find_nets_sorts_numerically(self):
+        nl = Netlist("b")
+        for i in (10, 2, 0, 1):
+            nl.add_net(f"d[{i}]")
+        names = [nl.net_name(i) for i in nl.find_nets("d[")]
+        # numeric ordering, not lexicographic
+        assert names.index("d[2]") < names.index("d[10]")
+
+
+class TestVerilogRoundTrip:
+    def test_round_trip_structure(self):
+        nl = tiny_netlist()
+        text = write_verilog(nl)
+        back = parse_verilog(text)
+        assert back.gate_count() == nl.gate_count()
+        assert [g.kind for g in back.gates] == [g.kind for g in nl.gates]
+        assert len(back.inputs) == 2
+        assert len(back.outputs) == 1
+
+    def test_escaped_identifiers_round_trip(self):
+        nl = Netlist("esc")
+        a = nl.add_net("pc[3]")
+        y = nl.add_net("out[0]")
+        nl.mark_input(a)
+        nl.add_gate("g", "BUF", [a], y)
+        nl.mark_output(y)
+        back = parse_verilog(write_verilog(nl))
+        assert back.has_net("pc[3]")
+        assert back.has_net("out[0]")
+
+    def test_verilog_text_contains_module(self):
+        text = write_verilog(tiny_netlist())
+        assert text.startswith("module tiny")
+        assert "endmodule" in text
+        assert "NAND" in text
+
+    def test_parse_rejects_positional_connections(self):
+        bad = """
+        module m (a, y);
+          input a; output y;
+          NOT g (a, y);
+        endmodule
+        """
+        with pytest.raises(NetlistError):
+            parse_verilog(bad)
+
+    def test_parse_with_comments(self):
+        text = write_verilog(tiny_netlist())
+        text = "// header comment\n/* block */\n" + text
+        assert parse_verilog(text).gate_count() == 2

@@ -1,0 +1,154 @@
+"""Unit tests for the shared datapath building blocks."""
+
+import pytest
+
+from repro.logic import Logic, LVec
+from repro.processors.common import (RegisterFile, alu_adder,
+                                     array_multiplier, is_const_eq)
+from repro.rtl import Design
+from repro.sim import CompiledNetlist, CycleSim
+
+
+def evaluate(design, outputs):
+    nl = design.finalize()
+    sim = CycleSim(CompiledNetlist(nl))
+    return nl, sim
+
+
+class TestAluAdder:
+    def build(self):
+        d = Design("alu")
+        a = d.input("a", 8)
+        b = d.input("b", 8)
+        sub = d.input("sub")
+        result, carry, ovf = alu_adder(d, a, b, sub)
+        d.output("r", result)
+        d.output("c", carry)
+        d.output("v", ovf)
+        return evaluate(d, None)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (100, 28), (200, 100)])
+    def test_add(self, a, b):
+        nl, sim = self.build()
+        sim.set_input("a", LVec.from_int(a, 8))
+        sim.set_input("b", LVec.from_int(b, 8))
+        sim.set_input("sub", Logic.L0)
+        sim.settle()
+        assert sim.get_bus(nl.bus("r", 8)).to_int() == (a + b) & 0xFF
+        carry = sim.get_net(nl.net_index("c"))
+        assert (carry is Logic.L1) == (a + b > 0xFF)
+
+    @pytest.mark.parametrize("a,b", [(100, 28), (28, 100), (5, 5)])
+    def test_sub_carry_is_not_borrow(self, a, b):
+        nl, sim = self.build()
+        sim.set_input("a", LVec.from_int(a, 8))
+        sim.set_input("b", LVec.from_int(b, 8))
+        sim.set_input("sub", Logic.L1)
+        sim.settle()
+        assert sim.get_bus(nl.bus("r", 8)).to_int() == (a - b) & 0xFF
+        assert (sim.get_net(nl.net_index("c")) is Logic.L1) == (a >= b)
+
+    def test_signed_overflow(self):
+        nl, sim = self.build()
+        sim.set_input("a", LVec.from_int(0x7F, 8))
+        sim.set_input("b", LVec.from_int(1, 8))
+        sim.set_input("sub", Logic.L0)
+        sim.settle()
+        assert sim.get_net(nl.net_index("v")) is Logic.L1
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 255), (15, 17),
+                                     (255, 255)])
+    def test_products(self, a, b):
+        d = Design("mul")
+        sa = d.input("a", 8)
+        sb = d.input("b", 8)
+        d.output("p", array_multiplier(d, sa, sb))
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", LVec.from_int(a, 8))
+        sim.set_input("b", LVec.from_int(b, 8))
+        sim.settle()
+        assert sim.get_bus(nl.bus("p", 16)).to_int() == a * b
+
+    def test_asymmetric_widths(self):
+        d = Design("mul")
+        sa = d.input("a", 4)
+        sb = d.input("b", 6)
+        d.output("p", array_multiplier(d, sa, sb))
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", LVec.from_int(13, 4))
+        sim.set_input("b", LVec.from_int(47, 6))
+        sim.settle()
+        assert sim.get_bus(nl.bus("p", 10)).to_int() == 13 * 47
+
+
+class TestIsConstEq:
+    @pytest.mark.parametrize("value", [0, 3, 7])
+    def test_match(self, value):
+        d = Design("eq")
+        a = d.input("a", 3)
+        d.output("y", is_const_eq(d, a, value))
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        for probe in range(8):
+            sim.set_input("a", LVec.from_int(probe, 3))
+            sim.settle()
+            expected = Logic.L1 if probe == value else Logic.L0
+            assert sim.get_net(nl.net_index("y")) is expected
+
+
+class TestRegisterFile:
+    def build(self, r0_is_zero=False):
+        d = Design("rf")
+        waddr = d.input("waddr", 2)
+        wdata = d.input("wdata", 8)
+        wen = d.input("wen")
+        raddr = d.input("raddr", 2)
+        rf = RegisterFile(d, 4, 8, r0_is_zero=r0_is_zero)
+        rdata = rf.read(raddr)
+        rf.connect_write(waddr, wdata, wen)
+        d.output("rdata", rdata)
+        nl = d.finalize()
+        return nl, CycleSim(CompiledNetlist(nl))
+
+    def write(self, sim, addr, value):
+        sim.set_input("waddr", LVec.from_int(addr, 2))
+        sim.set_input("wdata", LVec.from_int(value, 8))
+        sim.set_input("wen", Logic.L1)
+        sim.step()
+        sim.set_input("wen", Logic.L0)
+
+    def read(self, nl, sim, addr):
+        sim.set_input("raddr", LVec.from_int(addr, 2))
+        sim.settle()
+        return sim.get_bus(nl.bus("rdata", 8))
+
+    def test_write_then_read(self):
+        nl, sim = self.build()
+        self.write(sim, 2, 0xAB)
+        assert self.read(nl, sim, 2).to_int() == 0xAB
+
+    def test_registers_power_up_unknown(self):
+        nl, sim = self.build()
+        assert self.read(nl, sim, 1).has_x
+
+    def test_write_targets_only_addressed_register(self):
+        nl, sim = self.build()
+        self.write(sim, 1, 0x11)
+        self.write(sim, 3, 0x33)
+        assert self.read(nl, sim, 1).to_int() == 0x11
+        assert self.read(nl, sim, 3).to_int() == 0x33
+
+    def test_r0_hardwired_zero(self):
+        nl, sim = self.build(r0_is_zero=True)
+        assert self.read(nl, sim, 0).to_int() == 0
+        self.write(sim, 0, 0xFF)
+        assert self.read(nl, sim, 0).to_int() == 0
+
+    def test_power_of_two_enforced(self):
+        d = Design("bad")
+        with pytest.raises(ValueError):
+            RegisterFile(d, 3, 8)

@@ -1,0 +1,114 @@
+"""Structural tests of the three processor models (paper Table 2)."""
+
+import pytest
+
+from repro.netlist.cells import SEQ_KINDS
+from repro.workloads import built_core
+
+DESIGNS = ["omsp430", "bm32", "dr5"]
+
+
+@pytest.fixture(params=DESIGNS)
+def core(request):
+    return request.param, *built_core(request.param)
+
+
+class TestStructure:
+    def test_netlist_validates(self, core):
+        _, nl, _ = core
+        nl.validate()
+
+    def test_size_regimes(self, core):
+        """Paper-shape invariant: bm32 is the biggest design."""
+        name, nl, _ = core
+        assert 1000 < nl.gate_count() < 20000
+        bm32_gates = built_core("bm32")[0].gate_count()
+        assert nl.gate_count() <= bm32_gates
+
+    def test_single_clock_flops_only(self, core):
+        _, nl, _ = core
+        assert all(g.kind in SEQ_KINDS for g in nl.seq_gates)
+        assert len(nl.seq_gates) > 50
+
+    def test_memory_ports_exist(self, core):
+        _, nl, meta = core
+        for port, width in (
+                (meta.pmem_addr_port, meta.pc_width),
+                (meta.pmem_data_port, meta.word_width),
+                (meta.dmem_addr_port, meta.dmem_addr_width),
+                (meta.dmem_rdata_port, meta.word_width),
+                (meta.dmem_wdata_port, meta.word_width)):
+            assert nl.bus(port, width), port
+        assert nl.has_net(meta.dmem_we_port)
+
+    def test_control_signals_exist(self, core):
+        _, nl, meta = core
+        assert nl.has_net(meta.branch_point)
+        assert nl.has_net(meta.branch_force)
+        for name in meta.monitored_net_names():
+            assert nl.has_net(name), name
+
+    def test_pc_port(self, core):
+        _, nl, meta = core
+        assert len(nl.bus(meta.pc_port, meta.pc_width)) == meta.pc_width
+
+    def test_logic_depth_bounded(self, core):
+        """Levelization must succeed with a sane depth (no comb loops,
+        no accidental quadratic chains)."""
+        _, nl, _ = core
+        depth = max(nl.levelize(), default=0)
+        assert 10 < depth < 200
+
+    def test_register_file_is_unreset(self, core):
+        """Architectural registers power up X (Listing 1 step 3)."""
+        name, nl, meta = core
+        prefix = "x0" if name == "dr5" else "r1"
+        ff = nl.gates[nl.gate_index(f"{prefix}_ff0")]
+        assert ff.kind in ("DFF", "DFFE")
+
+    def test_pc_resets(self, core):
+        _, nl, _ = core
+        ff = nl.gates[nl.gate_index("pc_r_ff0")]
+        assert ff.kind in ("DFFR", "DFFER")
+
+
+class TestMetaConsistency:
+    def test_isa_labels(self):
+        labels = {d: built_core(d)[1].isa for d in DESIGNS}
+        assert labels == {"omsp430": "MSP430", "bm32": "MIPS32",
+                          "dr5": "RV32e"}
+
+    def test_word_widths(self):
+        assert built_core("omsp430")[1].word_width == 16
+        assert built_core("bm32")[1].word_width == 32
+        assert built_core("dr5")[1].word_width == 32
+
+    def test_monitored_shapes_match_paper(self):
+        """omsp430 monitors 4 one-bit flags; the RISC cores monitor
+        full-width compare operands (section 5.0.3)."""
+        omsp = built_core("omsp430")[1]
+        assert len(omsp.monitored_net_names()) == 4
+        for d in ("bm32", "dr5"):
+            meta = built_core(d)[1]
+            assert len(meta.monitored_net_names()) == 2 * meta.word_width
+
+    def test_multiplier_presence(self):
+        """bm32 and omsp430 carry multiplier arrays; dr5 must not."""
+        assert built_core("bm32")[0].find_nets("mpy_a")
+        assert built_core("omsp430")[0].find_nets("mpy_op1")
+        assert not built_core("dr5")[0].find_nets("mpy")
+
+
+class TestPeripheralInventory:
+    def test_omsp430_peripheral_registers(self):
+        nl, _ = built_core("omsp430")
+        for prefix in ("mpy_op1", "mpy_op2", "gpio_out_r", "wdt_cnt",
+                       "wdt_en", "ta_cnt", "ta_ccr", "ta_en", "gie",
+                       "ivec_r"):
+            assert nl.find_nets(prefix), prefix
+
+    def test_risc_cores_have_no_peripherals(self):
+        for d in ("bm32", "dr5"):
+            nl, _ = built_core(d)
+            for prefix in ("gpio", "wdt", "ta_cnt"):
+                assert not nl.find_nets(prefix), (d, prefix)

@@ -1,0 +1,236 @@
+"""Unit tests for the RTL construction kit."""
+
+import pytest
+
+from repro.logic import Logic, LVec
+from repro.netlist import NetlistError
+from repro.rtl import Design, mux, mux_tree, onehot_mux
+from repro.sim import CompiledNetlist, CycleSim
+
+
+def run_comb(build, inputs):
+    """Elaborate a 1-output comb design and evaluate it once."""
+    d = Design("t")
+    sigs = {name: d.input(name, width) for name, width in inputs}
+    out = build(d, sigs)
+    d.output("y", out)
+    nl = d.finalize()
+    sim = CycleSim(CompiledNetlist(nl))
+
+    def evaluate(**values):
+        for name, v in values.items():
+            sim.set_input(name, v)
+        sim.settle()
+        nets = nl.bus("y", out.width) if out.width > 1 else \
+            [nl.net_index("y")]
+        return sim.get_bus(nets)
+
+    return evaluate
+
+
+class TestBitwise:
+    def test_and_or_xor(self):
+        ev = run_comb(lambda d, s: (s["a"] & s["b"]) | (s["a"] ^ s["b"]),
+                      [("a", 4), ("b", 4)])
+        # (a&b)|(a^b) == a|b
+        for a in (0, 5, 15):
+            for b in (0, 3, 12):
+                assert ev(a=LVec.from_int(a, 4),
+                          b=LVec.from_int(b, 4)).to_int() == (a | b)
+
+    def test_invert(self):
+        ev = run_comb(lambda d, s: ~s["a"], [("a", 4)])
+        assert ev(a=LVec.from_int(0b1010, 4)).to_int() == 0b0101
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (200, 100), (255, 1)])
+    def test_add(self, a, b):
+        ev = run_comb(lambda d, s: s["a"].add(s["b"])[0],
+                      [("a", 8), ("b", 8)])
+        assert ev(a=LVec.from_int(a, 8),
+                  b=LVec.from_int(b, 8)).to_int() == (a + b) & 0xFF
+
+    @pytest.mark.parametrize("a,b", [(9, 5), (5, 9), (0, 1)])
+    def test_sub_and_borrow(self, a, b):
+        d = Design("t")
+        sa = d.input("a", 8)
+        sb = d.input("b", 8)
+        diff, no_borrow = sa.sub(sb)
+        d.output("y", diff)
+        d.output("nb", no_borrow)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("a", LVec.from_int(a, 8))
+        sim.set_input("b", LVec.from_int(b, 8))
+        sim.settle()
+        assert sim.get_bus(nl.bus("y", 8)).to_int() == (a - b) & 0xFF
+        assert sim.get_net(nl.net_index("nb")) == \
+            (Logic.L1 if a >= b else Logic.L0)
+
+    @pytest.mark.parametrize("a,b,expect", [
+        (3, 5, 1), (5, 3, 0), (4, 4, 0),
+        (0xFC, 2, 0),      # -4 < 2 signed
+        (2, 0xFC, 1),      # 2 < -4 is false ... (see assert below)
+    ])
+    def test_slt_signed(self, a, b, expect):
+        ev = run_comb(lambda d, s: s["a"].slt(s["b"]),
+                      [("a", 8), ("b", 8)])
+        def signed(x):
+            return x - 256 if x >= 128 else x
+        want = 1 if signed(a) < signed(b) else 0
+        assert ev(a=LVec.from_int(a, 8),
+                  b=LVec.from_int(b, 8)).to_int() == want
+
+    def test_eq_ne(self):
+        ev = run_comb(lambda d, s: s["a"].eq(s["b"]), [("a", 4), ("b", 4)])
+        assert ev(a=LVec.from_int(7, 4), b=LVec.from_int(7, 4)).to_int() == 1
+        assert ev(a=LVec.from_int(7, 4), b=LVec.from_int(6, 4)).to_int() == 0
+
+
+class TestShifts:
+    def test_const_shifts(self):
+        ev = run_comb(lambda d, s: s["a"].shl_const(2), [("a", 8)])
+        assert ev(a=LVec.from_int(3, 8)).to_int() == 12
+        ev = run_comb(lambda d, s: s["a"].shr_const(2), [("a", 8)])
+        assert ev(a=LVec.from_int(12, 8)).to_int() == 3
+        ev = run_comb(lambda d, s: s["a"].sar_const(2), [("a", 8)])
+        assert ev(a=LVec.from_int(0x80, 8)).to_int() == 0xE0
+
+    @pytest.mark.parametrize("amt", [0, 1, 3, 7])
+    def test_barrel_shl(self, amt):
+        ev = run_comb(lambda d, s: s["a"].shl(s["n"]),
+                      [("a", 8), ("n", 3)])
+        assert ev(a=LVec.from_int(0b11, 8),
+                  n=LVec.from_int(amt, 3)).to_int() == (0b11 << amt) & 0xFF
+
+    @pytest.mark.parametrize("amt", [0, 2, 5])
+    def test_barrel_shr(self, amt):
+        ev = run_comb(lambda d, s: s["a"].shr(s["n"]),
+                      [("a", 8), ("n", 3)])
+        assert ev(a=LVec.from_int(0xF0, 8),
+                  n=LVec.from_int(amt, 3)).to_int() == 0xF0 >> amt
+
+
+class TestMuxes:
+    def test_mux2(self):
+        ev = run_comb(lambda d, s: mux(s["s"], s["a"], s["b"]),
+                      [("s", 1), ("a", 4), ("b", 4)])
+        assert ev(s=0, a=LVec.from_int(3, 4),
+                  b=LVec.from_int(9, 4)).to_int() == 3
+        assert ev(s=1, a=LVec.from_int(3, 4),
+                  b=LVec.from_int(9, 4)).to_int() == 9
+
+    def test_mux_tree(self):
+        def build(d, s):
+            opts = [d.const(v, 8) for v in (10, 20, 30, 40)]
+            return mux_tree(s["sel"], opts)
+        ev = run_comb(build, [("sel", 2)])
+        for i, v in enumerate((10, 20, 30, 40)):
+            assert ev(sel=LVec.from_int(i, 2)).to_int() == v
+
+    def test_mux_tree_pads_with_last(self):
+        def build(d, s):
+            return mux_tree(s["sel"], [d.const(5, 4), d.const(7, 4),
+                                       d.const(9, 4)])
+        ev = run_comb(build, [("sel", 2)])
+        assert ev(sel=LVec.from_int(3, 2)).to_int() == 9
+
+    def test_onehot_mux(self):
+        def build(d, s):
+            return onehot_mux([s["s0"], s["s1"]],
+                              [d.const(0b0101, 4), d.const(0b0011, 4)])
+        ev = run_comb(build, [("s0", 1), ("s1", 1)])
+        assert ev(s0=1, s1=0).to_int() == 0b0101
+        assert ev(s0=0, s1=1).to_int() == 0b0011
+
+    def test_mux_width_mismatch(self):
+        d = Design("t")
+        s = d.input("s")
+        a = d.input("a", 2)
+        b = d.input("b", 3)
+        with pytest.raises(NetlistError):
+            mux(s, a, b)
+
+
+class TestStructure:
+    def test_cat_zext_sext(self):
+        ev = run_comb(lambda d, s: s["a"].cat(s["b"]), [("a", 2), ("b", 2)])
+        assert ev(a=LVec.from_int(0b01, 2),
+                  b=LVec.from_int(0b10, 2)).to_int() == 0b1001
+        ev = run_comb(lambda d, s: s["a"].sext(4), [("a", 2)])
+        assert ev(a=LVec.from_int(0b10, 2)).to_int() == 0b1110
+
+    def test_repl_requires_1bit(self):
+        d = Design("t")
+        a = d.input("a", 2)
+        with pytest.raises(NetlistError):
+            a.repl(3)
+
+    def test_reductions(self):
+        ev = run_comb(lambda d, s: s["a"].any(), [("a", 4)])
+        assert ev(a=LVec.from_int(0, 4)).to_int() == 0
+        assert ev(a=LVec.from_int(2, 4)).to_int() == 1
+        ev = run_comb(lambda d, s: s["a"].all(), [("a", 4)])
+        assert ev(a=LVec.from_int(15, 4)).to_int() == 1
+        assert ev(a=LVec.from_int(7, 4)).to_int() == 0
+        ev = run_comb(lambda d, s: s["a"].none(), [("a", 4)])
+        assert ev(a=LVec.from_int(0, 4)).to_int() == 1
+
+
+class TestRegisters:
+    def test_register_must_be_driven(self):
+        d = Design("t")
+        d.reg(2, "r")
+        with pytest.raises(NetlistError):
+            d.finalize()
+
+    def test_register_driven_twice_rejected(self):
+        d = Design("t")
+        r = d.reg(2, "r")
+        r.drive(d.const(0, 2))
+        with pytest.raises(NetlistError):
+            r.drive(d.const(1, 2))
+
+    def test_reset_value(self):
+        d = Design("t")
+        r = d.reg(4, "r", reset=True, reset_value=0b1010)
+        r.drive(r.q)   # hold
+        d.output("y", r.q)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.settle()
+        assert sim.get_bus(nl.bus("y", 4)).to_int() == 0b1010
+
+    def test_unreset_register_starts_x(self):
+        d = Design("t")
+        r = d.reg(2, "r", reset=False)
+        r.drive(r.q)
+        d.output("y", r.q)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.settle()
+        assert sim.get_bus(nl.bus("y", 2)).has_x
+
+    def test_enable_holds_value(self):
+        d = Design("t")
+        en = d.input("en")
+        r = d.reg(4, "r", reset=True)
+        s, _ = r.q.add(d.const(1, 4))
+        r.drive(s, enable=en)
+        d.output("y", r.q)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.set_input("en", Logic.L0)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        sim.step()   # en=0: hold
+        sim.set_input("en", Logic.L1)
+        sim.step()   # +1
+        sim.set_input("en", Logic.L0)
+        sim.step()   # hold
+        sim.settle()
+        assert sim.get_bus(nl.bus("y", 4)).to_int() == 1

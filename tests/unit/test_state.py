@@ -1,0 +1,110 @@
+"""Unit tests for simulation state snapshots (subset/merge primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.state import SimState
+
+
+def make_state(val_bits, known_bits, mem_val=None, mem_known=None,
+               pc=0, cycle=0):
+    n = len(val_bits)
+    mems = {}
+    if mem_val is not None:
+        mems["m"] = (np.array(mem_val, dtype=bool),
+                     np.array(mem_known, dtype=bool))
+    return SimState(
+        net_val=np.array(val_bits, dtype=bool),
+        net_known=np.array(known_bits, dtype=bool),
+        memories=mems, pc=pc, cycle=cycle)
+
+
+class TestCovers:
+    def test_reflexive(self):
+        s = make_state([1, 0, 0], [1, 1, 0])
+        assert s.covers(s)
+
+    def test_x_covers_concrete(self):
+        general = make_state([0, 0], [0, 0])
+        specific = make_state([1, 0], [1, 1])
+        assert general.covers(specific)
+        assert not specific.covers(general)
+
+    def test_value_mismatch_not_covered(self):
+        a = make_state([1, 0], [1, 1])
+        b = make_state([0, 0], [1, 1])
+        assert not a.covers(b)
+
+    def test_memory_participates(self):
+        a = make_state([1], [1], mem_val=[[0, 0]], mem_known=[[0, 0]])
+        b = make_state([1], [1], mem_val=[[1, 0]], mem_known=[[1, 1]])
+        assert a.covers(b)
+        assert not b.covers(a)
+
+
+class TestMerge:
+    def test_merge_produces_cover(self):
+        a = make_state([1, 0, 1], [1, 1, 1], pc=4)
+        b = make_state([1, 1, 0], [1, 1, 1], pc=4)
+        m = a.merge(b)
+        assert m.covers(a) and m.covers(b)
+        assert m.net_known.tolist() == [True, False, False]
+        assert m.pc == 4
+
+    def test_merge_differing_pc_clears_pc(self):
+        a = make_state([1], [1], pc=4)
+        b = make_state([1], [1], pc=8)
+        assert a.merge(b).pc is None
+
+    def test_merge_does_not_mutate_operands(self):
+        a = make_state([1], [1])
+        b = make_state([0], [1])
+        a.merge(b)
+        assert a.net_known.tolist() == [True]
+        assert b.net_val.tolist() == [False]
+
+    def test_merge_memory(self):
+        a = make_state([1], [1], mem_val=[[1, 1]], mem_known=[[1, 1]])
+        b = make_state([1], [1], mem_val=[[1, 0]], mem_known=[[1, 1]])
+        m = a.merge(b)
+        assert m.memories["m"][1].tolist() == [[True, False]]
+
+
+class TestMisc:
+    def test_count_x(self):
+        s = make_state([0, 0, 0], [1, 0, 0],
+                       mem_val=[[0, 0]], mem_known=[[0, 1]])
+        assert s.count_x() == 3
+        assert s.state_bits() == 5
+
+    def test_copy_is_deep(self):
+        s = make_state([1], [1], mem_val=[[1]], mem_known=[[1]])
+        c = s.copy()
+        c.net_val[0] = False
+        c.memories["m"][0][0][0] = False
+        assert s.net_val[0]
+        assert s.memories["m"][0][0][0]
+
+    def test_bytes_roundtrip(self):
+        s = make_state([1, 0], [1, 1], mem_val=[[1, 0]],
+                       mem_known=[[1, 1]], pc=12, cycle=99)
+        r = SimState.from_bytes(s.to_bytes())
+        assert r.pc == 12 and r.cycle == 99
+        assert r.covers(s) and s.covers(r)
+
+    def test_from_bytes_type_check(self):
+        import pickle
+        with pytest.raises(TypeError):
+            SimState.from_bytes(pickle.dumps({"not": "a state"}))
+
+    def test_fingerprint_distinguishes(self):
+        a = make_state([1, 0], [1, 1])
+        b = make_state([0, 0], [1, 1])
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == a.copy().fingerprint()
+
+    def test_compatible(self):
+        a = make_state([1, 0], [1, 1])
+        b = make_state([1, 0, 1], [1, 1, 1])
+        assert not a.compatible(b)
+        assert a.compatible(a.copy())

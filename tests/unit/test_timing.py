@@ -1,0 +1,131 @@
+"""Unit tests for static timing analysis and the slack report."""
+
+import pytest
+
+from repro.analysis.timing import (CELL_DELAY, critical_path,
+                                   exercisable_critical_path,
+                                   timing_slack)
+from repro.netlist import Netlist
+from repro.netlist.cells import LIBRARY
+from repro.rtl import Design, mux
+from repro.sim.activity import ToggleProfile
+
+
+def chain_netlist(length=4):
+    """rst-free inverter chain between two flops."""
+    nl = Netlist("chain")
+    d_in = nl.add_net("din")
+    nl.mark_input(d_in)
+    q = nl.add_net("q0")
+    nl.add_gate("ff_in", "DFF", [d_in], q)
+    prev = q
+    for i in range(length):
+        out = nl.add_net(f"n{i}")
+        nl.add_gate(f"inv{i}", "NOT", [prev], out)
+        prev = out
+    q2 = nl.add_net("q1")
+    nl.add_gate("ff_out", "DFF", [prev], q2)
+    nl.mark_output(q2)
+    return nl
+
+
+class TestCellDelays:
+    def test_every_cell_has_a_delay(self):
+        assert set(CELL_DELAY) == set(LIBRARY)
+
+    def test_ties_are_free(self):
+        assert CELL_DELAY["TIE0"] == 0.0
+
+
+class TestCriticalPath:
+    def test_chain_delay_is_sum(self):
+        nl = chain_netlist(5)
+        report = critical_path(nl)
+        expected = CELL_DELAY["DFF"] + 5 * CELL_DELAY["NOT"]
+        assert report.critical_delay == pytest.approx(expected)
+        assert len(report.critical_path) == 6   # ff_in + 5 inverters
+
+    def test_longer_chain_longer_delay(self):
+        short = critical_path(chain_netlist(2))
+        long = critical_path(chain_netlist(8))
+        assert long.critical_delay > short.critical_delay
+
+    def test_path_names_are_real_gates(self):
+        nl = chain_netlist(3)
+        report = critical_path(nl)
+        for name in report.critical_path:
+            nl.gate_index(name)   # raises if unknown
+
+    def test_parallel_paths_pick_slowest(self):
+        d = Design("par")
+        a = d.input("a")
+        fast = ~a
+        slow = a
+        for _ in range(4):
+            slow = ~slow
+        r = d.reg(1, "r")
+        r.drive(mux(d.input("s"), fast, slow))
+        d.output("y", r.q)
+        nl = d.finalize()
+        report = critical_path(nl)
+        min_expected = 4 * CELL_DELAY["NOT"] + CELL_DELAY["MUX2"]
+        assert report.critical_delay >= min_expected
+
+    def test_empty_ish_design(self):
+        nl = Netlist("empty")
+        a = nl.add_net("a")
+        nl.mark_input(a)
+        nl.mark_output(a)
+        report = critical_path(nl)
+        assert report.critical_delay == 0.0
+
+
+class TestExercisableTiming:
+    def make_two_path_design(self):
+        """A short path and a long path into the same flop; profile
+        marks only the short path exercisable."""
+        d = Design("twopath")
+        a = d.input("a")
+        sel = d.input("sel")
+        long_path = a
+        for _ in range(6):
+            long_path = ~long_path
+        long_named = d.name_sig("longp", long_path)
+        short_named = d.name_sig("shortp", ~a)
+        r = d.reg(1, "r")
+        r.drive(mux(sel, short_named, long_named))
+        d.output("y", r.q)
+        return d.finalize()
+
+    def test_excluding_long_path_reduces_delay(self):
+        nl = self.make_two_path_design()
+        profile = ToggleProfile.empty(nl)
+        # everything except the long-path inverters is exercisable
+        long_gates = {nl.gates[nl.gate_index(f"u{i}")].index
+                      for i in range(100) if _gate_exists(nl, f"u{i}")}
+        for g in nl.gates:
+            on_long = g.name.startswith("longp") or g.index in long_gates
+            if not on_long:
+                profile.toggled[g.output] = True
+        profile.const_known[:] = True
+        full = critical_path(nl)
+        reduced = exercisable_critical_path(nl, profile)
+        assert reduced.critical_delay < full.critical_delay
+
+    def test_slack_report(self):
+        nl = self.make_two_path_design()
+        profile = ToggleProfile.empty(nl)
+        for g in nl.gates:
+            profile.toggled[g.output] = True   # everything exercisable
+        profile.const_known[:] = True
+        slack = timing_slack(nl, profile)
+        assert slack.slack_percent == pytest.approx(0.0, abs=1e-9)
+        assert slack.voltage_headroom == pytest.approx(0.0, abs=1e-9)
+
+
+def _gate_exists(nl, name):
+    try:
+        nl.gate_index(name)
+        return True
+    except Exception:
+        return False

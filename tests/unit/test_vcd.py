@@ -1,0 +1,95 @@
+"""Unit tests for the VCD waveform writer."""
+
+import pytest
+
+from repro.logic import Logic
+from repro.rtl import Design
+from repro.sim import CompiledNetlist, CycleSim
+from repro.sim.vcd import VcdWriter, _identifier, parse_vcd_changes
+
+
+def counter(width=3):
+    d = Design("cnt")
+    r = d.reg(width, "c", reset=True)
+    s, _ = r.q.add(d.const(1, width))
+    r.drive(s)
+    d.output("y", r.q)
+    return d.finalize()
+
+
+class TestIdentifiers:
+    def test_unique_and_compact(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(len(i) <= 2 for i in ids)
+        assert _identifier(0) == "!"
+
+
+class TestWriter:
+    def run_counter(self, tmp_path, cycles=6):
+        nl = counter()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        path = tmp_path / "wave.vcd"
+        with VcdWriter(path, nl, nets=nl.bus("y", 3)) as vcd:
+            for _ in range(cycles):
+                sim.settle()
+                vcd.sample(sim)
+                sim.step()
+        return path.read_text()
+
+    def test_header_structure(self, tmp_path):
+        text = self.run_counter(tmp_path)
+        assert "$timescale 1ns $end" in text
+        assert "$scope module cnt $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1" in text
+
+    def test_bit_changes_follow_counter(self, tmp_path):
+        text = self.run_counter(tmp_path, cycles=6)
+        changes = parse_vcd_changes(text)
+        y0 = [v for _, v in changes["y_0"]]
+        # LSB alternates every cycle: 0,1,0,1,...
+        assert y0 == ["0", "1", "0", "1", "0", "1"]
+
+    def test_only_changes_are_written(self, tmp_path):
+        text = self.run_counter(tmp_path, cycles=4)
+        changes = parse_vcd_changes(text)
+        # MSB of a 3-bit counter never reaches 1 in 4 cycles of counting
+        y2 = [v for _, v in changes["y_2"]]
+        assert y2 == ["0"]
+
+    def test_x_values_dumped(self, tmp_path):
+        nl = counter()
+        sim = CycleSim(CompiledNetlist(nl))   # no reset: everything X
+        path = tmp_path / "x.vcd"
+        with VcdWriter(path, nl, nets=nl.bus("y", 3)) as vcd:
+            sim.settle()
+            vcd.sample(sim)
+        changes = parse_vcd_changes(path.read_text())
+        assert changes["y_0"] == [(0, "x")]
+
+    def test_empty_net_list_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            VcdWriter(tmp_path / "e.vcd", counter(), nets=[])
+
+    def test_sample_requires_open(self, tmp_path):
+        nl = counter()
+        vcd = VcdWriter(tmp_path / "c.vcd", nl, nets=nl.bus("y", 3))
+        sim = CycleSim(CompiledNetlist(nl))
+        with pytest.raises(RuntimeError):
+            vcd.sample(sim)
+
+    def test_explicit_timestamps(self, tmp_path):
+        nl = counter()
+        sim = CycleSim(CompiledNetlist(nl))
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        path = tmp_path / "t.vcd"
+        with VcdWriter(path, nl, nets=nl.bus("y", 3)) as vcd:
+            sim.settle()
+            vcd.sample(sim, time=100)
+        assert "#100" in path.read_text()

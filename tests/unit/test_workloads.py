@@ -1,0 +1,133 @@
+"""Unit tests for the workload catalog and target construction."""
+
+import pytest
+
+from repro.csm.constraints import parse_constraints
+from repro.isa import ASSEMBLERS
+from repro.workloads import (INPUT_BASE, OUT_BASE, TABLE_BASE, WORKLOADS,
+                             WORKLOAD_ORDER, assemble_workload,
+                             build_target, built_core)
+
+DESIGNS = ["omsp430", "bm32", "dr5"]
+
+
+class TestCatalog:
+    def test_paper_table1_set(self):
+        assert WORKLOAD_ORDER == ["Div", "inSort", "binSearch", "tHold",
+                                  "mult", "tea8"]
+        assert set(WORKLOADS) == set(WORKLOAD_ORDER)
+
+    def test_every_workload_has_all_isas(self):
+        for w in WORKLOADS.values():
+            assert set(w.sources) == set(DESIGNS), w.name
+
+    def test_every_workload_has_cases(self):
+        for w in WORKLOADS.values():
+            assert w.cases, w.name
+            for case in w.cases:
+                for addr in case:
+                    assert INPUT_BASE <= addr < INPUT_BASE + w.input_len
+
+    def test_missing_isa_raises(self):
+        with pytest.raises(KeyError):
+            WORKLOADS["Div"].source_for("z80")
+
+    def test_symbolic_ranges_cover_inputs(self):
+        for w in WORKLOADS.values():
+            (start, end), = w.symbolic_ranges
+            assert start == INPUT_BASE
+            assert end - start == w.input_len
+
+    def test_case_inputs_ordering(self):
+        w = WORKLOADS["Div"]
+        case = {INPUT_BASE: 17, INPUT_BASE + 1: 5}
+        assert w.case_inputs(case) == [17, 5]
+
+    def test_references_are_pure(self):
+        w = WORKLOADS["tea8"]
+        case = w.cases[0]
+        assert w.expected(case, 16) == w.expected(case, 16)
+        assert w.expected(case, 16) != w.expected(case, 32)
+
+    def test_binsearch_table_is_sorted_and_loaded(self):
+        w = WORKLOADS["binSearch"]
+        values = [w.data_init[TABLE_BASE + i] for i in range(8)]
+        assert values == sorted(values)
+
+    def test_insort_constraints_parse(self):
+        w = WORKLOADS["inSort"]
+        for design in DESIGNS:
+            parsed = parse_constraints(w.constraints[design])
+            assert len(parsed) > 10    # upper bits of two registers
+
+
+class TestAssembly:
+    @pytest.mark.parametrize("design", DESIGNS)
+    @pytest.mark.parametrize("wname", WORKLOAD_ORDER)
+    def test_all_programs_assemble(self, design, wname):
+        prog = assemble_workload(design, WORKLOADS[wname])
+        assert prog.size > 0
+        assert prog.halt_address < prog.size
+        width = ASSEMBLERS[design].word_width
+        assert all(0 <= w < (1 << width) for w in prog.words)
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_programs_fit_program_memory(self, design):
+        _, meta = built_core(design)
+        for wname in WORKLOAD_ORDER:
+            prog = assemble_workload(design, WORKLOADS[wname])
+            assert prog.size <= (1 << meta.pc_width), (design, wname)
+
+
+class TestTargetConstruction:
+    def test_build_target_binds_ports(self):
+        t = build_target("omsp430", WORKLOADS["Div"])
+        assert t.name == "omsp430"
+        assert t.monitored_nets
+        assert t.branch_point_net is not None
+        assert t.branch_force_net is not None
+        assert len(t.pc_nets) == t.meta.pc_width
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            built_core("z80")
+
+    def test_core_memoized(self):
+        a, _ = built_core("dr5")
+        b, _ = built_core("dr5")
+        assert a is b
+
+    def test_word_width_mismatch_rejected(self):
+        from repro.processors import CoreTarget
+        nl, meta = built_core("omsp430")
+        prog32 = assemble_workload("bm32", WORKLOADS["Div"])
+        with pytest.raises(ValueError):
+            CoreTarget(nl, meta, prog32)
+
+    def test_rom_contains_program(self):
+        t = build_target("dr5", WORKLOADS["mult"])
+        for addr, word in enumerate(t.program.words):
+            assert t.rom.read_concrete(addr).to_int() == word
+
+    def test_symbolic_inputs_land_in_dmem(self):
+        t = build_target("omsp430", WORKLOADS["tHold"])
+        sim = t.make_sim()
+        t.apply_symbolic_inputs(sim)
+        dmem = sim.memories["dmem"]
+        w = WORKLOADS["tHold"]
+        for i in range(w.input_len):
+            assert dmem.read_concrete(INPUT_BASE + i).has_x
+        assert not dmem.read_concrete(OUT_BASE).has_x
+
+    def test_concrete_inputs_override(self):
+        t = build_target("omsp430", WORKLOADS["Div"])
+        sim = t.make_sim()
+        t.apply_concrete_inputs(sim, {INPUT_BASE: 42})
+        assert t.read_dmem_int(sim, INPUT_BASE) == 42
+
+    def test_state_net_positions_cover_monitored(self):
+        t = build_target("bm32", WORKLOADS["Div"])
+        positions = t.state_net_positions()
+        # every flop q net should be addressable for constraints
+        assert "r5[0]" in positions
+        assert "pc_r[0]" in positions
