@@ -3,7 +3,9 @@
 "Since each branch of the simulation can be run by a separate process,
 launching these processes in parallel can drastically improve simulation
 time."  Times the wave-parallel explorer against the serial engine on a
-path-heavy run and checks result equivalence.
+path-heavy run, checks result equivalence, and reports the supervision
+layer's health counters: per-wave wall time, segment retries, and worker
+restarts (all zero on a fault-free run).
 """
 
 import pytest
@@ -23,32 +25,56 @@ def serial_result():
 
 
 @pytest.fixture(scope="module")
-def parallel_results(serial_result):
+def parallel_engines(serial_result):
     out = {}
     for workers in (1, 2, 4):
         engine = ParallelCoAnalysis(
             WorkloadTargetFactory(DESIGN, BENCH),
             workers=workers, application=BENCH)
-        out[workers] = engine.run()
+        out[workers] = (engine, engine.run())
     return out
 
 
 def test_parallel_matches_serial(benchmark, serial_result,
-                                 parallel_results, artifact_dir):
+                                 parallel_engines, artifact_dir):
     rows = [["serial", "-", serial_result.paths_created,
              serial_result.exercisable_gate_count,
-             f"{serial_result.wall_seconds:.2f}"]]
-    for workers, r in parallel_results.items():
+             f"{serial_result.wall_seconds:.2f}", "-", "-"]]
+    for workers, (engine, r) in parallel_engines.items():
         rows.append(["parallel", workers, r.paths_created,
-                     r.exercisable_gate_count, f"{r.wall_seconds:.2f}"])
+                     r.exercisable_gate_count, f"{r.wall_seconds:.2f}",
+                     engine.stats.segment_retries,
+                     engine.stats.worker_restarts])
     text = (f"Section 3.3 ablation: parallel paths ({DESIGN} / {BENCH})\n"
             + render_table(["Mode", "Workers", "Paths",
-                            "Exercisable gates", "Wall (s)"], rows))
+                            "Exercisable gates", "Wall (s)", "Retries",
+                            "Restarts"], rows))
     emit(artifact_dir, "ablation_parallel.txt", text)
-    for r in parallel_results.values():
+    for _, r in parallel_engines.values():
         assert r.exercisable_gate_count == \
             serial_result.exercisable_gate_count
         assert r.paths_created == serial_result.paths_created
+
+
+def test_wave_profile_reported(parallel_engines, artifact_dir):
+    """Per-wave wall-clock profile of the supervised runs."""
+    lines = [f"Per-wave wall time ({DESIGN} / {BENCH})"]
+    for workers, (engine, _) in parallel_engines.items():
+        stats = engine.stats
+        walls = stats.wave_wall_seconds
+        assert stats.waves == len(walls)
+        lines.append(
+            f"workers={workers}: {stats.waves} waves, "
+            f"total {sum(walls):.2f}s, slowest {max(walls):.3f}s, "
+            f"retries {stats.segment_retries}, "
+            f"restarts {stats.worker_restarts}, "
+            f"degraded {stats.degraded}")
+        lines.append("  " + " ".join(f"{w * 1000:.0f}ms" for w in walls))
+        # a fault-free run must never burn its failure budget
+        assert stats.segment_retries == 0
+        assert stats.worker_restarts == 0
+        assert not stats.degraded
+    emit(artifact_dir, "ablation_parallel_waves.txt", "\n".join(lines))
 
 
 def test_parallel_run_timed(benchmark):

@@ -21,6 +21,7 @@ from typing import List, Optional
 from .analysis import (analyze_coverage, analyze_peak_power,
                        compare_power, concrete_peak, timing_slack)
 from .bespoke import area_report, generate_bespoke, validate_bespoke
+from .coanalysis.results import CoAnalysisError, RunInterrupted
 from .csm import Clustered, ExactSet, UberConservative
 from .isa import ASSEMBLERS
 from .netlist import write_verilog
@@ -46,8 +47,13 @@ def _add_pair_args(p: argparse.ArgumentParser) -> None:
 def cmd_analyze(args) -> int:
     result = run_one(args.design, args.benchmark,
                      strategy=STRATEGIES[args.strategy](),
-                     use_constraints=not args.no_constraints)
+                     use_constraints=not args.no_constraints,
+                     checkpoint=args.checkpoint, resume=args.resume,
+                     workers=args.workers)
     summary = result.summary()
+    if result.resumed:
+        print(f"# resumed from checkpoint {args.checkpoint}",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -207,6 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-constraints", action="store_true",
                    help="ignore the workload's CSM constraint file")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="journal the run to this file so it can be "
+                        "resumed after an interruption")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the newest intact record in "
+                        "--checkpoint instead of starting fresh")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="explore paths with N supervised worker "
+                        "processes (default: serial)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bespoke", help="generate + validate a bespoke core")
@@ -253,8 +268,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint",
+                                                      None):
+        parser.error("--resume requires --checkpoint")
+    try:
+        return args.func(args)
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 3
+    except CoAnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        checkpoint = getattr(args, "checkpoint", None)
+        hint = f"; resume with --checkpoint {checkpoint} --resume" \
+            if checkpoint else ""
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

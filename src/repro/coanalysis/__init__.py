@@ -2,12 +2,17 @@
 
 from .engine import CoAnalysisEngine, PendingPath
 from .event_engine import EventCoAnalysis, EventCoAnalysisResult
-from .results import CoAnalysisError, CoAnalysisResult, PathRecord
+from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
+                      PathRecord, ResumeMismatch, RunEvent, RunInterrupted,
+                      SegmentTimeout, StateCorruption, WorkerCrashed,
+                      WorkerFailure)
 from .target import SymbolicTarget
 
 __all__ = [
     "CoAnalysisEngine", "PendingPath",
     "EventCoAnalysis", "EventCoAnalysisResult",
-    "CoAnalysisResult", "CoAnalysisError", "PathRecord",
+    "CoAnalysisResult", "CoAnalysisError", "PathRecord", "RunEvent",
+    "WorkerFailure", "SegmentTimeout", "WorkerCrashed", "StateCorruption",
+    "CheckpointError", "ResumeMismatch", "RunInterrupted",
     "SymbolicTarget",
 ]

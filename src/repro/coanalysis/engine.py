@@ -26,7 +26,8 @@ from ..logic.value import Logic
 from ..sim.activity import ToggleProfile
 from ..sim.cycle_sim import CycleSim
 from ..sim.state import SimState
-from .results import CoAnalysisError, CoAnalysisResult, PathRecord
+from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
+                      PathRecord, ResumeMismatch, RunEvent)
 from .target import SymbolicTarget
 
 
@@ -51,7 +52,9 @@ class CoAnalysisEngine:
                  strict: bool = True,
                  application: str = "app",
                  cycle_observer=None,
-                 record_per_path_activity: bool = False):
+                 record_per_path_activity: bool = False,
+                 checkpoint=None,
+                 resume: bool = False):
         self.target = target
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
@@ -59,6 +62,14 @@ class CoAnalysisEngine:
         self.max_paths = max_paths
         self.strict = strict
         self.application = application
+        #: a Checkpointer (or path coerced to one) journaling the run so
+        #: an interrupted exploration can be resumed; ``resume=True``
+        #: continues from the newest intact record instead of starting
+        #: fresh.  A KeyboardInterrupt mid-segment writes a final
+        #: checkpoint before propagating, so ^C never loses progress.
+        from ..resilience.checkpoint import as_checkpointer
+        self.checkpoint = as_checkpointer(checkpoint)
+        self.resume = resume
         #: optional callable(sim, path_id, cycle) invoked on every
         #: settled cycle of every explored path -- the hook used by the
         #: peak-power analysis and by waveform dumping
@@ -76,17 +87,29 @@ class CoAnalysisEngine:
             profile=ToggleProfile.empty(target.netlist))
         t0 = time.perf_counter()
 
+        resumed = None
+        if self.resume:
+            if self.checkpoint is None:
+                raise CheckpointError("resume=True requires a checkpoint")
+            resumed = self.checkpoint.load_latest()
+
         sim = target.make_sim()
         target.reset(sim)
         target.apply_symbolic_inputs(sim)
         target.drive_all(sim)
         sim.arm_activity()
 
-        initial = sim.snapshot(pc=target.current_pc(sim))
-        stack: List[PendingPath] = [PendingPath(initial)]
-        result.paths_created = 1
+        if resumed is not None:
+            stack = self._apply_checkpoint(resumed, sim, result)
+        else:
+            initial = sim.snapshot(pc=target.current_pc(sim))
+            stack: List[PendingPath] = [PendingPath(initial)]
+            result.paths_created = 1
 
         while stack:
+            if self.checkpoint is not None and \
+                    self.checkpoint.due(len(result.path_records)):
+                self._write_checkpoint(sim, stack, result)
             pending = stack.pop()
             if self.record_per_path_activity:
                 # true per-segment sets: park the global union, collect
@@ -95,18 +118,114 @@ class CoAnalysisEngine:
                 saved_x = sim.ever_x.copy()
                 sim.toggled[:] = False
                 sim.ever_x[:] = False
-            record = self._simulate_segment(sim, pending, result, stack)
+            pre_segment = (result.simulated_cycles, result.truncated_paths,
+                           result.paths_created, result.paths_skipped,
+                           result.splits, len(stack))
+            try:
+                record = self._simulate_segment(sim, pending, result, stack)
+            except KeyboardInterrupt:
+                if self.checkpoint is not None:
+                    # the in-flight path replays from its start on resume:
+                    # roll its partial bookkeeping back to the segment
+                    # boundary (its partial *activity* may stay -- it is a
+                    # subset of what the replay will record)
+                    (result.simulated_cycles, result.truncated_paths,
+                     result.paths_created, result.paths_skipped,
+                     result.splits) = pre_segment[:5]
+                    del stack[pre_segment[5]:]
+                    if self.record_per_path_activity:
+                        sim.toggled |= saved_toggled
+                        sim.ever_x |= saved_x
+                    stack.append(pending)
+                    result.journal.append(RunEvent(
+                        "interrupt",
+                        detail=f"{len(stack)} pending paths checkpointed"))
+                    self._write_checkpoint(sim, stack, result)
+                raise
             result.path_records.append(record)
             if self.record_per_path_activity:
                 result.per_path_exercised.append(sim.exercised_nets())
                 sim.toggled |= saved_toggled
                 sim.ever_x |= saved_x
 
+        if self.checkpoint is not None:
+            # final record: resuming a finished run returns immediately
+            self._write_checkpoint(sim, [], result)
+
         result.profile.absorb(sim.toggled, sim.ever_x, sim.val & sim.known,
                               sim.known)
         result.csm_stats = self.csm.stats.snapshot()
         result.wall_seconds = time.perf_counter() - t0
         return result
+
+    # -- checkpoint plumbing -----------------------------------------------
+    def _checkpoint_payload(self, sim: CycleSim, stack: List[PendingPath],
+                            result: CoAnalysisResult) -> dict:
+        return {
+            "engine": "serial",
+            "design": self.target.name,
+            "application": self.application,
+            "stack": [(p.state.to_bytes(), p.forced_decision, p.depth,
+                       p.parent) for p in stack],
+            "csm": self.csm.snapshot_state(),
+            "activity": {"toggled": sim.toggled.copy(),
+                         "ever_x": sim.ever_x.copy(),
+                         "val": sim.val.copy(),
+                         "known": sim.known.copy()},
+            "counters": {"paths_created": result.paths_created,
+                         "paths_skipped": result.paths_skipped,
+                         "splits": result.splits,
+                         "simulated_cycles": result.simulated_cycles,
+                         "truncated_paths": result.truncated_paths},
+            "path_records": list(result.path_records),
+            "per_path_exercised": list(result.per_path_exercised),
+            "journal": list(result.journal),
+        }
+
+    def _write_checkpoint(self, sim: CycleSim, stack: List[PendingPath],
+                          result: CoAnalysisResult) -> None:
+        self.checkpoint.write(self._checkpoint_payload(sim, stack, result),
+                              progress=len(result.path_records))
+        result.journal.append(RunEvent(
+            "checkpoint", segment=len(result.path_records),
+            detail=f"{len(stack)} pending paths"))
+
+    def _apply_checkpoint(self, payload: dict, sim: CycleSim,
+                          result: CoAnalysisResult) -> List[PendingPath]:
+        if payload.get("engine") != "serial":
+            raise ResumeMismatch(
+                f"checkpoint was written by the "
+                f"{payload.get('engine')!r} engine, not 'serial'")
+        if payload["design"] != self.target.name or \
+                payload["application"] != self.application:
+            raise ResumeMismatch(
+                f"checkpoint belongs to "
+                f"{payload['design']}/{payload['application']}, not "
+                f"{self.target.name}/{self.application}")
+        self.csm.restore_state(payload["csm"])
+        activity = payload["activity"]
+        try:
+            sim.toggled[:] = activity["toggled"]
+            sim.ever_x[:] = activity["ever_x"]
+            sim.val[:] = activity["val"]
+            sim.known[:] = activity["known"]
+        except ValueError as exc:
+            raise ResumeMismatch(
+                f"checkpoint activity arrays do not fit this netlist: "
+                f"{exc}") from exc
+        for key, value in payload["counters"].items():
+            setattr(result, key, value)
+        result.path_records = list(payload["path_records"])
+        result.per_path_exercised = list(payload["per_path_exercised"])
+        result.journal = list(payload["journal"])
+        result.resumed = True
+        stack = [PendingPath(SimState.from_bytes(blob), forced, depth,
+                             parent)
+                 for blob, forced, depth, parent in payload["stack"]]
+        result.journal.append(RunEvent(
+            "resume", segment=len(result.path_records),
+            detail=f"{len(stack)} pending paths restored"))
+        return stack
 
     # -- one execution path ------------------------------------------------
     def _simulate_segment(self, sim: CycleSim, pending: PendingPath,

@@ -13,23 +13,35 @@ sequential) Conservative State Manager and schedules the next wave.  Wave
 order differs from the serial engine's depth-first order, so path counts
 can differ slightly -- exactly as they would between the paper's serial
 and parallel runs -- while the exercisable-gate result is unchanged.
+
+Long runs are supervised (see :mod:`repro.resilience`): each dispatched
+segment carries a wall-clock deadline, lost or crashed segments are
+re-dispatched with backoff onto rebuilt pools, and once the failure
+budget is spent the run *degrades to in-process serial execution* with a
+:class:`~repro.resilience.supervisor.DegradedToSerialWarning` -- the
+result is then slower, never silently wrong.  Wave boundaries can be
+journaled to an on-disk checkpoint for interrupt/resume.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
-
-import numpy as np
 
 from ..csm.manager import ConservativeStateManager
 from ..logic.value import Logic
-from ..sim.state import SimState
-from .results import CoAnalysisError, CoAnalysisResult, PathRecord
-from .target import SymbolicTarget
+from ..resilience.checkpoint import as_checkpointer
+from ..resilience.faults import FaultPlan, execute_fault
+from ..resilience.supervisor import (DegradedToSerialWarning, PoolExhausted,
+                                     PoolSupervisor, SupervisionPolicy)
 from ..sim.activity import ToggleProfile
+from ..sim.state import SimState
+from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
+                      PathRecord, ResumeMismatch, RunEvent, RunInterrupted)
+from .target import SymbolicTarget
 
 _worker_target: Optional[SymbolicTarget] = None
 _worker_sim = None
@@ -44,10 +56,9 @@ def _init_worker(factory: Callable[[], SymbolicTarget],
     _worker_budget = max_cycles
 
 
-def _simulate_segment(job: Tuple[bytes, Optional[int]]):
+def _segment_impl(target: SymbolicTarget, sim, state_bytes: bytes,
+                  forced: Optional[int], budget: int):
     """Run one pending path until halt/done; return a picklable record."""
-    state_bytes, forced = job
-    target, sim = _worker_target, _worker_sim
     sim.reset_activity()
     sim.restore(SimState.from_bytes(state_bytes))
     sim.arm_activity()
@@ -60,7 +71,7 @@ def _simulate_segment(job: Tuple[bytes, Optional[int]]):
     outcome = "budget"
     end_state: Optional[bytes] = None
     end_pc: Optional[int] = None
-    while cycles <= _worker_budget:
+    while cycles <= budget:
         target.drive_all(sim)
         if not first_forced:
             if target.is_done(sim):
@@ -88,21 +99,57 @@ def _simulate_segment(job: Tuple[bytes, Optional[int]]):
             (sim.val & sim.known).copy(), sim.known.copy())
 
 
+def _simulate_segment(job: Tuple[bytes, Optional[int], Optional[str]]):
+    """Pool-side entry point: apply any injected fault, then simulate."""
+    state_bytes, forced, fault = job
+    execute_fault(fault)
+    return _segment_impl(_worker_target, _worker_sim, state_bytes, forced,
+                         _worker_budget)
+
+
 @dataclass
 class ParallelRunStats:
     waves: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    #: wall time of each completed wave, in run order
+    wave_wall_seconds: List[float] = field(default_factory=list)
+    #: segments re-dispatched after a worker crash/hang/corruption
+    segment_retries: int = 0
+    #: pool rebuilds after lost or wedged workers
+    worker_restarts: int = 0
+    #: True when the run fell back to in-process serial exploration
+    degraded: bool = False
+    checkpoints_written: int = 0
 
 
 class ParallelCoAnalysis:
-    """Wave-parallel variant of :class:`CoAnalysisEngine`."""
+    """Wave-parallel variant of :class:`CoAnalysisEngine`.
+
+    Args:
+        target_factory: picklable zero-arg callable building the target
+            (sent to workers; see :class:`WorkloadTargetFactory`).
+        csm: the parent-side Conservative State Manager.
+        workers: pool size.
+        policy: failure-handling knobs (timeouts, retries, restarts).
+        fault_plan: deterministic fault injection (tests/CI only).
+        checkpoint: path or Checkpointer journaling wave boundaries.
+        resume: continue from the newest intact checkpoint record.
+        stop_after_waves: stop (with a checkpoint and
+            :class:`RunInterrupted`) once this many total waves have
+            completed -- time-sliced exploration for batch schedulers.
+    """
 
     def __init__(self, target_factory: Callable[[], SymbolicTarget],
                  csm: Optional[ConservativeStateManager] = None,
                  workers: int = 2,
                  max_cycles_per_path: int = 20000,
-                 application: str = "app"):
+                 application: str = "app",
+                 policy: Optional[SupervisionPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 checkpoint=None,
+                 resume: bool = False,
+                 stop_after_waves: Optional[int] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.target_factory = target_factory
@@ -110,6 +157,11 @@ class ParallelCoAnalysis:
         self.workers = workers
         self.max_cycles_per_path = max_cycles_per_path
         self.application = application
+        self.policy = policy or SupervisionPolicy()
+        self.fault_plan = fault_plan
+        self.checkpoint = as_checkpointer(checkpoint)
+        self.resume = resume
+        self.stop_after_waves = stop_after_waves
         self.stats = ParallelRunStats(workers=workers)
 
     def run(self) -> CoAnalysisResult:
@@ -119,55 +171,195 @@ class ParallelCoAnalysis:
             design=target.name, application=self.application,
             profile=ToggleProfile.empty(target.netlist))
 
-        sim = target.make_sim()
-        target.reset(sim)
-        target.apply_symbolic_inputs(sim)
-        target.drive_all(sim)
-        initial = sim.snapshot(pc=target.current_pc(sim))
+        pending: Optional[List[Tuple[bytes, Optional[int]]]] = None
+        if self.resume:
+            if self.checkpoint is None:
+                raise CheckpointError("resume=True requires a checkpoint")
+            payload = self.checkpoint.load_latest()
+            if payload is not None:
+                pending = self._apply_checkpoint(payload, target, result)
+        if pending is None:
+            sim = target.make_sim()
+            target.reset(sim)
+            target.apply_symbolic_inputs(sim)
+            target.drive_all(sim)
+            initial = sim.snapshot(pc=target.current_pc(sim))
+            pending = [(initial.to_bytes(), None)]
+            result.paths_created = 1
 
-        pending: List[Tuple[bytes, Optional[int]]] = \
-            [(initial.to_bytes(), None)]
-        result.paths_created = 1
-
-        ctx = mp.get_context("fork") if "fork" in \
-            mp.get_all_start_methods() else mp.get_context("spawn")
-        with ctx.Pool(self.workers, initializer=_init_worker,
-                      initargs=(self.target_factory,
-                                self.max_cycles_per_path)) as pool:
+        # spawn (not fork) for cross-platform determinism: workers build
+        # their simulator from the pickled factory on every platform
+        # alike, instead of inheriting arbitrary parent state on POSIX
+        ctx = mp.get_context("spawn")
+        supervisor = PoolSupervisor(
+            lambda: ctx.Pool(self.workers, initializer=_init_worker,
+                             initargs=(self.target_factory,
+                                       self.max_cycles_per_path)),
+            _simulate_segment, policy=self.policy, stats=self.stats,
+            journal=result.journal, fault_plan=self.fault_plan)
+        degrade_reason: Optional[PoolExhausted] = None
+        try:
             while pending:
-                self.stats.waves += 1
+                if self.checkpoint is not None and \
+                        self.checkpoint.due(self.stats.waves):
+                    self._write_checkpoint(pending, result)
+                if self.stop_after_waves is not None and \
+                        self.stats.waves >= self.stop_after_waves:
+                    if self.checkpoint is not None:
+                        self._write_checkpoint(pending, result)
+                    raise RunInterrupted(
+                        f"stopped after {self.stats.waves} waves with "
+                        f"{len(pending)} paths pending; resume from the "
+                        f"checkpoint to continue")
                 wave = pending
                 pending = []
-                outputs = pool.map(_simulate_segment, wave)
-                for (outcome, end_pc, cycles, state_bytes, toggled,
-                     ever_x, cval, cknown), (_, forced) in \
-                        zip(outputs, wave):
-                    path_id = len(result.path_records)
-                    result.simulated_cycles += cycles
-                    result.profile.absorb(toggled, ever_x, cval, cknown)
-                    if outcome == "budget":
-                        raise CoAnalysisError(
-                            f"cycle budget exhausted on path {path_id}")
-                    if outcome == "halt":
-                        decision = self.csm.observe(
-                            end_pc, SimState.from_bytes(state_bytes))
-                        if decision.covered:
-                            result.paths_skipped += 1
-                            outcome = "skipped"
-                        else:
-                            result.splits += 1
-                            resume = decision.resume_state.to_bytes()
-                            for branch in (1, 0):
-                                pending.append((resume, branch))
-                                result.paths_created += 1
-                            outcome = "split"
-                    result.path_records.append(PathRecord(
-                        path_id, None, end_pc, cycles, outcome, forced))
+                wave_t0 = time.perf_counter()
+                try:
+                    outputs = supervisor.run_wave(self.stats.waves, wave)
+                except PoolExhausted as exc:
+                    # nothing from the failed wave has been absorbed yet:
+                    # re-run it whole, serially, from the pristine bytes
+                    degrade_reason = exc
+                    pending = wave
+                    break
+                self.stats.waves += 1
+                self.stats.wave_wall_seconds.append(
+                    time.perf_counter() - wave_t0)
+                for output, (_, forced) in zip(outputs, wave):
+                    self._absorb(output, forced, pending, result)
+        finally:
+            # always reap the pool -- interrupted runs must not leak
+            # (possibly hung) workers
+            supervisor.close()
 
+        if degrade_reason is not None:
+            self.stats.degraded = True
+            result.degraded_to_serial = True
+            result.journal.append(RunEvent("degraded",
+                                           detail=str(degrade_reason)))
+            warnings.warn(
+                f"parallel exploration of {result.design}/"
+                f"{self.application} degraded to serial execution: "
+                f"{degrade_reason}", DegradedToSerialWarning,
+                stacklevel=2)
+            self._run_serial(target, pending, result)
+
+        if self.checkpoint is not None:
+            # final record: resuming a finished run returns immediately
+            self._write_checkpoint([], result)
+
+        result.recovered_failures = self.stats.segment_retries
         result.csm_stats = self.csm.stats.snapshot()
         self.stats.wall_seconds = time.perf_counter() - t0
         result.wall_seconds = self.stats.wall_seconds
         return result
+
+    # -- shared bookkeeping ------------------------------------------------
+    def _absorb(self, output, forced: Optional[int],
+                pending: List[Tuple[bytes, Optional[int]]],
+                result: CoAnalysisResult) -> None:
+        """Fold one segment's output into the result and schedule any
+        forked branches (identical for pool and serial-fallback paths)."""
+        (outcome, end_pc, cycles, state_bytes, toggled, ever_x, cval,
+         cknown) = output
+        path_id = len(result.path_records)
+        result.simulated_cycles += cycles
+        result.profile.absorb(toggled, ever_x, cval, cknown)
+        if outcome == "budget":
+            raise CoAnalysisError(
+                f"cycle budget exhausted on path {path_id}")
+        if outcome == "halt":
+            decision = self.csm.observe(
+                end_pc, SimState.from_bytes(state_bytes))
+            if decision.covered:
+                result.paths_skipped += 1
+                outcome = "skipped"
+            else:
+                result.splits += 1
+                resume = decision.resume_state.to_bytes()
+                for branch in (1, 0):
+                    pending.append((resume, branch))
+                    result.paths_created += 1
+                outcome = "split"
+        result.path_records.append(PathRecord(
+            path_id, None, end_pc, cycles, outcome, forced))
+
+    def _run_serial(self, target: SymbolicTarget,
+                    pending: List[Tuple[bytes, Optional[int]]],
+                    result: CoAnalysisResult) -> None:
+        """Finish the exploration in-process after pool exhaustion."""
+        sim = target.make_sim()
+        while pending:
+            state_bytes, forced = pending.pop()
+            output = _segment_impl(target, sim, state_bytes, forced,
+                                   self.max_cycles_per_path)
+            self._absorb(output, forced, pending, result)
+
+    # -- checkpoint plumbing -----------------------------------------------
+    def _checkpoint_payload(self, pending, result: CoAnalysisResult) -> dict:
+        return {
+            "engine": "parallel",
+            "design": result.design,
+            "application": self.application,
+            "pending": list(pending),
+            "csm": self.csm.snapshot_state(),
+            "profile": {"toggled": result.profile.toggled.copy(),
+                        "ever_x": result.profile.ever_x.copy(),
+                        "const_val": result.profile.const_val.copy(),
+                        "const_known": result.profile.const_known.copy()},
+            "counters": {"paths_created": result.paths_created,
+                         "paths_skipped": result.paths_skipped,
+                         "splits": result.splits,
+                         "simulated_cycles": result.simulated_cycles,
+                         "truncated_paths": result.truncated_paths},
+            "path_records": list(result.path_records),
+            "journal": list(result.journal),
+            "waves_done": self.stats.waves,
+        }
+
+    def _write_checkpoint(self, pending, result: CoAnalysisResult) -> None:
+        self.checkpoint.write(self._checkpoint_payload(pending, result),
+                              progress=self.stats.waves)
+        self.stats.checkpoints_written += 1
+        result.journal.append(RunEvent(
+            "checkpoint", wave=self.stats.waves,
+            detail=f"{len(pending)} pending paths"))
+
+    def _apply_checkpoint(self, payload: dict, target: SymbolicTarget,
+                          result: CoAnalysisResult
+                          ) -> List[Tuple[bytes, Optional[int]]]:
+        if payload.get("engine") != "parallel":
+            raise ResumeMismatch(
+                f"checkpoint was written by the "
+                f"{payload.get('engine')!r} engine, not 'parallel'")
+        if payload["design"] != target.name or \
+                payload["application"] != self.application:
+            raise ResumeMismatch(
+                f"checkpoint belongs to "
+                f"{payload['design']}/{payload['application']}, not "
+                f"{target.name}/{self.application}")
+        self.csm.restore_state(payload["csm"])
+        profile = payload["profile"]
+        try:
+            result.profile.toggled[:] = profile["toggled"]
+            result.profile.ever_x[:] = profile["ever_x"]
+            result.profile.const_val[:] = profile["const_val"]
+            result.profile.const_known[:] = profile["const_known"]
+        except ValueError as exc:
+            raise ResumeMismatch(
+                f"checkpoint profile arrays do not fit this netlist: "
+                f"{exc}") from exc
+        for key, value in payload["counters"].items():
+            setattr(result, key, value)
+        result.path_records = list(payload["path_records"])
+        result.journal = list(payload["journal"])
+        result.resumed = True
+        self.stats.waves = payload["waves_done"]
+        pending = [(blob, forced) for blob, forced in payload["pending"]]
+        result.journal.append(RunEvent(
+            "resume", wave=self.stats.waves,
+            detail=f"{len(pending)} pending paths restored"))
+        return pending
 
 
 def make_workload_target(design: str, benchmark: str) -> SymbolicTarget:

@@ -29,6 +29,23 @@ class PathRecord:
 
 
 @dataclass
+class RunEvent:
+    """One entry of a run's resilience journal.
+
+    ``kind`` is drawn from a small vocabulary so operators can grep a
+    long run's history: ``checkpoint``, ``resume``, ``timeout``,
+    ``crash``, ``corrupt``, ``retry``, ``pool_restart``, ``degraded``,
+    ``interrupt``.
+    """
+
+    kind: str
+    wave: Optional[int] = None
+    segment: Optional[int] = None
+    attempt: int = 0
+    detail: str = ""
+
+
+@dataclass
 class CoAnalysisResult:
     """Everything Algorithm 1 produces for one (application, design) pair."""
 
@@ -46,6 +63,15 @@ class CoAnalysisResult:
     #: per-segment exercised-net arrays (aligned with path_records);
     #: populated when the engine runs with record_per_path_activity
     per_path_exercised: List = field(default_factory=list)
+    #: resilience journal: every fault observed, retry issued, pool
+    #: restart, checkpoint written, and resume performed during the run
+    journal: List[RunEvent] = field(default_factory=list)
+    #: worker failures that were absorbed by retry / re-dispatch
+    recovered_failures: int = 0
+    #: True when the parallel engine fell back to serial execution
+    degraded_to_serial: bool = False
+    #: True when this result continues an earlier checkpointed run
+    resumed: bool = False
 
     # -- headline metrics ------------------------------------------------------
     @property
@@ -83,3 +109,40 @@ class CoAnalysisResult:
 
 class CoAnalysisError(Exception):
     """Analysis could not complete soundly (e.g. path budget exhausted)."""
+
+
+class WorkerFailure(CoAnalysisError):
+    """A pool worker failed to produce a segment result."""
+
+    def __init__(self, message: str, wave: Optional[int] = None,
+                 segment: Optional[int] = None, attempts: int = 0):
+        super().__init__(message)
+        self.wave = wave
+        self.segment = segment
+        self.attempts = attempts
+
+
+class SegmentTimeout(WorkerFailure):
+    """A segment exceeded its wall-clock budget (hung or dead worker)."""
+
+
+class WorkerCrashed(WorkerFailure):
+    """A worker raised (or died) while simulating a segment."""
+
+
+class StateCorruption(WorkerFailure):
+    """A handed-off state blob failed its integrity check."""
+
+
+class CheckpointError(CoAnalysisError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+class ResumeMismatch(CheckpointError):
+    """A checkpoint does not belong to the run being resumed
+    (different design, application, or engine kind)."""
+
+
+class RunInterrupted(CoAnalysisError):
+    """The run stopped early on purpose (wave budget / interrupt) after
+    writing a checkpoint; resume with ``resume=True`` to continue."""

@@ -84,6 +84,44 @@ class ConservativeStateManager:
         self.stats.expanded += 1
         return CSMDecision(pc, False, resume)
 
+    # -- snapshot / restore (checkpointing) --------------------------------
+    #: bump when the snapshot layout changes
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Full picklable snapshot of the manager: repository, expansion
+        memo, and statistics.  Used by the resilience layer to journal
+        Algorithm 1 runs; pair with :meth:`restore_state`."""
+        import copy
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "strategy": self.strategy.name,
+            "repository": {pc: [s.copy() for s in states]
+                           for pc, states in self.repository.items()},
+            "expanded": {pc: set(memo)
+                         for pc, memo in self._expanded.items()},
+            "stats": copy.deepcopy(self.stats),
+        }
+
+    def restore_state(self, blob: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_state` in place.
+
+        The configured merge strategy must match the one the snapshot
+        was taken under -- resuming with a different strategy would
+        silently change coverage decisions.
+        """
+        version = blob.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise ValueError(f"CSM snapshot v{version} is not supported "
+                             f"(this build reads v{self.SNAPSHOT_VERSION})")
+        if blob["strategy"] != self.strategy.name:
+            raise ValueError(
+                f"CSM snapshot was taken with strategy "
+                f"{blob['strategy']!r}, not {self.strategy.name!r}")
+        self.repository = blob["repository"]
+        self._expanded = blob["expanded"]
+        self.stats = blob["stats"]
+
     # -- persistence -------------------------------------------------------
     def save_repository(self, path) -> None:
         """Persist the state repository (the paper's CSM keeps it on

@@ -30,8 +30,16 @@ def run_one(design: str, benchmark: str,
             strategy: Optional[MergeStrategy] = None,
             max_cycles_per_path: int = 20000,
             max_total_cycles: int = 2_000_000,
-            use_constraints: bool = True) -> CoAnalysisResult:
-    """One symbolic co-analysis run (no caching)."""
+            use_constraints: bool = True,
+            checkpoint=None,
+            resume: bool = False,
+            workers: int = 1) -> CoAnalysisResult:
+    """One symbolic co-analysis run (no caching).
+
+    ``checkpoint``/``resume`` journal the run to disk and continue an
+    interrupted one (see :mod:`repro.resilience`); ``workers > 1``
+    explores with the supervised wave-parallel engine.
+    """
     workload = WORKLOADS[benchmark]
     target = build_target(design, workload)
     constraints = None
@@ -41,10 +49,20 @@ def run_one(design: str, benchmark: str,
                                     target.state_net_positions())
     csm = ConservativeStateManager(strategy or UberConservative(),
                                    constraints=constraints)
+    if workers > 1:
+        from ..coanalysis.parallel import (ParallelCoAnalysis,
+                                           WorkloadTargetFactory)
+        engine = ParallelCoAnalysis(WorkloadTargetFactory(design, benchmark),
+                                    csm=csm, workers=workers,
+                                    max_cycles_per_path=max_cycles_per_path,
+                                    application=benchmark,
+                                    checkpoint=checkpoint, resume=resume)
+        return engine.run()
     engine = CoAnalysisEngine(target, csm=csm,
                               max_cycles_per_path=max_cycles_per_path,
                               max_total_cycles=max_total_cycles,
-                              application=benchmark)
+                              application=benchmark,
+                              checkpoint=checkpoint, resume=resume)
     return engine.run()
 
 

@@ -1,0 +1,32 @@
+"""Fault tolerance for long co-analysis runs.
+
+Algorithm 1 runs are open-ended (path explosion can push a run to the
+full 2M-cycle budget across 100k paths) and the parallel mode hands
+states to separate worker processes -- so this package makes the
+exploration layer survive the failures that long runs actually hit:
+
+* :mod:`~repro.resilience.checkpoint` -- an append-safe on-disk journal
+  of the full Algorithm 1 state (pending-path stack, CSM repository,
+  accumulated toggle activity) so interrupted runs resume instead of
+  restarting;
+* :mod:`~repro.resilience.supervisor` -- worker-pool supervision:
+  per-segment wall-clock timeouts, bounded retry with exponential
+  backoff, re-dispatch of segments lost to dead or hung workers, and
+  graceful degradation to serial execution;
+* :mod:`~repro.resilience.faults` -- a deterministic, seedable
+  fault-injection harness (worker crashes, hangs, corrupted state
+  bytes) so the supervision logic is testable in CI.
+"""
+
+from .checkpoint import (CHECKPOINT_FORMAT_VERSION, Checkpointer,
+                         load_checkpoint)
+from .faults import FaultPlan, FaultSpec, InjectedFault
+from .supervisor import (DegradedToSerialWarning, PoolExhausted,
+                         PoolSupervisor, SupervisionPolicy)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION", "Checkpointer", "load_checkpoint",
+    "FaultPlan", "FaultSpec", "InjectedFault",
+    "DegradedToSerialWarning", "PoolExhausted", "PoolSupervisor",
+    "SupervisionPolicy",
+]

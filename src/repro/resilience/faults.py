@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the parallel exploration layer.
+
+The supervisor's recovery paths (timeout, retry, pool rebuild, serial
+degradation) only earn their keep if CI can actually exercise them, so
+this harness injects the three failure classes long parallel runs hit
+in practice -- a worker raising, a worker dying or hanging, and state
+bytes corrupted in hand-off -- at chosen (wave, segment) coordinates.
+
+Faults are carried inside the dispatched job, so they fire *inside the
+worker process* exactly where a real failure would, except ``corrupt``,
+which mangles the state blob on the parent side before hand-off (the
+pristine bytes are kept for the retry, modelling a transient transport
+fault).  By default a spec fires only on a segment's first attempt, so
+recovery succeeds; ``persistent=True`` makes it fire on every attempt
+to drive the degradation path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: injectable failure classes
+FAULT_KINDS = ("crash", "die", "hang", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker by a ``crash`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        wave: wave index (0 = the initial single-path wave).
+        segment: segment index within the wave.
+        kind: one of :data:`FAULT_KINDS`.
+        persistent: fire on every attempt, not just the first.
+    """
+
+    wave: int
+    segment: int
+    kind: str
+    persistent: bool = False
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {FAULT_KINDS}")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` injections."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self.specs: List[FaultSpec] = list(specs)
+        by_coord = {}
+        for spec in self.specs:
+            by_coord[(spec.wave, spec.segment)] = spec
+        self._by_coord = by_coord
+        self.fired: List[Tuple[int, int, int, str]] = []
+
+    @classmethod
+    def random(cls, seed: int, n_faults: int, max_wave: int = 8,
+               max_segment: int = 8,
+               kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
+        """A reproducible plan: the same seed always yields the same
+        (wave, segment, kind) schedule."""
+        rng = Random(seed)
+        seen = set()
+        specs = []
+        while len(specs) < n_faults:
+            coord = (rng.randrange(max_wave), rng.randrange(max_segment))
+            if coord in seen:
+                continue
+            seen.add(coord)
+            specs.append(FaultSpec(coord[0], coord[1], rng.choice(kinds)))
+        return cls(specs)
+
+    # -- dispatch-side hooks ----------------------------------------------
+    def fault_for(self, wave: int, segment: int,
+                  attempt: int) -> Optional[str]:
+        """The fault kind to apply to this dispatch, if any."""
+        spec = self._by_coord.get((wave, segment))
+        if spec is None:
+            return None
+        if attempt > 0 and not spec.persistent:
+            return None
+        self.fired.append((wave, segment, attempt, spec.kind))
+        return spec.kind
+
+    def decorate(self, wave: int, segment: int, attempt: int,
+                 state_bytes: bytes, forced) -> Tuple[bytes, object,
+                                                      Optional[str]]:
+        """Turn a pending (state, forced) pair into the job actually
+        dispatched, applying any scheduled fault."""
+        kind = self.fault_for(wave, segment, attempt)
+        if kind == "corrupt":
+            return corrupt_bytes(state_bytes), forced, None
+        return state_bytes, forced, kind
+
+
+def corrupt_bytes(blob: bytes, stride: int = 37) -> bytes:
+    """Deterministically flip bytes throughout ``blob``.
+
+    The versioned :meth:`SimState.to_bytes` frame carries a CRC, so any
+    flip inside the payload is detected on deserialization rather than
+    yielding a plausible-but-wrong state.
+    """
+    mangled = bytearray(blob)
+    for i in range(0, len(mangled), stride):
+        mangled[i] ^= 0xA5
+    return bytes(mangled)
+
+
+def execute_fault(kind: Optional[str]) -> None:
+    """Run inside a worker, before the segment simulates.
+
+    ``crash`` raises (an exception the parent sees immediately); ``die``
+    hard-kills the worker process (the parent sees a timeout and
+    re-dispatches); ``hang`` sleeps past any sane segment budget.
+    """
+    if kind is None:
+        return
+    if kind == "crash":
+        raise InjectedFault("injected worker crash")
+    if kind == "die":                 # pragma: no cover - kills the process
+        os._exit(3)
+    if kind == "hang":                # pragma: no cover - reaped by terminate
+        time.sleep(3600)
+    raise ValueError(f"unknown fault kind {kind!r}")

@@ -1,0 +1,207 @@
+"""Worker-pool supervision for wave-parallel exploration.
+
+The paper's parallel mode forks a simulator process per branch; at scale
+that inherits every failure mode of process pools -- workers that raise,
+die, or hang, and states corrupted in hand-off.  The supervisor runs
+each wave of segment jobs under per-segment wall-clock deadlines,
+retries failed segments with exponential backoff, rebuilds the pool when
+workers are lost or wedged (a timed-out slot cannot be trusted again),
+and -- once the configured failure budget is spent -- signals the caller
+to degrade to serial execution rather than return a partial (unsound)
+answer.
+
+A wave either completes with every segment's output present, or raises:
+:class:`PoolExhausted` (degrade to serial) is the only non-exceptional
+failure exit, so callers can never silently drop a segment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..coanalysis.results import (RunEvent, SegmentTimeout, StateCorruption,
+                                  WorkerCrashed, WorkerFailure)
+from ..sim.state import StateDecodeError
+from .faults import FaultPlan
+
+
+class DegradedToSerialWarning(RuntimeWarning):
+    """The parallel engine fell back to serial exploration.
+
+    Structured so operators can ``-W error::`` it in CI; the run result
+    is still sound -- only the speedup is lost."""
+
+
+class PoolExhausted(WorkerFailure):
+    """The failure budget is spent; the caller should degrade."""
+
+
+@dataclass
+class SupervisionPolicy:
+    """Failure-handling knobs for :class:`PoolSupervisor`.
+
+    Attributes:
+        segment_timeout: wall-clock budget per dispatched segment; a
+            segment past its deadline is treated as lost (hung or dead
+            worker) and re-dispatched after a pool rebuild.
+        max_retries: re-dispatches allowed per segment before degrading.
+        backoff_base / backoff_cap: exponential retry backoff, seconds.
+        max_pool_restarts: pool rebuilds allowed per run before degrading.
+        poll_interval: result-polling period, seconds.
+    """
+
+    segment_timeout: float = 300.0
+    max_retries: int = 3
+    backoff_base: float = 0.2
+    backoff_cap: float = 5.0
+    max_pool_restarts: int = 2
+    poll_interval: float = 0.02
+
+
+class PoolSupervisor:
+    """Owns one worker pool and runs waves of jobs to completion.
+
+    Args:
+        pool_factory: zero-argument callable building a fresh
+            ``multiprocessing`` pool (workers pre-initialized).
+        task: the pool-side function; receives one job tuple
+            ``(state_bytes, forced, fault_kind)``.
+        policy: failure-handling knobs.
+        stats: object with ``segment_retries`` / ``worker_restarts``
+            counters to increment (the engine's run stats).
+        journal: list collecting :class:`RunEvent` entries.
+        fault_plan: optional :class:`FaultPlan` decorating dispatches.
+    """
+
+    def __init__(self, pool_factory: Callable, task: Callable,
+                 policy: Optional[SupervisionPolicy] = None,
+                 stats=None, journal: Optional[List[RunEvent]] = None,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.pool_factory = pool_factory
+        self.task = task
+        self.policy = policy or SupervisionPolicy()
+        self.stats = stats
+        self.journal = journal if journal is not None else []
+        self.fault_plan = fault_plan
+        self._pool = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self.pool_factory()
+        return self._pool
+
+    def _terminate_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Tear the pool down unconditionally (also reaps hung workers)."""
+        self._terminate_pool()
+
+    def _restart_pool(self, wave: int) -> None:
+        if self.stats is not None:
+            self.stats.worker_restarts += 1
+        restarts = self.stats.worker_restarts if self.stats is not None \
+            else 1
+        self.journal.append(RunEvent("pool_restart", wave=wave,
+                                     detail=f"restart #{restarts}"))
+        self._terminate_pool()
+        if restarts > self.policy.max_pool_restarts:
+            raise PoolExhausted(
+                f"worker pool restarted {restarts} times "
+                f"(limit {self.policy.max_pool_restarts}); degrading",
+                wave=wave)
+
+    # -- wave execution ----------------------------------------------------
+    def run_wave(self, wave: int, jobs: List) -> List:
+        """Run one wave of ``(state_bytes, forced)`` jobs; outputs are
+        returned aligned with ``jobs``, every slot filled."""
+        outputs: List = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        todo = list(range(len(jobs)))
+        while todo:
+            pool = self._ensure_pool()
+            inflight = {}
+            for idx in todo:
+                state_bytes, forced = jobs[idx]
+                fault = None
+                if self.fault_plan is not None:
+                    state_bytes, forced, fault = self.fault_plan.decorate(
+                        wave, idx, attempts[idx], state_bytes, forced)
+                deadline = time.monotonic() + self.policy.segment_timeout
+                inflight[idx] = (
+                    pool.apply_async(self.task,
+                                     ((state_bytes, forced, fault),)),
+                    deadline)
+            failures = []
+            lost_to_timeout = False
+            while inflight:
+                progressed = False
+                for idx in list(inflight):
+                    result, deadline = inflight[idx]
+                    if result.ready():
+                        del inflight[idx]
+                        progressed = True
+                        try:
+                            outputs[idx] = result.get()
+                        except Exception as exc:  # remote failure
+                            failures.append(
+                                (idx, self._classify(exc, wave, idx,
+                                                     attempts[idx])))
+                    elif time.monotonic() > deadline:
+                        del inflight[idx]
+                        progressed = True
+                        lost_to_timeout = True
+                        failures.append((idx, SegmentTimeout(
+                            f"segment {idx} of wave {wave} exceeded "
+                            f"{self.policy.segment_timeout:.1f}s "
+                            f"(worker hung or died)",
+                            wave=wave, segment=idx,
+                            attempts=attempts[idx])))
+                if inflight and not progressed:
+                    time.sleep(self.policy.poll_interval)
+            todo = []
+            for idx, failure in failures:
+                attempts[idx] += 1
+                if self.stats is not None:
+                    self.stats.segment_retries += 1
+                kind = {"SegmentTimeout": "timeout",
+                        "StateCorruption": "corrupt"}.get(
+                            type(failure).__name__, "crash")
+                self.journal.append(RunEvent(
+                    kind, wave=wave, segment=idx, attempt=attempts[idx],
+                    detail=str(failure)))
+                if attempts[idx] > self.policy.max_retries:
+                    raise PoolExhausted(
+                        f"segment {idx} of wave {wave} failed "
+                        f"{attempts[idx]} times ({failure}); degrading",
+                        wave=wave, segment=idx, attempts=attempts[idx])
+                self.journal.append(RunEvent(
+                    "retry", wave=wave, segment=idx, attempt=attempts[idx]))
+                todo.append(idx)
+            if lost_to_timeout:
+                # a timed-out slot may still be wedged: rebuild the pool
+                # so re-dispatched segments land on fresh workers
+                self._restart_pool(wave)
+            if todo:
+                worst = max(attempts[idx] for idx in todo)
+                time.sleep(min(self.policy.backoff_cap,
+                               self.policy.backoff_base * 2 ** (worst - 1)))
+        return outputs
+
+    @staticmethod
+    def _classify(exc: Exception, wave: int, segment: int,
+                  attempt: int) -> WorkerFailure:
+        if isinstance(exc, StateDecodeError):
+            return StateCorruption(
+                f"segment {segment} of wave {wave}: {exc}",
+                wave=wave, segment=segment, attempts=attempt)
+        return WorkerCrashed(
+            f"segment {segment} of wave {wave}: "
+            f"{type(exc).__name__}: {exc}",
+            wave=wave, segment=segment, attempts=attempt)

@@ -14,10 +14,24 @@ merge) over their full contents, vectorized with numpy.
 from __future__ import annotations
 
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+#: bump when the on-the-wire layout of :meth:`SimState.to_bytes` changes
+STATE_FORMAT_VERSION = 1
+
+_STATE_MAGIC = b"RSS\x01"
+_STATE_HEADER = struct.Struct("<BI")     # version, crc32(payload)
+
+
+class StateDecodeError(TypeError):
+    """A serialized state blob is corrupt, truncated, or from an
+    incompatible format version.  Subclasses :class:`TypeError` because
+    the pre-versioned decoder raised that for non-state blobs."""
 
 
 @dataclass
@@ -99,14 +113,45 @@ class SimState:
 
     # -- serialization ---------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize for hand-off to another process (parallel paths)."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        """Serialize for hand-off to another process or to a checkpoint.
+
+        The blob is framed as ``magic | version | crc32 | pickle`` so a
+        receiver can reject corrupted or incompatible state bytes
+        deterministically instead of resuming from garbage.
+        """
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        return (_STATE_MAGIC
+                + _STATE_HEADER.pack(STATE_FORMAT_VERSION,
+                                     zlib.crc32(payload))
+                + payload)
 
     @staticmethod
     def from_bytes(blob: bytes) -> "SimState":
-        state = pickle.loads(blob)
+        if blob[:len(_STATE_MAGIC)] == _STATE_MAGIC:
+            header_end = len(_STATE_MAGIC) + _STATE_HEADER.size
+            try:
+                version, crc = _STATE_HEADER.unpack(
+                    blob[len(_STATE_MAGIC):header_end])
+            except struct.error as exc:
+                raise StateDecodeError(f"truncated state header: {exc}")
+            if version != STATE_FORMAT_VERSION:
+                raise StateDecodeError(
+                    f"state format v{version} is not supported "
+                    f"(this build reads v{STATE_FORMAT_VERSION})")
+            payload = blob[header_end:]
+            if zlib.crc32(payload) != crc:
+                raise StateDecodeError(
+                    "state checksum mismatch (corrupted bytes)")
+            state = pickle.loads(payload)
+        else:
+            # pre-versioned blobs were a bare pickle of the dataclass
+            try:
+                state = pickle.loads(blob)
+            except Exception as exc:
+                raise StateDecodeError(
+                    f"undecodable state blob: {exc}") from exc
         if not isinstance(state, SimState):
-            raise TypeError("blob does not contain a SimState")
+            raise StateDecodeError("blob does not contain a SimState")
         return state
 
     def fingerprint(self) -> bytes:

@@ -1,0 +1,171 @@
+"""Integration: faulted and interrupted runs converge to the fault-free
+answer (ISSUE 1 acceptance tests).
+
+Worker death, hangs, and corrupted state hand-offs must be absorbed by
+the supervision layer, and a checkpointed run killed partway through
+must resume to the same exercisable-gate dichotomy as an uninterrupted
+run -- never a silently different answer.
+"""
+
+import warnings
+
+import pytest
+
+from repro.coanalysis.engine import CoAnalysisEngine
+from repro.coanalysis.parallel import (ParallelCoAnalysis,
+                                       WorkloadTargetFactory)
+from repro.coanalysis.results import ResumeMismatch, RunInterrupted
+from repro.csm.manager import ConservativeStateManager
+from repro.reporting.runner import run_one
+from repro.resilience import (DegradedToSerialWarning, FaultPlan, FaultSpec,
+                              SupervisionPolicy)
+from repro.workloads import WORKLOADS, build_target
+
+DESIGN, BENCH = "bm32", "Div"
+
+pytestmark = pytest.mark.timeout(600)
+
+FAST_POLICY = dict(segment_timeout=20.0, backoff_base=0.01,
+                   max_pool_restarts=3)
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    """Serial, fault-free reference run (the ground truth)."""
+    return run_one(DESIGN, BENCH, use_constraints=False)
+
+
+def make_parallel(**kw):
+    return ParallelCoAnalysis(WorkloadTargetFactory(DESIGN, BENCH),
+                              workers=2, application=BENCH, **kw)
+
+
+def make_serial(**kw):
+    target = build_target(DESIGN, WORKLOADS[BENCH])
+    return CoAnalysisEngine(target, csm=ConservativeStateManager(),
+                            application=BENCH, **kw)
+
+
+class TestFaultInjection:
+    def test_worker_death_and_corruption_recover(self, fault_free):
+        """A worker hard-killed mid-wave and one corrupted state
+        hand-off both recover automatically; the exercisable-gate set
+        equals the fault-free serial run's."""
+        plan = FaultPlan([FaultSpec(1, 0, "die"),
+                          FaultSpec(2, 0, "corrupt")])
+        engine = make_parallel(
+            fault_plan=plan,
+            policy=SupervisionPolicy(segment_timeout=6.0, backoff_base=0.01,
+                                     max_pool_restarts=3))
+        result = engine.run()
+        assert len(plan.fired) == 2
+        assert result.profile.exercisable_gates() == \
+            fault_free.profile.exercisable_gates()
+        # the death was seen as a lost segment and the pool was rebuilt
+        kinds = [e.kind for e in result.journal]
+        assert "timeout" in kinds and "pool_restart" in kinds
+        assert "corrupt" in kinds
+        assert engine.stats.segment_retries >= 2
+        assert engine.stats.worker_restarts >= 1
+        assert result.recovered_failures == engine.stats.segment_retries
+        assert not result.degraded_to_serial
+
+    def test_worker_crash_recovers(self, fault_free):
+        plan = FaultPlan([FaultSpec(1, 1, "crash")])
+        engine = make_parallel(fault_plan=plan,
+                               policy=SupervisionPolicy(**FAST_POLICY))
+        result = engine.run()
+        assert result.profile.exercisable_gates() == \
+            fault_free.profile.exercisable_gates()
+        assert engine.stats.segment_retries == 1
+        assert any(e.kind == "crash" for e in result.journal)
+
+    def test_repeated_failures_degrade_to_serial(self, fault_free):
+        """A segment that fails on every attempt exhausts the retry
+        budget; the run degrades to serial with a structured warning and
+        still produces the fault-free answer."""
+        plan = FaultPlan([FaultSpec(1, 0, "crash", persistent=True)])
+        engine = make_parallel(
+            fault_plan=plan,
+            policy=SupervisionPolicy(max_retries=1, backoff_base=0.01,
+                                     segment_timeout=20.0))
+        with pytest.warns(DegradedToSerialWarning):
+            result = engine.run()
+        assert engine.stats.degraded
+        assert result.degraded_to_serial
+        assert any(e.kind == "degraded" for e in result.journal)
+        assert result.profile.exercisable_gates() == \
+            fault_free.profile.exercisable_gates()
+
+
+class TestInterruptResume:
+    def test_serial_interrupt_and_resume_matches_uninterrupted(
+            self, tmp_path):
+        """A checkpointed run killed partway through and resumed yields
+        the same CoAnalysisResult dichotomy as an uninterrupted run."""
+        baseline = make_serial().run()
+
+        ckpt = tmp_path / "serial.ckpt"
+        seen = [0]
+        budget = baseline.simulated_cycles // 2
+
+        def killer(sim, path_id, cycle):
+            seen[0] += 1
+            if seen[0] > budget:
+                raise KeyboardInterrupt
+
+        interrupted = make_serial(checkpoint=str(ckpt),
+                                  cycle_observer=killer)
+        interrupted.checkpoint.every_segments = 4
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run()
+        assert ckpt.exists()
+
+        resumed = make_serial(checkpoint=str(ckpt), resume=True).run()
+        assert resumed.resumed
+        assert any(e.kind == "resume" for e in resumed.journal)
+        assert resumed.profile.exercisable_gates() == \
+            baseline.profile.exercisable_gates()
+        assert resumed.paths_created == baseline.paths_created
+        assert resumed.paths_skipped == baseline.paths_skipped
+        assert resumed.simulated_cycles == baseline.simulated_cycles
+        assert len(resumed.path_records) == len(baseline.path_records)
+
+    def test_parallel_stop_and_resume_matches_uninterrupted(
+            self, tmp_path):
+        baseline = make_parallel().run()
+
+        ckpt = tmp_path / "parallel.ckpt"
+        sliced = make_parallel(checkpoint=str(ckpt), stop_after_waves=4)
+        with pytest.raises(RunInterrupted):
+            sliced.run()
+
+        resumed = make_parallel(checkpoint=str(ckpt), resume=True).run()
+        assert resumed.resumed
+        assert resumed.profile.exercisable_gates() == \
+            baseline.profile.exercisable_gates()
+        assert resumed.paths_created == baseline.paths_created
+        assert resumed.simulated_cycles == baseline.simulated_cycles
+
+    def test_resume_from_finished_run_is_instant(self, tmp_path):
+        ckpt = tmp_path / "done.ckpt"
+        first = make_serial(checkpoint=str(ckpt)).run()
+        again = make_serial(checkpoint=str(ckpt), resume=True).run()
+        assert again.resumed
+        assert again.simulated_cycles == first.simulated_cycles
+        assert again.profile.exercisable_gates() == \
+            first.profile.exercisable_gates()
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "other.ckpt"
+        other = build_target(DESIGN, WORKLOADS["mult"])
+        CoAnalysisEngine(other, csm=ConservativeStateManager(),
+                         application="mult", checkpoint=str(ckpt)).run()
+        with pytest.raises(ResumeMismatch):
+            make_serial(checkpoint=str(ckpt), resume=True).run()
+
+    def test_resume_without_record_starts_fresh(self, tmp_path):
+        ckpt = tmp_path / "fresh.ckpt"
+        result = make_parallel(checkpoint=str(ckpt), resume=True).run()
+        assert not result.resumed
+        assert result.paths_created >= 1

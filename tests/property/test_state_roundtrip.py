@@ -1,0 +1,128 @@
+"""Property: state/CSM serialization round-trips bit-identically.
+
+Checkpoints persist pickled ``SimState``s and CSM snapshots, so resume
+correctness reduces to these round-trips being exact -- and to corrupted
+blobs being *rejected* rather than decoded into plausible garbage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csm.manager import ConservativeStateManager
+from repro.sim.state import SimState, StateDecodeError
+
+
+def bitplane(draw, n):
+    bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return np.array(bits, dtype=bool)
+
+
+@st.composite
+def states(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    memories = {}
+    for name in draw(st.lists(st.sampled_from(["ram", "rom", "regs"]),
+                              unique=True, max_size=2)):
+        words = draw(st.integers(min_value=1, max_value=8))
+        width = draw(st.integers(min_value=1, max_value=16))
+        memories[name] = (
+            np.array(draw(st.lists(st.lists(st.booleans(), min_size=width,
+                                            max_size=width),
+                                   min_size=words, max_size=words)),
+                     dtype=bool),
+            np.array(draw(st.lists(st.lists(st.booleans(), min_size=width,
+                                            max_size=width),
+                                   min_size=words, max_size=words)),
+                     dtype=bool))
+    return SimState(
+        net_val=bitplane(draw, n), net_known=bitplane(draw, n),
+        memories=memories,
+        cycle=draw(st.integers(min_value=0, max_value=10 ** 9)),
+        pc=draw(st.one_of(st.none(),
+                          st.integers(min_value=0, max_value=2 ** 16))),
+        meta={"forced": draw(st.one_of(st.none(), st.integers(0, 1)))})
+
+
+def assert_identical(a: SimState, b: SimState):
+    assert np.array_equal(a.net_val, b.net_val)
+    assert np.array_equal(a.net_known, b.net_known)
+    assert set(a.memories) == set(b.memories)
+    for name, (val, known) in a.memories.items():
+        bval, bknown = b.memories[name]
+        assert np.array_equal(val, bval)
+        assert np.array_equal(known, bknown)
+    assert (a.cycle, a.pc, a.meta) == (b.cycle, b.pc, b.meta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(states())
+def test_bytes_roundtrip_identical(state):
+    assert_identical(state, SimState.from_bytes(state.to_bytes()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(states(), st.data())
+def test_single_byte_corruption_detected(state, data):
+    blob = bytearray(state.to_bytes())
+    pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    blob[pos] ^= flip
+    with pytest.raises(StateDecodeError):
+        SimState.from_bytes(bytes(blob))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(states(), min_size=1, max_size=4),
+       st.integers(min_value=0, max_value=2 ** 12))
+def test_csm_snapshot_roundtrip(observed, pc):
+    # build a repository, snapshot it, restore into a fresh manager, and
+    # check the two managers are bit-identical and decide identically
+    csm = ConservativeStateManager()
+    base = observed[0]
+    for state in observed:
+        if state.compatible(base):
+            csm.observe(pc, state)
+    import pickle
+    blob = pickle.loads(pickle.dumps(csm.snapshot_state()))
+
+    clone = ConservativeStateManager()
+    clone.restore_state(blob)
+    assert clone.pcs() == csm.pcs()
+    for at in csm.pcs():
+        assert [s.fingerprint() for s in clone.states_for(at)] == \
+            [s.fingerprint() for s in csm.states_for(at)]
+    assert clone.stats.snapshot() == csm.stats.snapshot()
+
+    probe = base.copy()
+    a = csm.observe(pc, probe.copy())
+    b = clone.observe(pc, probe.copy())
+    assert a.covered == b.covered
+    if not a.covered:
+        assert a.resume_state.fingerprint() == b.resume_state.fingerprint()
+
+
+def test_snapshot_rejects_wrong_strategy():
+    from repro.csm.strategies import ExactSet
+    csm = ConservativeStateManager()
+    blob = csm.snapshot_state()
+    other = ConservativeStateManager(strategy=ExactSet())
+    with pytest.raises(ValueError):
+        other.restore_state(blob)
+
+
+def test_snapshot_rejects_unknown_version():
+    csm = ConservativeStateManager()
+    blob = csm.snapshot_state()
+    blob["version"] = 99
+    with pytest.raises(ValueError):
+        ConservativeStateManager().restore_state(blob)
+
+
+def test_legacy_bare_pickle_still_decodes():
+    import pickle
+    state = SimState(np.array([True], dtype=bool),
+                     np.array([True], dtype=bool), {}, pc=1)
+    legacy = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    assert_identical(state, SimState.from_bytes(legacy))

@@ -1,0 +1,96 @@
+"""Unit tests for the append-safe checkpoint journal."""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.coanalysis.results import CheckpointError
+from repro.resilience.checkpoint import (Checkpointer, as_checkpointer,
+                                         load_checkpoint)
+
+
+class TestFraming:
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt") is None
+
+    def test_empty_file_is_none(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        assert load_checkpoint(path) is None
+
+    def test_latest_record_wins(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt")
+        for n in range(5):
+            ck.write({"n": n}, progress=n)
+        assert load_checkpoint(ck.path) == {"n": 4}
+        assert ck.records_written == 5
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt")
+        ck.write({"n": 0})
+        ck.write({"n": 1})
+        intact = ck.path.read_bytes()
+        # simulate a crash mid-append: a prefix of a third record
+        ck.write({"n": 2})
+        full = ck.path.read_bytes()
+        torn = full[:len(intact) + (len(full) - len(intact)) // 2]
+        ck.path.write_bytes(torn)
+        assert load_checkpoint(ck.path) == {"n": 1}
+
+    def test_corrupt_tail_is_ignored(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt")
+        ck.write({"n": 0})
+        intact = len(ck.path.read_bytes())
+        ck.write({"n": 1})
+        blob = bytearray(ck.path.read_bytes())
+        blob[intact + 20] ^= 0xFF          # inside record 1's payload
+        ck.path.write_bytes(bytes(blob))
+        assert load_checkpoint(ck.path) == {"n": 0}
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        payload = pickle.dumps({"n": 0})
+        import zlib
+        path.write_bytes(b"RCKP" + struct.pack("<BQI", 99, len(payload),
+                                               zlib.crc32(payload))
+                         + payload)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_creates_parent_directory(self, tmp_path):
+        ck = Checkpointer(tmp_path / "deep" / "run.ckpt")
+        ck.write({"n": 0})
+        assert load_checkpoint(ck.path) == {"n": 0}
+
+
+class TestCadence:
+    def test_every_segments_paces_writes(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt", every_segments=10)
+        assert ck.due(0)
+        ck.write({}, progress=0)
+        assert not ck.due(5)
+        assert ck.due(10)
+
+    def test_every_seconds_gates_writes(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt", every_segments=1,
+                          every_seconds=3600)
+        ck.write({}, progress=0)
+        assert not ck.due(50)
+
+    def test_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path / "run.ckpt", every_segments=0)
+
+
+class TestCoercion:
+    def test_path_becomes_checkpointer(self, tmp_path):
+        ck = as_checkpointer(str(tmp_path / "run.ckpt"))
+        assert isinstance(ck, Checkpointer)
+
+    def test_none_passes_through(self):
+        assert as_checkpointer(None) is None
+
+    def test_instance_passes_through(self, tmp_path):
+        ck = Checkpointer(tmp_path / "run.ckpt", every_segments=3)
+        assert as_checkpointer(ck) is ck

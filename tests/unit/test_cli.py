@@ -26,6 +26,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "dr5", "quicksort"])
 
+    def test_analyze_resilience_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "dr5", "mult", "--checkpoint", "run.ckpt",
+             "--resume", "--workers", "4"])
+        assert args.checkpoint == "run.ckpt"
+        assert args.resume
+        assert args.workers == 4
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "dr5", "mult", "--resume"])
+
 
 class TestCommands:
     def test_analyze_json(self, capsys):
@@ -79,6 +91,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "peak switching bound" in out
         assert "energy saving" in out
+
+    def test_analyze_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(["analyze", "dr5", "mult", "--checkpoint", str(ckpt)])
+        assert rc == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        rc = main(["analyze", "dr5", "mult", "--checkpoint", str(ckpt),
+                   "--resume", "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resumed from checkpoint" in captured.err
+        assert json.loads(captured.out)["design"] == "dr5"
+
+
+class TestErrorHandling:
+    def test_coanalysis_error_exits_nonzero_one_line(self, monkeypatch,
+                                                     capsys):
+        from repro import cli
+        from repro.coanalysis.results import CoAnalysisError
+
+        def boom(*args, **kwargs):
+            raise CoAnalysisError("path stack exceeded max_paths=7")
+
+        monkeypatch.setattr(cli, "run_one", boom)
+        rc = cli.main(["analyze", "dr5", "mult"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err == "error: path stack exceeded max_paths=7\n"
+        assert captured.out == ""
+
+    def test_keyboard_interrupt_hints_at_resume(self, monkeypatch, capsys):
+        from repro import cli
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "run_one", interrupt)
+        rc = cli.main(["analyze", "dr5", "mult",
+                       "--checkpoint", "run.ckpt"])
+        assert rc == 130
+        assert "--checkpoint run.ckpt --resume" in capsys.readouterr().err
 
     def test_timing_reports_slack(self, capsys):
         rc = main(["timing", "omsp430", "mult"])

@@ -1,0 +1,81 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (FAULT_KINDS, FaultPlan, FaultSpec,
+                                     InjectedFault, corrupt_bytes,
+                                     execute_fault)
+from repro.sim.state import SimState, StateDecodeError
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, "meltdown")
+
+    def test_known_kinds(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(0, 0, kind).kind == kind
+
+
+class TestFaultPlan:
+    def test_one_shot_fires_only_on_first_attempt(self):
+        plan = FaultPlan([FaultSpec(2, 1, "crash")])
+        assert plan.fault_for(2, 1, attempt=0) == "crash"
+        assert plan.fault_for(2, 1, attempt=1) is None
+        assert plan.fault_for(0, 0, attempt=0) is None
+        assert plan.fired == [(2, 1, 0, "crash")]
+
+    def test_persistent_fires_every_attempt(self):
+        plan = FaultPlan([FaultSpec(0, 0, "crash", persistent=True)])
+        for attempt in range(3):
+            assert plan.fault_for(0, 0, attempt) == "crash"
+
+    def test_random_plans_are_seed_deterministic(self):
+        a = FaultPlan.random(seed=7, n_faults=5)
+        b = FaultPlan.random(seed=7, n_faults=5)
+        c = FaultPlan.random(seed=8, n_faults=5)
+        assert a.specs == b.specs
+        assert len(a.specs) == 5
+        assert a.specs != c.specs
+
+    def test_decorate_passes_fault_into_job(self):
+        plan = FaultPlan([FaultSpec(1, 0, "hang")])
+        blob, forced, fault = plan.decorate(1, 0, 0, b"state", 1)
+        assert (blob, forced, fault) == (b"state", 1, "hang")
+        blob, forced, fault = plan.decorate(1, 0, 1, b"state", 1)
+        assert fault is None
+
+    def test_decorate_corrupts_parent_side(self):
+        state = SimState(np.array([True], dtype=bool),
+                         np.array([True], dtype=bool), {})
+        pristine = state.to_bytes()
+        plan = FaultPlan([FaultSpec(0, 0, "corrupt")])
+        blob, _, fault = plan.decorate(0, 0, 0, pristine, None)
+        assert fault is None                    # fault already applied
+        assert blob != pristine
+        with pytest.raises(StateDecodeError):
+            SimState.from_bytes(blob)
+        # the retry gets the pristine bytes back
+        blob2, _, _ = plan.decorate(0, 0, 1, pristine, None)
+        assert blob2 == pristine
+        SimState.from_bytes(blob2)
+
+
+class TestExecution:
+    def test_none_is_noop(self):
+        execute_fault(None)
+
+    def test_crash_raises(self):
+        with pytest.raises(InjectedFault):
+            execute_fault("crash")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            execute_fault("meltdown")
+
+    def test_corrupt_bytes_changes_content_deterministically(self):
+        blob = bytes(range(256))
+        assert corrupt_bytes(blob) == corrupt_bytes(blob)
+        assert corrupt_bytes(blob) != blob
