@@ -7,15 +7,20 @@ gate-evaluations/second on the largest core (bm32) and on a small
 circuit where the event kernel's sparseness wins back some ground.
 """
 
+import time
+
 import pytest
 
 from repro.logic import Logic, LVec
 from repro.rtl import Design
-from repro.sim import CompiledNetlist, CycleSim, EventSim
+from repro.sim import CompiledNetlist, CycleSim, EventSim, compile_netlist
 from repro.workloads import built_core
 
 CYCLES_BIG = 50
 CYCLES_SMALL = 200
+SEGMENT_CYCLES = 8       # <=8-cycle segments: the co-analysis fork cadence
+REPLAY_FORKS = 20
+REPLAY_MIN_SPEEDUP = 3.0
 
 
 def _counter(width=8):
@@ -29,7 +34,7 @@ def _counter(width=8):
 
 def test_cycle_engine_on_bm32(benchmark):
     nl, _ = built_core("bm32")
-    compiled = CompiledNetlist(nl)
+    compiled = compile_netlist(nl)
 
     def run():
         sim = CycleSim(compiled, record_activity=False)
@@ -70,7 +75,7 @@ def test_event_engine_on_bm32(benchmark):
 
 def test_cycle_engine_small_circuit(benchmark):
     nl = _counter()
-    compiled = CompiledNetlist(nl)
+    compiled = compile_netlist(nl)
 
     def run():
         sim = CycleSim(compiled, record_activity=False)
@@ -103,3 +108,61 @@ def test_compile_cost(benchmark):
     nl, _ = built_core("bm32")
     compiled = benchmark(lambda: CompiledNetlist(nl))
     assert compiled.n_nets == len(nl.nets)
+
+
+def _warmed_sim(compiled, incremental):
+    sim = CycleSim(compiled, record_activity=False,
+                   incremental=incremental)
+    sim.set_input("rst", Logic.L1)
+    sim.set_input("pmem_data", LVec.zeros(32))
+    sim.set_input("dmem_rdata", LVec.zeros(32))
+    sim.step()
+    sim.set_input("rst", Logic.L0)
+    for _ in range(10):
+        sim.step()
+    return sim
+
+
+def _replay(sim, snap):
+    """One fork of Algorithm 1's hot loop: restore + short segment."""
+    sim.restore(snap)
+    for _ in range(SEGMENT_CYCLES):
+        sim.step()
+
+
+def test_segment_replay_fork_heavy(benchmark):
+    """The co-analysis hot path: restore a snapshot, replay a short
+    segment, fork again.  Incremental dirty-cone settling must beat the
+    always-full-sweep engine by >= REPLAY_MIN_SPEEDUP on bm32 -- this
+    is the speedup the dirty-cone index exists to buy."""
+    nl, _ = built_core("bm32")
+    compiled = compile_netlist(nl)
+
+    inc = _warmed_sim(compiled, incremental=True)
+    inc_snap = inc.snapshot()
+    full = _warmed_sim(compiled, incremental=False)
+    full_snap = full.snapshot()
+
+    def forks():
+        for _ in range(REPLAY_FORKS):
+            _replay(inc, inc_snap)
+
+    benchmark.pedantic(forks, rounds=3, iterations=1, warmup_rounds=1)
+    assert inc.incremental_settles > 0   # the fast path actually engaged
+
+    t0 = time.perf_counter()
+    for _ in range(REPLAY_FORKS):
+        _replay(inc, inc_snap)
+    t_inc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(REPLAY_FORKS):
+        _replay(full, full_snap)
+    t_full = time.perf_counter() - t0
+
+    speedup = t_full / t_inc
+    print(f"\n  segment replay ({REPLAY_FORKS} forks x "
+          f"{SEGMENT_CYCLES} cycles): incremental {t_inc*1000:.1f} ms, "
+          f"full sweep {t_full*1000:.1f} ms -> {speedup:.1f}x")
+    assert speedup >= REPLAY_MIN_SPEEDUP, (
+        f"incremental replay only {speedup:.2f}x faster than full sweep "
+        f"(expected >= {REPLAY_MIN_SPEEDUP}x)")

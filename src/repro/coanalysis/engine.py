@@ -213,6 +213,8 @@ class CoAnalysisEngine:
             raise ResumeMismatch(
                 f"checkpoint activity arrays do not fit this netlist: "
                 f"{exc}") from exc
+        # the bulk plane write bypassed per-net dirty tracking
+        sim.mark_all_dirty()
         for key, value in payload["counters"].items():
             setattr(result, key, value)
         result.path_records = list(payload["path_records"])
@@ -267,6 +269,8 @@ class CoAnalysisEngine:
                         f"cycle budget exhausted on path {path_id} "
                         f"(per-path {self.max_cycles_per_path}, total "
                         f"{self.max_total_cycles}); analysis unsound")
+                sim.release()   # abandoned path: don't leak the branch
+                                # force into the next segment's restore
                 return PathRecord(path_id, start_pc, target.current_pc(sim),
                                   cycles, "budget", pending.forced_decision,
                                   pending.parent)

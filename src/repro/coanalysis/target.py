@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from ..logic.value import Logic
 from ..netlist.netlist import Netlist
-from ..sim.cycle_sim import CompiledNetlist, CycleSim
+from ..sim.cycle_sim import CompiledNetlist, CycleSim, compile_netlist
 
 
 class SymbolicTarget:
@@ -34,7 +34,9 @@ class SymbolicTarget:
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
-        self.compiled = CompiledNetlist(netlist)
+        # cached by netlist identity: rebuilding a target per segment
+        # replay / per worker job re-uses the one compile
+        self.compiled = compile_netlist(netlist)
         #: control-flow signals handed to ``$monitor_x`` (net indices)
         self.monitored_nets: List[int] = []
         #: 1 when a PC-changing instruction is resolving this cycle

@@ -76,6 +76,9 @@ class Netlist:
         self._net_by_name: Dict[str, int] = {}
         self._gate_by_name: Dict[str, int] = {}
         self._levels: Optional[List[int]] = None  # cached comb levelization
+        #: bumped on every structural edit; compiled-netlist caches key
+        #: on (identity, version) so post-compile edits force a recompile
+        self._mutation_version = 0
 
     # -- construction -----------------------------------------------------
     def add_net(self, name: str) -> int:
@@ -86,6 +89,7 @@ class Netlist:
         self.nets.append(Net(idx, name))
         self._net_by_name[name] = idx
         self._levels = None
+        self._mutation_version += 1
         return idx
 
     def get_or_add_net(self, name: str) -> int:
@@ -120,6 +124,7 @@ class Netlist:
         for i in inputs:
             self.nets[i].fanout.append(idx)
         self._levels = None
+        self._mutation_version += 1
         return idx
 
     def mark_input(self, net: int) -> None:
@@ -127,9 +132,11 @@ class Netlist:
             raise NetlistError(
                 f"net {self.nets[net].name!r} is driven; cannot be an input")
         self.inputs.append(net)
+        self._mutation_version += 1
 
     def mark_output(self, net: int) -> None:
         self.outputs.append(net)
+        self._mutation_version += 1
 
     # -- lookup ------------------------------------------------------------
     def net_index(self, name: str) -> int:

@@ -1,7 +1,8 @@
 """Simulation engines, state management, memories, and system tasks."""
 
 from .activity import ToggleProfile
-from .cycle_sim import CompiledNetlist, CycleSim
+from .cycle_sim import (CompiledNetlist, CycleSim, ForcedRestoreWarning,
+                        compile_netlist)
 from .events import EventScheduler, HaltSimulation, Region
 from .event_sim import (EventSim, LabeledSymbolDomain, PlainXDomain,
                         ValueDomain)
@@ -12,7 +13,8 @@ from .tasks import (InitializeState, MonitorX, load_state_file,
 
 __all__ = [
     "ToggleProfile",
-    "CompiledNetlist", "CycleSim",
+    "CompiledNetlist", "CycleSim", "ForcedRestoreWarning",
+    "compile_netlist",
     "EventScheduler", "HaltSimulation", "Region",
     "EventSim", "PlainXDomain", "LabeledSymbolDomain", "ValueDomain",
     "XMemory", "SimState",

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 
 from ..logic.value import Logic
 from ..netlist.netlist import Netlist
-from .cycle_sim import CompiledNetlist, CycleSim
+from .cycle_sim import CycleSim, compile_netlist
 from .event_sim import EventSim
 
 
@@ -53,7 +53,7 @@ def lockstep_compare(netlist: Netlist,
     value per cycle) and compare every checked net every cycle."""
     nets = list(check_nets) if check_nets is not None else \
         list(range(len(netlist.nets)))
-    cyc = CycleSim(CompiledNetlist(netlist))
+    cyc = CycleSim(compile_netlist(netlist))
     evt = EventSim(netlist)
     for cycle, inputs in enumerate(stimulus):
         for name, value in inputs.items():

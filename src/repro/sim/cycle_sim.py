@@ -23,10 +23,23 @@ The engine supports the three paper-specific features directly:
   settle, which is how the co-analysis engine steers a forked simulation
   down one side of a branch ("appropriate control flow signals are set",
   paper section 3).
+
+Settling is *incremental*: every mutation (``set_input``, ``force``,
+``restore``, ``clock_edge``) marks the nets it actually changed dirty,
+and :meth:`CycleSim.settle` only re-evaluates the ``(level, kind)``
+groups inside the fanout cone of those nets, walking a per-net cone
+index built once at compile time.  When the dirty frontier grows past
+``incremental_threshold`` of the design, settle falls back to the full
+levelized sweep (the cone bookkeeping would cost more than it saves).
+This is what makes fork-heavy path replay cheap: restoring a snapshot
+that differs in a handful of state bits re-simulates only the logic
+those bits reach, not the whole core.
 """
 
 from __future__ import annotations
 
+import warnings
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,19 +51,44 @@ from .memory import XMemory
 from .state import SimState
 
 
+class ForcedRestoreWarning(RuntimeWarning):
+    """A snapshot was restored while forces were still active.
+
+    :meth:`CycleSim.restore` drops all active forces (a snapshot captures
+    architectural state only, and a stale force would silently steer the
+    restored path).  Callers that need a force on the restored path must
+    re-apply it *after* restore -- the order the co-analysis engine uses.
+    """
+
+
 class _Group:
     """All gates of one kind within one topological level."""
 
-    __slots__ = ("kind", "ins", "out")
+    __slots__ = ("kind", "ins", "out", "level")
 
-    def __init__(self, kind: str, ins: List[np.ndarray], out: np.ndarray):
+    def __init__(self, kind: str, ins: List[np.ndarray], out: np.ndarray,
+                 level: int):
         self.kind = kind
         self.ins = ins
         self.out = out
+        self.level = level
 
 
 class CompiledNetlist:
-    """Netlist lowered to index arrays for vectorized evaluation."""
+    """Netlist lowered to index arrays for vectorized evaluation.
+
+    Besides the levelized ``(level, kind)`` evaluation schedule, the
+    compile step builds the *fanout-cone index* used by incremental
+    settling: a CSR mapping ``net -> schedule groups that read it``
+    (:attr:`fanout_ptr` / :attr:`fanout_groups`), the comb level of each
+    net's driver (:attr:`net_comb_level`, ``-1`` for primary inputs,
+    flop outputs and ties), and a ``gate -> schedule group`` map
+    (:attr:`gate_group`).
+
+    Compilation is pure and the result is immutable, so instances are
+    shared freely between simulators; use :func:`compile_netlist` to get
+    the per-netlist cached instance instead of recompiling per segment.
+    """
 
     def __init__(self, netlist: Netlist):
         netlist.validate()
@@ -58,10 +96,15 @@ class CompiledNetlist:
         self.n_nets = len(netlist.nets)
         levels = netlist.levelize()
 
-        # comb schedule: (level, kind) groups in level order
+        # comb schedule: (level, kind) groups in level order; ties are
+        # constant and kept out of the re-evaluated schedule entirely
         buckets: Dict[Tuple[int, str], List[int]] = {}
+        tie_buckets: Dict[str, List[int]] = {}
         for g in netlist.gates:
             if g.is_sequential:
+                continue
+            if g.kind in ("TIE0", "TIE1"):
+                tie_buckets.setdefault(g.kind, []).append(g.index)
                 continue
             buckets.setdefault((levels[g.index], g.kind), []).append(g.index)
         self.schedule: List[_Group] = []
@@ -71,7 +114,12 @@ class CompiledNetlist:
                             dtype=np.int64) for p in range(arity)]
             out = np.array([netlist.gates[gi].output for gi in gate_ids],
                            dtype=np.int64)
-            self.schedule.append(_Group(kind, ins, out))
+            self.schedule.append(_Group(kind, ins, out, lvl))
+        self.n_groups = len(self.schedule)
+        self.ties: List[Tuple[str, np.ndarray]] = [
+            (kind, np.array([netlist.gates[gi].output for gi in gate_ids],
+                            dtype=np.int64))
+            for kind, gate_ids in sorted(tie_buckets.items())]
 
         # sequential schedule: flops grouped by kind
         seq_buckets: Dict[str, List[int]] = {}
@@ -85,7 +133,7 @@ class CompiledNetlist:
                             dtype=np.int64) for p in range(arity)]
             out = np.array([netlist.gates[gi].output for gi in gate_ids],
                            dtype=np.int64)
-            self.flops.append(_Group(kind, ins, out))
+            self.flops.append(_Group(kind, ins, out, 0))
 
         # state nets: flop outputs + primary inputs (the restorable part)
         state: List[int] = [n for n in netlist.inputs]
@@ -98,12 +146,79 @@ class CompiledNetlist:
         for g in netlist.gates:
             self.driver[g.output] = g.index
 
+        # gate -> position of its group in the comb schedule (-1 for
+        # flops and ties), and net -> comb level of its driver
+        self.gate_group = np.full(len(netlist.gates), -1, dtype=np.int64)
+        for pos, grp_entry in enumerate(sorted(buckets.items())):
+            for gi in grp_entry[1]:
+                self.gate_group[gi] = pos
+        self.net_comb_level = np.full(self.n_nets, -1, dtype=np.int64)
+        for g in netlist.gates:
+            if self.gate_group[g.index] >= 0:
+                self.net_comb_level[g.output] = levels[g.index]
+
+        # fanout-cone index (CSR): net -> comb schedule groups reading it
+        fan: List[List[int]] = [[] for _ in range(self.n_nets)]
+        for g in netlist.gates:
+            grp_pos = self.gate_group[g.index]
+            if grp_pos < 0:
+                continue
+            for net in set(g.inputs):
+                fan[net].append(int(grp_pos))
+        counts = np.zeros(self.n_nets + 1, dtype=np.int64)
+        flat: List[int] = []
+        for net, groups in enumerate(fan):
+            uniq = sorted(set(groups))
+            counts[net + 1] = len(uniq)
+            flat.extend(uniq)
+        self.fanout_ptr = np.cumsum(counts)
+        self.fanout_groups = np.array(flat, dtype=np.int64)
+
+
+#: per-process compiled-netlist cache keyed by netlist object identity
+#: (weakly, so dropping the netlist drops the compile) plus the
+#: netlist's structural mutation counter -- a netlist edited after a
+#: compile recompiles instead of serving a stale schedule.
+_COMPILE_CACHE: ("weakref.WeakKeyDictionary[Netlist, "
+                 "Tuple[int, CompiledNetlist]]") = \
+    weakref.WeakKeyDictionary()
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Compile ``netlist``, memoizing by object identity.
+
+    Repeated target construction over the same netlist (worker
+    initializers, per-segment replays, the reporting grid) hits the
+    cache instead of re-levelizing and re-bucketing the whole design.
+    """
+    version = getattr(netlist, "_mutation_version", -1)
+    entry = _COMPILE_CACHE.get(netlist)
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    compiled = CompiledNetlist(netlist)
+    _COMPILE_CACHE[netlist] = (version, compiled)
+    return compiled
+
 
 class CycleSim:
-    """Cycle-accurate four-valued simulator over a compiled netlist."""
+    """Cycle-accurate four-valued simulator over a compiled netlist.
+
+    Args:
+        compiled: the shared :class:`CompiledNetlist`.
+        record_activity: collect toggle/ever-X planes (see
+            :meth:`arm_activity`).
+        incremental: settle only the dirty fanout cone (default).  Set
+            False to force the full levelized sweep on every settle --
+            the pre-incremental behaviour, kept for benchmarking and as
+            an escape hatch.
+        incremental_threshold: fraction of nets in the dirty frontier
+            above which settle falls back to the full sweep.
+    """
 
     def __init__(self, compiled: CompiledNetlist,
-                 record_activity: bool = True):
+                 record_activity: bool = True,
+                 incremental: bool = True,
+                 incremental_threshold: float = 0.25):
         self.c = compiled
         n = compiled.n_nets
         self.val = np.zeros(n, dtype=bool)
@@ -116,9 +231,20 @@ class CycleSim:
         self._activity_armed = False
         self._prev_val = np.zeros(n, dtype=bool)
         self._prev_known = np.zeros(n, dtype=bool)
-        self._force_nets = np.zeros(0, dtype=np.int64)
-        self._force_val = np.zeros(0, dtype=bool)
-        self._force_known = np.zeros(0, dtype=bool)
+        #: force store: net -> (val, known); index arrays are
+        #: materialized lazily so N forces stay O(N), not O(N^2)
+        self._forces: Dict[int, Tuple[bool, bool]] = {}
+        self._force_cache: Optional[Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]] = None
+        self.incremental = incremental
+        self._dirty_limit = max(1, int(incremental_threshold * n))
+        self._dirty_nets: set = set()
+        self._dirty_groups: set = set()
+        self._needs_full = True
+        #: settle-path counters (observability / benchmark assertions)
+        self.full_settles = 0
+        self.incremental_settles = 0
+        self.noop_settles = 0
         self._tie_init()
 
     # -- memories ------------------------------------------------------------
@@ -130,12 +256,19 @@ class CycleSim:
 
     # -- net access -----------------------------------------------------------
     def set_net(self, net: int, value: Logic) -> None:
+        if net in self._forces:
+            # the force owns the net until release(); a write-through
+            # would resurface after release in settle-timing-dependent
+            # ways (and diverge from the event kernel)
+            return
         if value.is_known:
-            self.val[net] = value is Logic.L1
-            self.known[net] = True
+            v, k = value is Logic.L1, True
         else:
-            self.val[net] = False
-            self.known[net] = False
+            v, k = False, False
+        if self.val[net] != v or self.known[net] != k:
+            self.val[net] = v
+            self.known[net] = k
+            self._mark_dirty(net)
 
     def get_net(self, net: int) -> Logic:
         if not self.known[net]:
@@ -161,112 +294,253 @@ class CycleSim:
                 (Logic.L1 if value else Logic.L0)
             self.set_net(nl.net_index(name), level)
 
+    # -- dirty tracking -------------------------------------------------------
+    def _mark_dirty(self, net: int) -> None:
+        """A net's value changed: its fanout cone must re-settle; if it
+        is gate-driven, the driver re-derives it (so a poke to an
+        internal net is transient, exactly as under the full sweep)."""
+        self._dirty_nets.add(net)
+        drv = self.c.driver[net]
+        if drv >= 0:
+            grp = self.c.gate_group[drv]
+            if grp >= 0:
+                self._dirty_groups.add(int(grp))
+
+    def mark_all_dirty(self) -> None:
+        """Invalidate incremental state: the next settle is a full sweep.
+
+        Call after writing :attr:`val` / :attr:`known` directly (e.g.
+        restoring checkpointed planes) -- bulk writes bypass the per-net
+        dirty bookkeeping."""
+        self._needs_full = True
+
     # -- forcing ------------------------------------------------------------
     def force(self, net: int, value: Logic) -> None:
-        """Pin a net to ``value`` during settle until :meth:`release`."""
-        nets = self._force_nets.tolist()
-        vals = self._force_val.tolist()
-        knowns = self._force_known.tolist()
-        if net in nets:
-            i = nets.index(net)
-            vals[i] = value is Logic.L1
-            knowns[i] = value.is_known
-        else:
-            nets.append(net)
-            vals.append(value is Logic.L1)
-            knowns.append(value.is_known)
-        self._force_nets = np.array(nets, dtype=np.int64)
-        self._force_val = np.array(vals, dtype=bool)
-        self._force_known = np.array(knowns, dtype=bool)
+        """Pin a net to ``value`` during settle until :meth:`release`.
+
+        While forced, the net ignores :meth:`set_net`; after release it
+        keeps the forced value until re-driven (by its comb driver at
+        the next settle, by a flop at the next edge, or by a new
+        ``set_net``).
+        """
+        v = value is Logic.L1
+        k = value.is_known
+        self._forces[net] = (v, k)
+        self._force_cache = None
+        if self.val[net] != v or self.known[net] != k:
+            # the pin takes effect at the next settle; only the fanout
+            # needs re-evaluation, never the (overridden) driver
+            self._dirty_nets.add(net)
 
     def release(self, net: Optional[int] = None) -> None:
         """Remove one force, or all forces when ``net`` is None."""
         if net is None:
-            self._force_nets = np.zeros(0, dtype=np.int64)
-            self._force_val = np.zeros(0, dtype=bool)
-            self._force_known = np.zeros(0, dtype=bool)
+            released = list(self._forces)
+            self._forces.clear()
+        elif net in self._forces:
+            released = [net]
+            del self._forces[net]
+        else:
             return
-        keep = self._force_nets != net
-        self._force_nets = self._force_nets[keep]
-        self._force_val = self._force_val[keep]
-        self._force_known = self._force_known[keep]
+        self._force_cache = None
+        for n in released:
+            self._reassert_driver(n)
+
+    def _reassert_driver(self, net: int) -> None:
+        """After a release the net's own driver owns it again: schedule
+        its group for re-evaluation (ties are re-tied in place; PIs and
+        flop outputs keep the last value, as under the full sweep)."""
+        drv = self.c.driver[net]
+        if drv < 0:
+            return
+        grp = self.c.gate_group[drv]
+        if grp >= 0:
+            self._dirty_groups.add(int(grp))
+            return
+        kind = self.c.netlist.gates[drv].kind
+        if kind in ("TIE0", "TIE1"):
+            v = kind == "TIE1"
+            if self.val[net] != v or not self.known[net]:
+                self.val[net] = v
+                self.known[net] = True
+                self._dirty_nets.add(net)
+
+    def _force_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._force_cache is None:
+            n = len(self._forces)
+            nets = np.fromiter(self._forces.keys(), dtype=np.int64,
+                               count=n)
+            vals = np.fromiter((v for v, _ in self._forces.values()),
+                               dtype=bool, count=n)
+            knowns = np.fromiter((k for _, k in self._forces.values()),
+                                 dtype=bool, count=n)
+            self._force_cache = (nets, vals, knowns)
+        return self._force_cache
+
+    # lazily-materialized views, part of the (test-visible) interface
+    @property
+    def _force_nets(self) -> np.ndarray:
+        return self._force_arrays()[0]
+
+    @property
+    def _force_val(self) -> np.ndarray:
+        return self._force_arrays()[1]
+
+    @property
+    def _force_known(self) -> np.ndarray:
+        return self._force_arrays()[2]
 
     def _apply_forces(self) -> None:
-        if self._force_nets.size:
-            self.val[self._force_nets] = self._force_val
-            self.known[self._force_nets] = self._force_known
+        if self._forces:
+            nets, vals, knowns = self._force_arrays()
+            self.val[nets] = vals
+            self.known[nets] = knowns
+
+    def _force_levels(self):
+        """Comb levels that drive a forced net.  Forces are re-asserted
+        once after each such level -- pinned before any reader level
+        evaluates -- instead of after every group."""
+        if not self._forces:
+            return ()
+        lv = {int(self.c.net_comb_level[n]) for n in self._forces}
+        lv.discard(-1)
+        return lv
 
     # -- evaluation ------------------------------------------------------------
     def _tie_init(self) -> None:
-        for grp in self.c.schedule:
-            if grp.kind == "TIE0":
-                self.val[grp.out] = False
-                self.known[grp.out] = True
-            elif grp.kind == "TIE1":
-                self.val[grp.out] = True
-                self.known[grp.out] = True
+        for kind, out in self.c.ties:
+            self.val[out] = kind == "TIE1"
+            self.known[out] = True
+
+    def _compute_group(self, grp: _Group) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate one (level, kind) group, returning fresh (val, known)
+        planes for its output nets (no stores)."""
+        val, known = self.val, self.known
+        kind = grp.kind
+        if kind == "BUF":
+            a = grp.ins[0]
+            return val[a], known[a]
+        if kind == "NOT":
+            a = grp.ins[0]
+            ka = known[a]
+            return ~val[a] & ka, ka
+        if kind in ("AND", "NAND"):
+            a, b = grp.ins
+            va, ka = val[a], known[a]
+            vb, kb = val[b], known[b]
+            one = va & ka & vb & kb
+            zero = (ka & ~va) | (kb & ~vb)
+            k = one | zero
+            v = one if kind == "AND" else (zero & k)
+            return v, k
+        if kind in ("OR", "NOR"):
+            a, b = grp.ins
+            va, ka = val[a], known[a]
+            vb, kb = val[b], known[b]
+            one = (va & ka) | (vb & kb)
+            zero = (ka & ~va) & (kb & ~vb)
+            k = one | zero
+            v = one if kind == "OR" else zero
+            return v, k
+        if kind in ("XOR", "XNOR"):
+            a, b = grp.ins
+            k = known[a] & known[b]
+            x = val[a] ^ val[b]
+            return (x if kind == "XOR" else ~x) & k, k
+        if kind == "MUX2":
+            d0, d1, s = grp.ins
+            vs, ks = val[s], known[s]
+            v0, k0 = val[d0], known[d0]
+            v1, k1 = val[d1], known[d1]
+            s1 = ks & vs
+            s0 = ks & ~vs
+            agree = k0 & k1 & (v0 == v1)
+            k = (s0 & k0) | (s1 & k1) | (~ks & agree)
+            v = ((s0 & v0) | (s1 & v1) | (~ks & agree & v0)) & k
+            return v, k
+        raise KeyError(f"no vectorized evaluator for {kind!r}")
 
     def settle(self) -> None:
-        """One full combinational sweep in topological order."""
+        """Re-settle combinational logic.
+
+        Incremental mode evaluates only groups in the fanout cone of
+        nets dirtied since the last settle, falling back to one full
+        topological sweep when the dirty frontier exceeds the
+        threshold (or after :meth:`mark_all_dirty`).  Both paths yield
+        identical planes -- equivalence is pinned by the randomized
+        event-engine cross-tests.
+        """
+        if not self.incremental or self._needs_full or \
+                len(self._dirty_nets) > self._dirty_limit:
+            self._settle_full()
+            return
+        if not self._dirty_nets and not self._dirty_groups:
+            self.noop_settles += 1
+            return
+        self._settle_incremental()
+
+    def _settle_full(self) -> None:
         val, known = self.val, self.known
         self._apply_forces()
+        force_levels = self._force_levels()
         for grp in self.c.schedule:
-            kind = grp.kind
-            out = grp.out
-            if kind == "BUF":
-                a = grp.ins[0]
-                val[out] = val[a]
-                known[out] = known[a]
-            elif kind == "NOT":
-                a = grp.ins[0]
-                ka = known[a]
-                val[out] = ~val[a] & ka
-                known[out] = ka
-            elif kind in ("AND", "NAND"):
-                a, b = grp.ins
-                va, ka = val[a], known[a]
-                vb, kb = val[b], known[b]
-                one = va & ka & vb & kb
-                zero = (ka & ~va) | (kb & ~vb)
-                k = one | zero
-                v = one if kind == "AND" else (zero & k)
-                val[out] = v
-                known[out] = k
-            elif kind in ("OR", "NOR"):
-                a, b = grp.ins
-                va, ka = val[a], known[a]
-                vb, kb = val[b], known[b]
-                one = (va & ka) | (vb & kb)
-                zero = (ka & ~va) & (kb & ~vb)
-                k = one | zero
-                v = one if kind == "OR" else zero
-                val[out] = v
-                known[out] = k
-            elif kind in ("XOR", "XNOR"):
-                a, b = grp.ins
-                k = known[a] & known[b]
-                x = val[a] ^ val[b]
-                val[out] = (x if kind == "XOR" else ~x) & k
-                known[out] = k
-            elif kind == "MUX2":
-                d0, d1, s = grp.ins
-                vs, ks = val[s], known[s]
-                v0, k0 = val[d0], known[d0]
-                v1, k1 = val[d1], known[d1]
-                s1 = ks & vs
-                s0 = ks & ~vs
-                agree = k0 & k1 & (v0 == v1)
-                k = (s0 & k0) | (s1 & k1) | (~ks & agree)
-                v = ((s0 & v0) | (s1 & v1) | (~ks & agree & v0)) & k
-                val[out] = v
-                known[out] = k
-            # TIE0/TIE1 already initialized and never change
-            if self._force_nets.size:
+            v, k = self._compute_group(grp)
+            val[grp.out] = v
+            known[grp.out] = k
+            if grp.level in force_levels:
                 self._apply_forces()
+        self._dirty_nets.clear()
+        self._dirty_groups.clear()
+        self._needs_full = False
+        self.full_settles += 1
+
+    def _settle_incremental(self) -> None:
+        c = self.c
+        val, known = self.val, self.known
+        affected = np.zeros(c.n_groups, dtype=bool)
+        ptr, fg = c.fanout_ptr, c.fanout_groups
+        for net in self._dirty_nets:
+            s, e = ptr[net], ptr[net + 1]
+            if s != e:
+                affected[fg[s:e]] = True
+        for g in self._dirty_groups:
+            affected[g] = True
+        self._apply_forces()
+        force_levels = self._force_levels()
+        # groups only feed strictly higher levels, so one forward pass
+        # over the schedule reaches the whole cone
+        for gi, grp in enumerate(c.schedule):
+            if not affected[gi]:
+                continue
+            out = grp.out
+            old_v, old_k = val[out], known[out]   # fancy index == copy
+            v, k = self._compute_group(grp)
+            val[out] = v
+            known[out] = k
+            if grp.level in force_levels:
+                self._apply_forces()
+                v, k = val[out], known[out]
+            changed = (v != old_v) | (k != old_k)
+            if changed.any():
+                for net in out[changed]:
+                    s, e = ptr[net], ptr[net + 1]
+                    if s != e:
+                        affected[fg[s:e]] = True
+        self._dirty_nets.clear()
+        self._dirty_groups.clear()
+        self.incremental_settles += 1
 
     def clock_edge(self) -> None:
-        """Advance all flops one positive edge (synchronous semantics)."""
+        """Advance all flops one positive edge (synchronous semantics).
+
+        All next-state values are computed from the pre-edge planes
+        before any are committed (the vectorized equivalent of the
+        event kernel's NBA region) -- a flop chained directly to
+        another flop's output must sample its pre-edge value even when
+        the two land in different kind groups.
+        """
         val, known = self.val, self.known
+        staged: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for grp in self.c.flops:
             kind = grp.kind
             out = grp.out
@@ -290,8 +564,13 @@ class CycleSim:
                 known_zero = nk & ~nv
                 nk = np.where(r_on, True, np.where(r_off, nk, known_zero))
                 nv = np.where(r_on, False, np.where(r_off, nv, False))
+            staged.append((out, nv, nk))
+        for out, nv, nk in staged:
+            changed = (nv != val[out]) | (nk != known[out])
             val[out] = nv
             known[out] = nk
+            if changed.any():
+                self._dirty_nets.update(out[changed].tolist())
         self.cycle += 1
 
     # -- activity ---------------------------------------------------------------
@@ -330,9 +609,17 @@ class CycleSim:
         words for the fetched address).  ``on_edge`` is called after the
         settled values are final and before flops advance -- the place to
         commit memory writes.
+
+        Activity contract: toggles are recorded after *every* settle
+        sweep inside the cycle, so a net that glitches in the first
+        sweep and reverts once ``drive`` responds still counts as
+        toggled.  Gate-level glitches dissipate real power, so the
+        conservative (exercisable-superset) reading is the sound one
+        for the paper's pruning flow.
         """
         self.settle()
         if drive is not None:
+            self.record_activity_now()
             drive(self)
             self.settle()
         self.record_activity_now()
@@ -353,18 +640,37 @@ class CycleSim:
         )
 
     def restore(self, state: SimState) -> None:
+        """Restore a snapshot: state nets and memories are written back,
+        all forces are dropped, and comb logic is re-settled (only the
+        cone of the state bits that actually differ, in incremental
+        mode).
+
+        Restoring with forces still active raises
+        :class:`ForcedRestoreWarning`: a force is path-steering context,
+        not architectural state, so it does not survive a restore --
+        re-apply forces after restore, the way
+        :class:`~repro.coanalysis.engine.CoAnalysisEngine` forces the
+        branch decision on each forked path.
+        """
         sn = self.c.state_nets
         if state.net_val.shape != sn.shape:
             raise ValueError("snapshot does not match this netlist")
-        self.val[:] = False
-        self.known[:] = False
-        self._tie_init()
-        self.val[sn] = state.net_val
-        self.known[sn] = state.net_known
+        if self._forces:
+            warnings.warn(
+                f"restore() with {len(self._forces)} active force(s): "
+                f"forces do not survive a restore; re-apply them after "
+                f"restoring", ForcedRestoreWarning, stacklevel=2)
+            self.release()
+        cur_v, cur_k = self.val[sn], self.known[sn]
+        changed = (state.net_val != cur_v) | (state.net_known != cur_k)
+        if changed.any():
+            idx = sn[changed]
+            self.val[idx] = state.net_val[changed]
+            self.known[idx] = state.net_known[changed]
+            self._dirty_nets.update(idx.tolist())
         for name, snap in state.memories.items():
             self.memories[name].restore(snap)
         self.cycle = state.cycle
-        self.release()
         self.settle()
         if self._activity_armed:
             self._prev_val[:] = self.val

@@ -126,6 +126,7 @@ class EventSim:
         self.scheduler = EventScheduler()
         self.values: List = [self.domain.unknown()
                              for _ in netlist.nets]
+        self._forced: Dict[int, object] = {}
         self._pending_eval: Set[int] = set()
         self._symbolic_tasks: List[Callable[["EventSim"], None]] = []
         self.cycle = 0
@@ -156,7 +157,40 @@ class EventSim:
     def poke_by_name(self, name: str, value) -> None:
         self.poke(self.netlist.net_index(name), value)
 
+    # -- forcing -----------------------------------------------------------
+    def force(self, net: int, value) -> None:
+        """Pin a net, overriding its driver, until :meth:`release`.
+
+        Mirrors :meth:`CycleSim.force` so the randomized cross-tests can
+        exercise forced nets on both engines.
+        """
+        if isinstance(value, Logic):
+            value = self.domain.const(value)
+        self._forced[net] = value
+        self._write(net, value)
+
+    def release(self, net: Optional[int] = None) -> None:
+        """Remove one force, or all forces when ``net`` is None; the
+        net's own driver (if combinational) re-derives its value."""
+        if net is None:
+            released = list(self._forced)
+            self._forced.clear()
+        elif net in self._forced:
+            released = [net]
+            del self._forced[net]
+        else:
+            return
+        for n in released:
+            drv = self.netlist.nets[n].driver
+            if drv is not None and not self.netlist.gates[drv].is_sequential:
+                self._schedule_eval(drv)
+
     def _update(self, net: int, value) -> None:
+        if net in self._forced:
+            value = self._forced[net]
+        self._write(net, value)
+
+    def _write(self, net: int, value) -> None:
         if _same(self.values[net], value):
             return
         self.values[net] = value
@@ -265,6 +299,7 @@ class EventSim:
             raise ValueError("state size does not match design")
         self.values = list(state["values"])
         self.cycle = state["cycle"]
+        self._forced.clear()   # forces are path context, not state
         self._pending_eval.clear()
         self.scheduler.clear()
         # Re-derive combinational consistency from the restored state.

@@ -50,11 +50,52 @@ def random_netlist(draw):
 
 logic_vals = st.sampled_from([Logic.L0, Logic.L1, Logic.X])
 
+FLOP_KINDS = ["DFF", "DFFE", "DFFR", "DFFER"]
+
 
 @st.composite
 def stimulus(draw, n_inputs, n_cycles):
     return [[draw(logic_vals) for _ in range(n_inputs)]
             for _ in range(n_cycles)]
+
+
+@st.composite
+def random_seq_netlist(draw):
+    """A random netlist whose flop outputs feed back into later logic.
+
+    Unlike :func:`random_netlist`, enable/reset pins of DFFE/DFFER
+    flops connect to arbitrary pool nets, so the engines' X-merging
+    ladders (unknown enable, unknown reset) are exercised directly.
+    """
+    n_inputs = draw(st.integers(2, 4))
+    n_ops = draw(st.integers(4, 16))
+    nl = Netlist("randseq")
+    pool = []
+    for i in range(n_inputs):
+        net = nl.add_net(f"in{i}")
+        nl.mark_input(net)
+        pool.append(net)
+    for g in range(n_ops):
+        if draw(st.integers(0, 3)) == 0:
+            kind = draw(st.sampled_from(FLOP_KINDS))
+            pins = [pool[draw(st.integers(0, len(pool) - 1))]]
+            if "E" in kind:
+                pins.append(pool[draw(st.integers(0, len(pool) - 1))])
+            if kind.endswith("R"):
+                pins.append(pool[draw(st.integers(0, len(pool) - 1))])
+            q = nl.add_net(f"q{g}")
+            nl.add_gate(f"ff{g}", kind, pins, q)
+            pool.append(q)
+        else:
+            kind = draw(st.sampled_from(COMB_KINDS))
+            arity = {"NOT": 1, "BUF": 1, "MUX2": 3}.get(kind, 2)
+            ins = [pool[draw(st.integers(0, len(pool) - 1))]
+                   for _ in range(arity)]
+            out = nl.add_net(f"n{g}")
+            nl.add_gate(f"g{g}", kind, ins, out)
+            pool.append(out)
+    nl.mark_output(pool[-1])
+    return nl
 
 
 class TestEngineEquivalence:
@@ -100,6 +141,100 @@ class TestEngineEquivalence:
             for net in range(len(nl.nets)):
                 assert plain.get_logic(net) is enhanced.get_logic(net)
         assert observed == list(range(len(stim)))
+
+
+class TestForcedSequentialEquivalence:
+    """Cross-tests with active forces and enable/reset flops -- the
+    fork/replay hot path's semantics, pinned against the event kernel."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_forced_nets_and_flops_match_across_engines(self, data):
+        nl = data.draw(random_seq_netlist())
+        n_nets = len(nl.nets)
+        cyc = CycleSim(CompiledNetlist(nl))
+        evt = EventSim(nl)
+        forced = set()
+        for _ in range(5):
+            for i in nl.inputs:
+                value = data.draw(logic_vals)
+                cyc.set_net(i, value)
+                evt.poke(i, value)
+            op = data.draw(st.integers(0, 3))
+            if op == 0:
+                net = data.draw(st.integers(0, n_nets - 1))
+                value = data.draw(logic_vals)
+                cyc.force(net, value)
+                evt.force(net, value)
+                forced.add(net)
+            elif op == 1 and forced:
+                net = data.draw(st.sampled_from(sorted(forced)))
+                cyc.release(net)
+                evt.release(net)
+                forced.discard(net)
+            cyc.settle()
+            cyc.clock_edge()
+            cyc.settle()
+            evt.tick()
+            for net in range(n_nets):
+                assert cyc.get_net(net) is evt.get_logic(net), \
+                    f"net {nl.net_name(net)} diverged (forced={forced})"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_incremental_settle_matches_full_sweep(self, data):
+        """The dirty-cone settle and the full levelized sweep are the
+        same function -- under pokes, forces, releases, and restores."""
+        import warnings as _warnings
+
+        from repro.sim import ForcedRestoreWarning
+
+        nl = data.draw(random_seq_netlist())
+        compiled = CompiledNetlist(nl)
+        inc = CycleSim(compiled, incremental=True)
+        full = CycleSim(compiled, incremental=False)
+        n_nets = len(nl.nets)
+        snaps = []
+        forced = set()
+        for _ in range(6):
+            for i in nl.inputs:
+                value = data.draw(logic_vals)
+                inc.set_net(i, value)
+                full.set_net(i, value)
+            op = data.draw(st.integers(0, 5))
+            if op == 0:
+                net = data.draw(st.integers(0, n_nets - 1))
+                value = data.draw(logic_vals)
+                inc.force(net, value)
+                full.force(net, value)
+                forced.add(net)
+            elif op == 1 and forced:
+                net = data.draw(st.sampled_from(sorted(forced)))
+                inc.release(net)
+                full.release(net)
+                forced.discard(net)
+            elif op == 2:
+                snaps.append((inc.snapshot(), full.snapshot()))
+            elif op == 3 and snaps:
+                si, sf = snaps[data.draw(
+                    st.integers(0, len(snaps) - 1))]
+                with _warnings.catch_warnings():
+                    _warnings.simplefilter("ignore", ForcedRestoreWarning)
+                    inc.restore(si)
+                    full.restore(sf)
+                forced.clear()
+            inc.settle()
+            full.settle()
+            assert (inc.val == full.val).all()
+            assert (inc.known == full.known).all()
+            inc.clock_edge()
+            full.clock_edge()
+            inc.settle()
+            full.settle()
+            assert (inc.val == full.val).all()
+            assert (inc.known == full.known).all()
+        # full-path sim never takes the incremental shortcut
+        assert full.incremental_settles == 0
 
 
 class TestResynthesisPreservesSemantics:

@@ -6,7 +6,8 @@ import pytest
 from repro.logic import Logic, LVec
 from repro.netlist import Netlist
 from repro.rtl import Design, mux
-from repro.sim import CompiledNetlist, CycleSim, XMemory
+from repro.sim import (CompiledNetlist, CycleSim, ForcedRestoreWarning,
+                       XMemory, compile_netlist)
 
 
 def comb_xor_netlist():
@@ -203,6 +204,41 @@ class TestForcing:
         sim.release()
         assert sim._force_nets.size == 0
 
+    def test_force_store_is_dict_backed(self):
+        """Repeated force/release is O(1) per call: the store is a dict
+        and the packed arrays are rebuilt lazily, not via per-call
+        ``.tolist()`` round-trips."""
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        a, y = nl.net_index("a"), nl.net_index("y")
+        sim.force(a, Logic.L0)
+        sim.force(y, Logic.L1)
+        assert sim._forces == {a: (False, True), y: (True, True)}
+        # packed arrays materialize on demand and agree with the dict
+        assert sorted(sim._force_nets.tolist()) == sorted([a, y])
+        sim.force(y, Logic.L0)           # replace: same net, new value
+        assert sim._forces[y] == (False, True)
+        assert len(sim._forces) == 2
+        sim.release(a)
+        assert sim._force_nets.tolist() == [y]
+
+    def test_forced_net_ignores_set_net(self):
+        """While forced, a net swallows pokes (matches the event kernel
+        and Verilog ``force``): the poked value does not resurface after
+        release."""
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        a = nl.net_index("a")
+        sim.set_input("b", Logic.L0)
+        sim.force(a, Logic.L1)
+        sim.set_net(a, Logic.L0)         # swallowed
+        sim.settle()
+        assert sim.get_net(a) is Logic.L1
+        sim.release(a)
+        sim.settle()
+        # a is a primary input: it keeps the forced value until re-driven
+        assert sim.get_net(a) is Logic.L1
+
 
 class TestSnapshotRestore:
     def make_counter(self):
@@ -246,8 +282,34 @@ class TestSnapshotRestore:
         nl, sim = self.make_counter()
         snap = sim.snapshot()
         sim.force(nl.net_index("y[0]"), Logic.L1)
-        sim.restore(snap)
+        with pytest.warns(ForcedRestoreWarning):
+            sim.restore(snap)
         assert sim._force_nets.size == 0
+
+    def test_restore_then_force_ordering(self):
+        """Pin the fork/replay ordering used by
+        ``CoAnalysisEngine._simulate_segment``: restore a snapshot
+        *first*, then force the branch-decision net.  The force must
+        survive the restore (no warning) and steer downstream logic."""
+        import warnings
+
+        d = Design("br")
+        c = d.input("cond")
+        d.output("taken", ~c)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        cond, taken = nl.net_index("cond"), nl.net_index("taken")
+        sim.set_net(cond, Logic.X)
+        sim.settle()
+        snap = sim.snapshot()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # any warning -> failure
+            sim.restore(snap)
+            sim.force(cond, Logic.L1)
+            sim.settle()
+        assert cond in sim._forces
+        assert sim.get_net(cond) is Logic.L1
+        assert sim.get_net(taken) is Logic.L0
 
 
 class TestActivity:
@@ -286,3 +348,86 @@ class TestActivity:
         sim.step()
         sim.reset_activity()
         assert not sim.exercised_nets().any()
+
+    def test_glitch_during_drive_counts_as_toggled(self):
+        """Activity contract of ``step(drive=...)``: toggles are recorded
+        after *every* settle sweep, so a net that glitches in the first
+        sweep and reverts once the drive callback responds still counts
+        as exercised (glitches dissipate real power)."""
+        nl = comb_xor_netlist()
+        sim = CycleSim(CompiledNetlist(nl))
+        y = nl.net_index("y")
+        sim.set_input("a", Logic.L0)
+        sim.set_input("b", Logic.L0)
+        sim.settle()
+        sim.arm_activity()
+        sim.set_input("a", Logic.L1)     # y glitches 0 -> 1 ...
+        sim.step(drive=lambda s: s.set_input("a", Logic.L0))
+        assert sim.get_net(y) is Logic.L0    # ... and reverts
+        assert sim.exercised_nets()[y]       # but was still recorded
+
+
+class TestIncrementalSettle:
+    def make_counter_sim(self, **kw):
+        d = Design("cnt")
+        r = d.reg(8, "cnt", reset=True)
+        s, _ = r.q.add(d.const(1, 8))
+        r.drive(s)
+        d.output("y", r.q)
+        nl = d.finalize()
+        return nl, CycleSim(compile_netlist(nl), **kw)
+
+    def test_incremental_settles_happen_on_small_dirty_sets(self):
+        nl, sim = self.make_counter_sim()
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        for _ in range(6):
+            sim.step()
+        # after the first full sweep, single-input pokes and flop edges
+        # dirty only a small cone -> the incremental path must engage
+        assert sim.full_settles >= 1
+        assert sim.incremental_settles > 0
+
+    def test_incremental_disabled_always_full(self):
+        nl, sim = self.make_counter_sim(incremental=False)
+        sim.set_input("rst", Logic.L1)
+        sim.step()
+        sim.set_input("rst", Logic.L0)
+        for _ in range(4):
+            sim.step()
+        assert sim.incremental_settles == 0
+        assert sim.full_settles >= 1
+
+    def test_redundant_settle_is_noop(self):
+        nl, sim = self.make_counter_sim()
+        sim.set_input("rst", Logic.L1)
+        sim.settle()
+        before = (sim.full_settles, sim.incremental_settles)
+        sim.settle()                     # nothing dirty
+        assert (sim.full_settles, sim.incremental_settles) == before
+        assert sim.noop_settles >= 1
+
+    def test_mark_all_dirty_forces_full_sweep(self):
+        nl, sim = self.make_counter_sim()
+        sim.set_input("rst", Logic.L1)
+        sim.settle()
+        full_before = sim.full_settles
+        # emulate the engine's bulk plane write (checkpoint resume)
+        sim.val[:] = False
+        sim.known[:] = False
+        sim.mark_all_dirty()
+        sim.set_input("rst", Logic.L1)
+        sim.settle()
+        assert sim.full_settles == full_before + 1
+
+    def test_compile_netlist_cache_and_invalidation(self):
+        nl = comb_xor_netlist()
+        c1 = compile_netlist(nl)
+        assert compile_netlist(nl) is c1
+        # structural mutation invalidates the cached compilation
+        n = nl.add_net("extra")
+        nl.add_gate("gx", "NOT", [nl.net_index("y")], n)
+        c2 = compile_netlist(nl)
+        assert c2 is not c1
+        assert compile_netlist(nl) is c2
