@@ -7,6 +7,7 @@ gate-evaluations/second on the largest core (bm32) and on a small
 circuit where the event kernel's sparseness wins back some ground.
 """
 
+import json
 import time
 
 import pytest
@@ -166,3 +167,35 @@ def test_segment_replay_fork_heavy(benchmark):
     assert speedup >= REPLAY_MIN_SPEEDUP, (
         f"incremental replay only {speedup:.2f}x faster than full sweep "
         f"(expected >= {REPLAY_MIN_SPEEDUP}x)")
+
+
+def test_traced_coanalysis_smoke(benchmark, artifact_dir):
+    """One full co-analysis with the structured trace on: leaves the
+    JSONL event stream and its aggregated metrics as CI artifacts, and
+    proves the stream alone reconstructs the engine's counters."""
+    from repro.coanalysis.trace import aggregate_trace, read_trace
+    from repro.reporting.runner import run_one
+
+    trace_path = artifact_dir / "TRACE_coanalysis_smoke.jsonl"
+
+    def run():
+        return run_one("dr5", "mult", trace=trace_path)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    events = read_trace(trace_path)
+    assert events[0].kind == "run_start"
+    assert events[-1].kind == "run_end"
+
+    replayed = aggregate_trace(events)
+    assert replayed.paths_explored == len(result.path_records)
+    assert replayed.splits == result.splits
+    assert replayed.merges_covered == result.paths_skipped
+    assert replayed.simulated_cycles == result.simulated_cycles
+    assert replayed.summary() == result.metrics.summary()
+
+    (artifact_dir / "METRICS_coanalysis_smoke.json").write_text(
+        json.dumps(result.metrics.summary(), indent=2) + "\n")
+    print(f"\n  trace: {len(events)} events, "
+          f"{replayed.paths_explored} paths, "
+          f"{replayed.simulated_cycles} cycles, "
+          f"frontier high-water {replayed.frontier_high_water}")

@@ -37,18 +37,24 @@ def parallel_engines(serial_result):
 
 def test_parallel_matches_serial(benchmark, serial_result,
                                  parallel_engines, artifact_dir):
+    """Every run's row is rendered from its trace-derived RunMetrics --
+    the same summary an operator would reconstruct from a JSONL trace --
+    not from engine-private counters."""
+    sm = serial_result.metrics
     rows = [["serial", "-", serial_result.paths_created,
-             serial_result.exercisable_gate_count,
-             f"{serial_result.wall_seconds:.2f}", "-", "-"]]
+             serial_result.exercisable_gate_count, sm.batches,
+             sm.frontier_high_water,
+             f"{sm.wall_seconds:.2f}", "-", "-"]]
     for workers, (engine, r) in parallel_engines.items():
+        m = r.metrics
         rows.append(["parallel", workers, r.paths_created,
-                     r.exercisable_gate_count, f"{r.wall_seconds:.2f}",
-                     engine.stats.segment_retries,
-                     engine.stats.worker_restarts])
+                     r.exercisable_gate_count, m.batches,
+                     m.frontier_high_water, f"{r.wall_seconds:.2f}",
+                     m.retries, engine.stats.worker_restarts])
     text = (f"Section 3.3 ablation: parallel paths ({DESIGN} / {BENCH})\n"
             + render_table(["Mode", "Workers", "Paths",
-                            "Exercisable gates", "Wall (s)", "Retries",
-                            "Restarts"], rows))
+                            "Exercisable gates", "Waves", "Frontier max",
+                            "Wall (s)", "Retries", "Restarts"], rows))
     emit(artifact_dir, "ablation_parallel.txt", text)
     for _, r in parallel_engines.values():
         assert r.exercisable_gate_count == \
@@ -59,10 +65,13 @@ def test_parallel_matches_serial(benchmark, serial_result,
 def test_wave_profile_reported(parallel_engines, artifact_dir):
     """Per-wave wall-clock profile of the supervised runs."""
     lines = [f"Per-wave wall time ({DESIGN} / {BENCH})"]
-    for workers, (engine, _) in parallel_engines.items():
+    for workers, (engine, result) in parallel_engines.items():
         stats = engine.stats
         walls = stats.wave_wall_seconds
         assert stats.waves == len(walls)
+        # the trace layer counts the same waves the supervisor timed
+        assert result.metrics.batches == stats.waves
+        assert result.metrics.retries == stats.segment_retries
         lines.append(
             f"workers={workers}: {stats.waves} waves, "
             f"total {sum(walls):.2f}s, slowest {max(walls):.3f}s, "

@@ -2,7 +2,11 @@
 
 Commands:
 
-* ``analyze``  -- symbolic co-analysis of a benchmark on a core
+* ``run``      -- symbolic co-analysis of a benchmark on a core
+  (``analyze`` is the historical alias); ``--engine`` picks the
+  simulation backend, ``--strategy`` the frontier scheduling policy,
+  ``--csm`` the merge strategy, ``--trace``/``--progress`` the
+  observability sinks
 * ``bespoke``  -- analysis + bespoke generation + validation (+ Verilog out)
 * ``grid``     -- the full evaluation grid: Tables 3/4, Figures 5/6
 * ``power``    -- bespoke power savings + input-independent peak bound
@@ -21,6 +25,7 @@ from typing import List, Optional
 from .analysis import (analyze_coverage, analyze_peak_power,
                        compare_power, concrete_peak, timing_slack)
 from .bespoke import area_report, generate_bespoke, validate_bespoke
+from .coanalysis.frontier import FRONTIER_STRATEGIES
 from .coanalysis.results import CoAnalysisError, RunInterrupted
 from .csm import Clustered, ExactSet, UberConservative
 from .isa import ASSEMBLERS
@@ -31,12 +36,19 @@ from .reporting.runner import run_one
 from .sim.vcd import VcdWriter
 from .workloads import WORKLOAD_ORDER, WORKLOADS, build_target
 
-STRATEGIES = {
+#: CSM merge strategies (``--csm``); frontier scheduling policies live
+#: in :data:`repro.coanalysis.frontier.FRONTIER_STRATEGIES`
+#: (``--strategy``).
+CSM_STRATEGIES = {
     "uber": UberConservative,
     "clustered2": lambda: Clustered(k=2),
     "clustered4": lambda: Clustered(k=4),
     "exact": ExactSet,
 }
+
+#: historical name: ``--strategy`` selected the CSM before the kernel
+#: extraction gave the frontier its own knob
+STRATEGIES = CSM_STRATEGIES
 
 
 def _add_pair_args(p: argparse.ArgumentParser) -> None:
@@ -46,15 +58,20 @@ def _add_pair_args(p: argparse.ArgumentParser) -> None:
 
 def cmd_analyze(args) -> int:
     result = run_one(args.design, args.benchmark,
-                     strategy=STRATEGIES[args.strategy](),
+                     strategy=CSM_STRATEGIES[args.csm](),
                      use_constraints=not args.no_constraints,
                      checkpoint=args.checkpoint, resume=args.resume,
-                     workers=args.workers)
+                     workers=args.workers,
+                     frontier=args.strategy, engine=args.engine,
+                     trace=args.trace, progress=args.progress)
     summary = result.summary()
     if result.resumed:
         print(f"# resumed from checkpoint {args.checkpoint}",
               file=sys.stderr)
+    if args.trace:
+        print(f"# trace written to {args.trace}", file=sys.stderr)
     if args.json:
+        summary["metrics"] = result.metrics.summary()
         print(json.dumps(summary, indent=2))
     else:
         for key, value in summary.items():
@@ -206,23 +223,41 @@ def build_parser() -> argparse.ArgumentParser:
                     "hardware-software co-analysis (DAC'22 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="run symbolic co-analysis")
-    _add_pair_args(p)
-    p.add_argument("--strategy", choices=sorted(STRATEGIES),
-                   default="uber")
-    p.add_argument("--no-constraints", action="store_true",
-                   help="ignore the workload's CSM constraint file")
-    p.add_argument("--json", action="store_true")
-    p.add_argument("--checkpoint", metavar="PATH",
-                   help="journal the run to this file so it can be "
-                        "resumed after an interruption")
-    p.add_argument("--resume", action="store_true",
-                   help="continue from the newest intact record in "
-                        "--checkpoint instead of starting fresh")
-    p.add_argument("--workers", type=int, default=1, metavar="N",
-                   help="explore paths with N supervised worker "
-                        "processes (default: serial)")
-    p.set_defaults(func=cmd_analyze)
+    for name, help_text in (
+            ("run", "run symbolic co-analysis"),
+            ("analyze", "alias of `run` (historical name)")):
+        p = sub.add_parser(name, help=help_text)
+        _add_pair_args(p)
+        p.add_argument("--strategy", choices=sorted(FRONTIER_STRATEGIES),
+                       default="dfs",
+                       help="frontier scheduling policy (default: dfs, "
+                            "the paper's depth-first stack)")
+        p.add_argument("--csm", choices=sorted(CSM_STRATEGIES),
+                       default="uber",
+                       help="conservative-state-manager merge strategy")
+        p.add_argument("--engine",
+                       choices=["serial", "event", "parallel"],
+                       default=None,
+                       help="simulation backend (default: serial, or "
+                            "parallel when --workers > 1)")
+        p.add_argument("--no-constraints", action="store_true",
+                       help="ignore the workload's CSM constraint file")
+        p.add_argument("--json", action="store_true")
+        p.add_argument("--trace", metavar="PATH",
+                       help="write the structured exploration event "
+                            "stream to PATH as JSON Lines")
+        p.add_argument("--progress", action="store_true",
+                       help="keep a live progress line on stderr")
+        p.add_argument("--checkpoint", metavar="PATH",
+                       help="journal the run to this file so it can be "
+                            "resumed after an interruption")
+        p.add_argument("--resume", action="store_true",
+                       help="continue from the newest intact record in "
+                            "--checkpoint instead of starting fresh")
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="explore paths with N supervised worker "
+                            "processes (default: serial)")
+        p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bespoke", help="generate + validate a bespoke core")
     _add_pair_args(p)

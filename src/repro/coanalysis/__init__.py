@@ -1,16 +1,39 @@
-"""Symbolic hardware-software co-analysis engine (Algorithm 1)."""
+"""Symbolic hardware-software co-analysis engine (Algorithm 1).
 
-from .engine import CoAnalysisEngine, PendingPath
-from .event_engine import EventCoAnalysis, EventCoAnalysisResult
+The exploration loop lives in :class:`ExplorationKernel`; simulation
+backends (serial cycle engine, event-driven engine, supervised worker
+pool) plug in as :class:`SegmentExecutor` implementations, frontier
+ordering as :class:`FrontierStrategy` instances, and observability as
+trace sinks on a :class:`Tracer`.
+"""
+
+from .engine import CoAnalysisEngine
+from .event_engine import EventCoAnalysis
+from .executors import EventSimBridge, SerialExecutor
+from .frontier import (FRONTIER_STRATEGIES, BreadthFirstFrontier,
+                       DepthFirstFrontier, FrontierStrategy,
+                       NoveltyFrontier, make_frontier)
+from .kernel import (BatchContext, ExplorationKernel, PendingPath,
+                     SegmentExecutor, SegmentResult)
 from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
                       PathRecord, ResumeMismatch, RunEvent, RunInterrupted,
                       SegmentTimeout, StateCorruption, WorkerCrashed,
                       WorkerFailure)
 from .target import SymbolicTarget
+from .trace import (JsonlTraceSink, MetricsAggregator, ProgressLine,
+                    RunMetrics, TraceEvent, Tracer, TraceSink,
+                    aggregate_trace, read_trace)
 
 __all__ = [
-    "CoAnalysisEngine", "PendingPath",
-    "EventCoAnalysis", "EventCoAnalysisResult",
+    "ExplorationKernel", "SegmentExecutor", "SegmentResult",
+    "BatchContext", "PendingPath",
+    "CoAnalysisEngine", "EventCoAnalysis",
+    "SerialExecutor", "EventSimBridge",
+    "FrontierStrategy", "DepthFirstFrontier", "BreadthFirstFrontier",
+    "NoveltyFrontier", "FRONTIER_STRATEGIES", "make_frontier",
+    "Tracer", "TraceSink", "TraceEvent", "JsonlTraceSink",
+    "MetricsAggregator", "ProgressLine", "RunMetrics",
+    "aggregate_trace", "read_trace",
     "CoAnalysisResult", "CoAnalysisError", "PathRecord", "RunEvent",
     "WorkerFailure", "SegmentTimeout", "WorkerCrashed", "StateCorruption",
     "CheckpointError", "ResumeMismatch", "RunInterrupted",

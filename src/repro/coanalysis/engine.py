@@ -13,32 +13,24 @@ through the paper's procedure:
 4. repeat until the path stack is empty;
 5. fold every path's toggle activity into a single profile whose
    complement is the guaranteed-unexercisable gate set.
+
+Since the kernel extraction this class is a thin front: the loop itself
+lives in :class:`~repro.coanalysis.kernel.ExplorationKernel`, the
+simulation backend in
+:class:`~repro.coanalysis.executors.SerialExecutor`.  ``backend="event"``
+swaps the vectorized cycle engine for the event-driven kernel behind the
+same harness -- same kernel, same CSM, same result type.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..csm.manager import ConservativeStateManager
-from ..logic.value import Logic
-from ..sim.activity import ToggleProfile
-from ..sim.cycle_sim import CycleSim
-from ..sim.state import SimState
-from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
-                      PathRecord, ResumeMismatch, RunEvent)
+from .executors import SerialExecutor
+from .kernel import ExplorationKernel, PendingPath  # noqa: F401 (re-export)
+from .results import CoAnalysisResult
 from .target import SymbolicTarget
-
-
-@dataclass
-class PendingPath:
-    """An unprocessed execution path (an entry of Algorithm 1's stack U)."""
-
-    state: SimState
-    forced_decision: Optional[int] = None   # 0 / 1 / None (initial path)
-    depth: int = 0
-    parent: Optional[int] = None            # spawning segment's path_id
 
 
 class CoAnalysisEngine:
@@ -54,7 +46,10 @@ class CoAnalysisEngine:
                  cycle_observer=None,
                  record_per_path_activity: bool = False,
                  checkpoint=None,
-                 resume: bool = False):
+                 resume: bool = False,
+                 frontier=None,
+                 tracer=None,
+                 backend: str = "cycle"):
         self.target = target
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
@@ -70,6 +65,14 @@ class CoAnalysisEngine:
         from ..resilience.checkpoint import as_checkpointer
         self.checkpoint = as_checkpointer(checkpoint)
         self.resume = resume
+        #: frontier scheduling policy: a name from
+        #: :data:`~repro.coanalysis.frontier.FRONTIER_STRATEGIES`, an
+        #: instance, or None for the paper's depth-first stack
+        self.frontier = frontier
+        #: optional :class:`~repro.coanalysis.trace.Tracer` receiving
+        #: the structured event stream (JSONL sink, progress line, ...)
+        self.tracer = tracer
+        self.backend = backend
         #: optional callable(sim, path_id, cycle) invoked on every
         #: settled cycle of every explored path -- the hook used by the
         #: peak-power analysis and by waveform dumping
@@ -79,240 +82,16 @@ class CoAnalysisEngine:
         #: analysis of prior work [6])
         self.record_per_path_activity = record_per_path_activity
 
-    # -- the main loop ------------------------------------------------------
     def run(self) -> CoAnalysisResult:
-        target = self.target
-        result = CoAnalysisResult(
-            design=target.name, application=self.application,
-            profile=ToggleProfile.empty(target.netlist))
-        t0 = time.perf_counter()
-
-        resumed = None
-        if self.resume:
-            if self.checkpoint is None:
-                raise CheckpointError("resume=True requires a checkpoint")
-            resumed = self.checkpoint.load_latest()
-
-        sim = target.make_sim()
-        target.reset(sim)
-        target.apply_symbolic_inputs(sim)
-        target.drive_all(sim)
-        sim.arm_activity()
-
-        if resumed is not None:
-            stack = self._apply_checkpoint(resumed, sim, result)
-        else:
-            initial = sim.snapshot(pc=target.current_pc(sim))
-            stack: List[PendingPath] = [PendingPath(initial)]
-            result.paths_created = 1
-
-        while stack:
-            if self.checkpoint is not None and \
-                    self.checkpoint.due(len(result.path_records)):
-                self._write_checkpoint(sim, stack, result)
-            pending = stack.pop()
-            if self.record_per_path_activity:
-                # true per-segment sets: park the global union, collect
-                # this segment in cleared arrays, then re-merge
-                saved_toggled = sim.toggled.copy()
-                saved_x = sim.ever_x.copy()
-                sim.toggled[:] = False
-                sim.ever_x[:] = False
-            pre_segment = (result.simulated_cycles, result.truncated_paths,
-                           result.paths_created, result.paths_skipped,
-                           result.splits, len(stack))
-            try:
-                record = self._simulate_segment(sim, pending, result, stack)
-            except KeyboardInterrupt:
-                if self.checkpoint is not None:
-                    # the in-flight path replays from its start on resume:
-                    # roll its partial bookkeeping back to the segment
-                    # boundary (its partial *activity* may stay -- it is a
-                    # subset of what the replay will record)
-                    (result.simulated_cycles, result.truncated_paths,
-                     result.paths_created, result.paths_skipped,
-                     result.splits) = pre_segment[:5]
-                    del stack[pre_segment[5]:]
-                    if self.record_per_path_activity:
-                        sim.toggled |= saved_toggled
-                        sim.ever_x |= saved_x
-                    stack.append(pending)
-                    result.journal.append(RunEvent(
-                        "interrupt",
-                        detail=f"{len(stack)} pending paths checkpointed"))
-                    self._write_checkpoint(sim, stack, result)
-                raise
-            result.path_records.append(record)
-            if self.record_per_path_activity:
-                result.per_path_exercised.append(sim.exercised_nets())
-                sim.toggled |= saved_toggled
-                sim.ever_x |= saved_x
-
-        if self.checkpoint is not None:
-            # final record: resuming a finished run returns immediately
-            self._write_checkpoint(sim, [], result)
-
-        result.profile.absorb(sim.toggled, sim.ever_x, sim.val & sim.known,
-                              sim.known)
-        result.csm_stats = self.csm.stats.snapshot()
-        result.wall_seconds = time.perf_counter() - t0
-        return result
-
-    # -- checkpoint plumbing -----------------------------------------------
-    def _checkpoint_payload(self, sim: CycleSim, stack: List[PendingPath],
-                            result: CoAnalysisResult) -> dict:
-        return {
-            "engine": "serial",
-            "design": self.target.name,
-            "application": self.application,
-            "stack": [(p.state.to_bytes(), p.forced_decision, p.depth,
-                       p.parent) for p in stack],
-            "csm": self.csm.snapshot_state(),
-            "activity": {"toggled": sim.toggled.copy(),
-                         "ever_x": sim.ever_x.copy(),
-                         "val": sim.val.copy(),
-                         "known": sim.known.copy()},
-            "counters": {"paths_created": result.paths_created,
-                         "paths_skipped": result.paths_skipped,
-                         "splits": result.splits,
-                         "simulated_cycles": result.simulated_cycles,
-                         "truncated_paths": result.truncated_paths},
-            "path_records": list(result.path_records),
-            "per_path_exercised": list(result.per_path_exercised),
-            "journal": list(result.journal),
-        }
-
-    def _write_checkpoint(self, sim: CycleSim, stack: List[PendingPath],
-                          result: CoAnalysisResult) -> None:
-        self.checkpoint.write(self._checkpoint_payload(sim, stack, result),
-                              progress=len(result.path_records))
-        result.journal.append(RunEvent(
-            "checkpoint", segment=len(result.path_records),
-            detail=f"{len(stack)} pending paths"))
-
-    def _apply_checkpoint(self, payload: dict, sim: CycleSim,
-                          result: CoAnalysisResult) -> List[PendingPath]:
-        if payload.get("engine") != "serial":
-            raise ResumeMismatch(
-                f"checkpoint was written by the "
-                f"{payload.get('engine')!r} engine, not 'serial'")
-        if payload["design"] != self.target.name or \
-                payload["application"] != self.application:
-            raise ResumeMismatch(
-                f"checkpoint belongs to "
-                f"{payload['design']}/{payload['application']}, not "
-                f"{self.target.name}/{self.application}")
-        self.csm.restore_state(payload["csm"])
-        activity = payload["activity"]
-        try:
-            sim.toggled[:] = activity["toggled"]
-            sim.ever_x[:] = activity["ever_x"]
-            sim.val[:] = activity["val"]
-            sim.known[:] = activity["known"]
-        except ValueError as exc:
-            raise ResumeMismatch(
-                f"checkpoint activity arrays do not fit this netlist: "
-                f"{exc}") from exc
-        # the bulk plane write bypassed per-net dirty tracking
-        sim.mark_all_dirty()
-        for key, value in payload["counters"].items():
-            setattr(result, key, value)
-        result.path_records = list(payload["path_records"])
-        result.per_path_exercised = list(payload["per_path_exercised"])
-        result.journal = list(payload["journal"])
-        result.resumed = True
-        stack = [PendingPath(SimState.from_bytes(blob), forced, depth,
-                             parent)
-                 for blob, forced, depth, parent in payload["stack"]]
-        result.journal.append(RunEvent(
-            "resume", segment=len(result.path_records),
-            detail=f"{len(stack)} pending paths restored"))
-        return stack
-
-    # -- one execution path ------------------------------------------------
-    def _simulate_segment(self, sim: CycleSim, pending: PendingPath,
-                          result: CoAnalysisResult,
-                          stack: List[PendingPath]) -> PathRecord:
-        target = self.target
-        path_id = len(result.path_records)
-        sim.restore(pending.state)
-        start_pc = pending.state.pc
-
-        first_cycle_forced = pending.forced_decision is not None
-        if first_cycle_forced:
-            sim.force(target.branch_force_net,
-                      Logic.L1 if pending.forced_decision else Logic.L0)
-
-        cycles = 0
-        while True:
-            target.drive_all(sim)
-
-            if not first_cycle_forced:
-                if target.is_done(sim):
-                    sim.record_activity_now()
-                    return PathRecord(path_id, start_pc,
-                                      target.current_pc(sim), cycles, "done",
-                                      pending.forced_decision,
-                                      pending.parent)
-                bp = target.at_branch_point(sim)
-                if bp is not Logic.L0 and (not bp.is_known or
-                                           target.monitored_has_x(sim)):
-                    sim.record_activity_now()
-                    return self._halt_and_fork(sim, pending, result, stack,
-                                               path_id, start_pc, cycles)
-
-            if cycles >= self.max_cycles_per_path or \
-                    result.simulated_cycles >= self.max_total_cycles:
-                result.truncated_paths += 1
-                if self.strict:
-                    raise CoAnalysisError(
-                        f"cycle budget exhausted on path {path_id} "
-                        f"(per-path {self.max_cycles_per_path}, total "
-                        f"{self.max_total_cycles}); analysis unsound")
-                sim.release()   # abandoned path: don't leak the branch
-                                # force into the next segment's restore
-                return PathRecord(path_id, start_pc, target.current_pc(sim),
-                                  cycles, "budget", pending.forced_decision,
-                                  pending.parent)
-
-            sim.record_activity_now()
-            if self.cycle_observer is not None:
-                self.cycle_observer(sim, path_id, cycles)
-            target.on_edge(sim)
-            sim.clock_edge()
-            cycles += 1
-            result.simulated_cycles += 1
-            if first_cycle_forced:
-                sim.release()
-                first_cycle_forced = False
-
-    # -- halt handling ---------------------------------------------------------
-    def _halt_and_fork(self, sim: CycleSim, pending: PendingPath,
-                       result: CoAnalysisResult, stack: List[PendingPath],
-                       path_id: int, start_pc: Optional[int],
-                       cycles: int) -> PathRecord:
-        target = self.target
-        pc = target.current_pc(sim)
-        if pc is None:
-            raise CoAnalysisError(
-                "program counter contains X at a control-flow halt; "
-                "cannot index the state repository (check the monitored "
-                "signal list covers every PC-affecting source)")
-        state = sim.snapshot(pc=pc)
-        decision = self.csm.observe(pc, state)
-        if decision.covered:
-            result.paths_skipped += 1
-            return PathRecord(path_id, start_pc, pc, cycles, "skipped",
-                              pending.forced_decision, pending.parent)
-        if len(stack) + 2 > self.max_paths:
-            raise CoAnalysisError(
-                f"path stack exceeded max_paths={self.max_paths}")
-        result.splits += 1
-        for outcome in (1, 0):
-            stack.append(PendingPath(decision.resume_state,
-                                     forced_decision=outcome,
-                                     depth=pending.depth + 1,
-                                     parent=path_id))
-            result.paths_created += 1
-        return PathRecord(path_id, start_pc, pc, cycles, "split",
-                          pending.forced_decision, pending.parent)
+        executor = SerialExecutor(
+            self.target, cycle_observer=self.cycle_observer,
+            record_per_path_activity=self.record_per_path_activity,
+            backend=self.backend)
+        kernel = ExplorationKernel(
+            executor, csm=self.csm, frontier=self.frontier,
+            max_cycles_per_path=self.max_cycles_per_path,
+            max_total_cycles=self.max_total_cycles,
+            max_paths=self.max_paths, strict=self.strict,
+            application=self.application, checkpoint=self.checkpoint,
+            resume=self.resume, tracer=self.tracer)
+        return kernel.run()

@@ -8,6 +8,15 @@ copies are made with the X-carrying state bits re-interpreted as 0/1,
 and each copy continues in a fresh simulator instance -- one "iverilog
 process" per path, with the CSM arbitrating.
 
+Exploration, CSM merging, budgets and the result type are shared with
+every other backend through
+:class:`~repro.coanalysis.kernel.ExplorationKernel`; this module only
+contributes the segment executor (fresh :class:`EventSim` per path,
+fork-net X re-interpretation) and returns the same
+:class:`~repro.coanalysis.results.CoAnalysisResult` the cycle engine
+does -- exercised nets and exercisable gates come from
+``result.profile``.
+
 It targets small memory-less designs (FSMs, datapaths with port-level
 I/O); the per-event Python overhead makes whole cores impractical here,
 which is precisely the scalability gap the vectorized engine exists to
@@ -16,8 +25,7 @@ close (measured in ``benchmarks/bench_engines.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,23 +36,136 @@ from ..sim.event_sim import EventSim
 from ..sim.events import HaltSimulation
 from ..sim.state import SimState
 from ..sim.tasks import MonitorX
-from .results import CoAnalysisError
+from .kernel import (BatchContext, ExplorationKernel, PendingPath,
+                     SegmentExecutor, SegmentResult)
+from .results import CoAnalysisResult
 
 
-@dataclass
-class EventCoAnalysisResult:
-    """Outputs of an event-kernel co-analysis run."""
+class _CallbackEventExecutor(SegmentExecutor):
+    """One fresh event simulator per segment, driven by callbacks."""
 
-    paths_created: int = 0
-    paths_skipped: int = 0
-    splits: int = 0
-    simulated_cycles: int = 0
-    exercised_nets: Set[int] = field(default_factory=set)
-    events_executed: int = 0
+    kind = "event"
+    batch_limit = 1
 
-    def exercisable_gates(self, netlist: Netlist) -> Set[int]:
-        return {g.index for g in netlist.gates
-                if g.output in self.exercised_nets}
+    def __init__(self, analysis: "EventCoAnalysis"):
+        self.analysis = analysis
+        self.netlist = analysis.netlist
+        self.design = analysis.netlist.name
+        n = len(analysis.netlist.nets)
+        self._toggled = np.zeros(n, dtype=bool)
+        self._ever_x = np.zeros(n, dtype=bool)
+        self._prev = None
+        self.events_executed = 0
+
+    # -- state conversion (event values <-> CSM bitplanes) ------------------
+    def _to_simstate(self, sim: EventSim, pc: Optional[int]) -> SimState:
+        vals = [sim.get_logic(n) for n in self.analysis._state_nets]
+        return SimState(
+            net_val=np.array([v is Logic.L1 for v in vals]),
+            net_known=np.array([v.is_known for v in vals]),
+            memories={}, cycle=sim.cycle, pc=pc)
+
+    def _apply_simstate(self, sim: EventSim, state: SimState) -> None:
+        saved = sim.save_state()
+        for pos, net in enumerate(self.analysis._state_nets):
+            if state.net_known[pos]:
+                level = Logic.L1 if state.net_val[pos] else Logic.L0
+            else:
+                level = Logic.X
+            saved["values"][net] = level
+        saved["cycle"] = state.cycle
+        sim.restore_state(saved)
+
+    # -- protocol -----------------------------------------------------------
+    def prepare(self) -> SimState:
+        a = self.analysis
+        base = EventSim(a.netlist)
+        if a.reset is not None:
+            a.reset(base)        # Listing 1's RST pulse (may tick)
+        a.drive(base)
+        base.settle()
+        return self._to_simstate(base, a.pc_of(base))
+
+    def run_batch(self, batch: List[PendingPath],
+                  ctx: BatchContext) -> List[SegmentResult]:
+        return [self._run_segment(path, ctx.max_cycles_per_path)
+                for path in batch]
+
+    def _run_segment(self, path: PendingPath,
+                     per_path: int) -> SegmentResult:
+        a = self.analysis
+        sim = EventSim(a.netlist)            # a fresh simulator process
+        sim.add_symbolic_task(MonitorX(a.monitored))
+        state = path.state
+        if path.forced_decision is not None:
+            # "modify each copy with the status that allows the
+            # processor to take one of the possible executions"
+            state = state.copy()
+            for pos, net in enumerate(a._state_nets):
+                if net in a.fork_net_idx and not state.net_known[pos]:
+                    state.net_val[pos] = bool(path.forced_decision)
+                    state.net_known[pos] = True
+        self._apply_simstate(sim, state)
+        a.drive(sim)
+        self._prev = None        # toggle baseline is per path
+
+        cycles = 0
+        halted = False
+        done = False
+        while cycles < per_path:
+            if a.is_done(sim):
+                done = True
+                break
+            try:
+                sim.tick()
+            except HaltSimulation:
+                halted = True
+            cycles += 1
+            self._note_activity(sim)
+            if halted:
+                break
+        self.events_executed += sim.scheduler.events_executed
+        if done:
+            return SegmentResult("done", a.pc_of(sim), cycles)
+        if halted:
+            pc = a.pc_of(sim)
+            end_state = self._to_simstate(sim, pc) if pc is not None \
+                else None
+            return SegmentResult("halt", pc, cycles, end_state)
+        return SegmentResult("budget", a.pc_of(sim), cycles)
+
+    def _note_activity(self, sim: EventSim) -> None:
+        current = tuple(sim.get_logic(n)
+                        for n in range(len(self.netlist.nets)))
+        for net, value in enumerate(current):
+            if not value.is_known:
+                self._ever_x[net] = True
+        if self._prev is not None:
+            for net, (old, new) in enumerate(zip(self._prev, current)):
+                if old is not new:
+                    self._toggled[net] = True
+        self._prev = current
+
+    def activity_snapshot(self) -> dict:
+        n = len(self.netlist.nets)
+        return {"repr": "sim",
+                "toggled": self._toggled.copy(),
+                "ever_x": self._ever_x.copy(),
+                "val": np.zeros(n, dtype=bool),
+                "known": np.zeros(n, dtype=bool)}
+
+    def activity_restore(self, planes: dict) -> None:
+        self._toggled[:] = planes["toggled"]
+        self._ever_x[:] = planes["ever_x"]
+
+    def finalize(self, result: CoAnalysisResult) -> None:
+        n = len(self.netlist.nets)
+        # no constant-value claim: the per-path simulators are gone, so
+        # every net is reported non-constant (conservative)
+        result.profile.absorb(self._toggled, self._ever_x,
+                              np.zeros(n, dtype=bool),
+                              np.zeros(n, dtype=bool))
+        result.events_executed = self.events_executed
 
 
 class EventCoAnalysis:
@@ -71,7 +192,10 @@ class EventCoAnalysis:
                  reset: Optional[Callable[[EventSim], None]] = None,
                  csm: Optional[ConservativeStateManager] = None,
                  max_cycles_per_path: int = 500,
-                 max_paths: int = 10000):
+                 max_paths: int = 10000,
+                 frontier=None,
+                 tracer=None,
+                 application: str = "app"):
         self.netlist = netlist
         self.monitored = list(monitored)
         self.fork_net_idx = [netlist.net_index(n) for n in fork_nets]
@@ -82,104 +206,18 @@ class EventCoAnalysis:
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
         self.max_paths = max_paths
+        self.frontier = frontier
+        self.tracer = tracer
+        self.application = application
         self._state_nets = sorted(
             {g.output for g in netlist.gates if g.is_sequential}
             | set(netlist.inputs))
 
-    # -- state conversion (event values <-> CSM bitplanes) ----------------
-    def _to_simstate(self, sim: EventSim, pc: Optional[int]) -> SimState:
-        vals = [sim.get_logic(n) for n in self._state_nets]
-        return SimState(
-            net_val=np.array([v is Logic.L1 for v in vals]),
-            net_known=np.array([v.is_known for v in vals]),
-            memories={}, cycle=sim.cycle, pc=pc)
-
-    def _apply_simstate(self, sim: EventSim, state: SimState) -> None:
-        saved = sim.save_state()
-        for pos, net in enumerate(self._state_nets):
-            if state.net_known[pos]:
-                level = Logic.L1 if state.net_val[pos] else Logic.L0
-            else:
-                level = Logic.X
-            saved["values"][net] = level
-        saved["cycle"] = state.cycle
-        sim.restore_state(saved)
-
-    # -- main loop -----------------------------------------------------------
-    def run(self) -> EventCoAnalysisResult:
-        result = EventCoAnalysisResult()
-        base = EventSim(self.netlist)
-        if self.reset is not None:
-            self.reset(base)     # Listing 1's RST pulse (may tick)
-        self.drive(base)
-        base.settle()
-        initial = self._to_simstate(base, self.pc_of(base))
-        stack: List[Tuple[SimState, Optional[int]]] = [(initial, None)]
-        result.paths_created = 1
-
-        while stack:
-            if len(stack) > self.max_paths:
-                raise CoAnalysisError("event co-analysis path explosion")
-            state, forced = stack.pop()
-            sim = EventSim(self.netlist)      # a fresh simulator process
-            monitor = MonitorX(self.monitored)
-            sim.add_symbolic_task(monitor)
-            if forced is not None:
-                state = state.copy()
-                for pos, net in enumerate(self._state_nets):
-                    if net in self.fork_net_idx and \
-                            not state.net_known[pos]:
-                        state.net_val[pos] = bool(forced)
-                        state.net_known[pos] = True
-            self._apply_simstate(sim, state)
-            self.drive(sim)
-            self._prev_values = None     # toggle baseline is per path
-
-            cycles = 0
-            halted = False
-            while cycles < self.max_cycles_per_path:
-                if self.is_done(sim):
-                    break
-                try:
-                    sim.tick()
-                except HaltSimulation:
-                    halted = True
-                cycles += 1
-                result.simulated_cycles += 1
-                self._note_activity(sim, result)
-                if halted:
-                    break
-            else:
-                raise CoAnalysisError(
-                    "cycle budget exhausted on an event-kernel path")
-
-            if halted:
-                pc = self.pc_of(sim)
-                if pc is None:
-                    raise CoAnalysisError(
-                        "control-state key contains X at halt")
-                decision = self.csm.observe(pc, self._to_simstate(sim, pc))
-                if decision.covered:
-                    result.paths_skipped += 1
-                else:
-                    result.splits += 1
-                    for branch in (1, 0):
-                        stack.append((decision.resume_state, branch))
-                        result.paths_created += 1
-            result.events_executed += sim.scheduler.events_executed
-        return result
-
-    def _note_activity(self, sim: EventSim,
-                       result: EventCoAnalysisResult) -> None:
-        for net in range(len(self.netlist.nets)):
-            if not sim.get_logic(net).is_known:
-                result.exercised_nets.add(net)
-        # toggles relative to the previous observation
-        current = tuple(sim.get_logic(n) for n in range(len(
-            self.netlist.nets)))
-        previous = getattr(self, "_prev_values", None)
-        if previous is not None:
-            for net, (old, new) in enumerate(zip(previous, current)):
-                if old is not new:
-                    result.exercised_nets.add(net)
-        self._prev_values = current
+    def run(self) -> CoAnalysisResult:
+        executor = _CallbackEventExecutor(self)
+        kernel = ExplorationKernel(
+            executor, csm=self.csm, frontier=self.frontier,
+            max_cycles_per_path=self.max_cycles_per_path,
+            max_total_cycles=None, max_paths=self.max_paths,
+            application=self.application, tracer=self.tracer)
+        return kernel.run()

@@ -1,0 +1,399 @@
+"""The shared exploration kernel (Algorithm 1, engine-agnostic).
+
+The paper's explore/halt/fork/merge loop is the same whether segments
+run on the compiled cycle engine, the event-driven engine, or a
+supervised worker pool -- only *how a batch of segments is simulated*
+differs.  :class:`ExplorationKernel` owns everything else:
+
+* the frontier of pending paths (a pluggable
+  :class:`~repro.coanalysis.frontier.FrontierStrategy`);
+* CSM merge decisions and forking (both branch outcomes pushed);
+* per-path and total cycle budgets;
+* checkpoint/resume through the one versioned payload codec in
+  :mod:`repro.resilience.checkpoint`;
+* the structured trace stream (:mod:`repro.coanalysis.trace`).
+
+Backends plug in through :class:`SegmentExecutor`: ``prepare()`` builds
+the reset+symbolic initial state, ``run_batch()`` simulates pending
+paths up to their halt/done/budget boundary, and the activity hooks
+round-trip toggle planes for checkpointing.  An executor never touches
+the CSM or the frontier -- that is the point of the extraction: every
+scaling or resilience feature lands in this file once, not three times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..resilience.checkpoint import (as_checkpointer, decode_run_payload,
+                                     encode_run_payload)
+from ..sim.activity import ToggleProfile
+from ..sim.state import SimState
+from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
+                      PathRecord, ResumeMismatch, RunEvent, RunInterrupted)
+
+
+@dataclass
+class PendingPath:
+    """An unprocessed execution path (an entry of Algorithm 1's stack U)."""
+
+    state: SimState
+    forced_decision: Optional[int] = None   # 0 / 1 / None (initial path)
+    depth: int = 0
+    parent: Optional[int] = None            # spawning segment's path_id
+    origin_pc: Optional[int] = None         # halt PC of the fork that
+                                            # spawned this path (novelty)
+
+
+@dataclass
+class SegmentResult:
+    """What one simulated segment reports back to the kernel."""
+
+    outcome: str                            # "done" | "halt" | "budget"
+    end_pc: Optional[int]
+    cycles: int
+    end_state: Optional[SimState] = None    # snapshot at a halt
+    exercised: Optional[object] = None      # per-segment exercised nets
+
+
+@dataclass
+class BatchContext:
+    """Budget envelope the kernel hands an executor for one batch."""
+
+    first_path_id: int
+    max_cycles_per_path: int
+    #: total-cycle budget left at batch start (``None`` = unlimited).
+    #: Executors decrement it per segment so a batch cannot overshoot.
+    total_cycles_remaining: Optional[int] = None
+
+
+class SegmentExecutor:
+    """Protocol a simulation backend implements to plug into the kernel.
+
+    Attributes
+    ----------
+    kind : str
+        Checkpoint engine tag (``"serial"`` / ``"event"`` /
+        ``"parallel"``); resuming across kinds is a mismatch.
+    design : str
+        The design name stamped on the result.
+    netlist : Netlist
+        The netlist under analysis (sizes the toggle profile).
+    batch_limit : Optional[int]
+        How many paths the kernel should pop per batch: ``1`` for
+        one-sim-at-a-time backends, ``None`` for "the whole frontier"
+        (wave parallelism).
+    """
+
+    kind = "abstract"
+    design = "?"
+    netlist = None
+    batch_limit: Optional[int] = 1
+
+    def bind(self, result: CoAnalysisResult) -> None:
+        """Give the executor the live result (journal, profile)."""
+
+    def prepare(self) -> SimState:
+        """Reset, load, apply symbolic inputs; return the initial state."""
+        raise NotImplementedError
+
+    def run_batch(self, batch: List[PendingPath],
+                  ctx: BatchContext) -> List[SegmentResult]:
+        """Simulate every path in ``batch`` to its segment boundary."""
+        raise NotImplementedError
+
+    def activity_snapshot(self) -> dict:
+        """Toggle/X planes for the checkpoint payload."""
+        raise NotImplementedError
+
+    def activity_restore(self, planes: dict) -> None:
+        """Apply checkpointed planes (raise ``ValueError`` on misfit)."""
+        raise NotImplementedError
+
+    def finalize(self, result: CoAnalysisResult) -> None:
+        """Fold accumulated activity into ``result.profile``."""
+
+    def close(self) -> None:
+        """Release pools/files; called exactly once, even on error."""
+
+
+class ExplorationKernel:
+    """Runs Algorithm 1 over any :class:`SegmentExecutor`."""
+
+    def __init__(self, executor: SegmentExecutor,
+                 csm=None,
+                 frontier=None,
+                 max_cycles_per_path: int = 20000,
+                 max_total_cycles: Optional[int] = 2_000_000,
+                 max_paths: int = 100_000,
+                 strict: bool = True,
+                 application: str = "app",
+                 checkpoint=None,
+                 resume: bool = False,
+                 stop_after_batches: Optional[int] = None,
+                 tracer=None):
+        from ..csm.manager import ConservativeStateManager
+        from .frontier import make_frontier
+        from .trace import Tracer
+        self.executor = executor
+        self.csm = csm or ConservativeStateManager()
+        self.frontier = make_frontier(frontier)
+        self.max_cycles_per_path = max_cycles_per_path
+        self.max_total_cycles = max_total_cycles
+        self.max_paths = max_paths
+        self.strict = strict
+        self.application = application
+        self.checkpoint = as_checkpointer(checkpoint)
+        self.resume = resume
+        self.stop_after_batches = stop_after_batches
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.batches_done = 0
+
+    # -- the main loop ------------------------------------------------------
+    def run(self) -> CoAnalysisResult:
+        executor, tracer = self.executor, self.tracer
+        result = CoAnalysisResult(
+            design=executor.design, application=self.application,
+            profile=ToggleProfile.empty(executor.netlist))
+        executor.bind(result)
+        t0 = time.perf_counter()
+
+        payload = None
+        if self.resume:
+            if self.checkpoint is None:
+                raise CheckpointError("resume=True requires a checkpoint")
+            payload = self.checkpoint.load_latest()
+
+        try:
+            initial = executor.prepare()
+            if payload is not None:
+                self._apply_checkpoint(payload, result)
+            else:
+                self.frontier.push(PendingPath(initial))
+                result.paths_created = 1
+            tracer.emit("run_start", frontier=len(self.frontier),
+                        data={"design": result.design,
+                              "application": self.application,
+                              "engine": executor.kind,
+                              "strategy": self.frontier.name})
+
+            self._explore(result)
+
+            if self.checkpoint is not None:
+                # final record: resuming a finished run returns immediately
+                self._write_checkpoint(result)
+
+            explore_seconds = time.perf_counter() - t0
+            tracer.emit("phase", data={"phase": "explore",
+                                       "seconds": explore_seconds})
+            f0 = time.perf_counter()
+            executor.finalize(result)
+            result.csm_stats = self.csm.stats.snapshot()
+            result.wall_seconds = time.perf_counter() - t0
+            tracer.emit("phase", data={"phase": "finalize",
+                                       "seconds":
+                                       time.perf_counter() - f0})
+            tracer.emit("run_end", frontier=0, data=result.summary())
+            result.metrics = tracer.metrics
+            return result
+        finally:
+            executor.close()
+            tracer.close()
+
+    def _explore(self, result: CoAnalysisResult) -> None:
+        executor, tracer = self.executor, self.tracer
+        while len(self.frontier):
+            if self.checkpoint is not None and \
+                    self.checkpoint.due(self.batches_done):
+                self._write_checkpoint(result)
+            if self.stop_after_batches is not None and \
+                    self.batches_done >= self.stop_after_batches:
+                if self.checkpoint is not None:
+                    self._write_checkpoint(result)
+                tracer.emit("interrupt", frontier=len(self.frontier),
+                            detail="batch budget reached")
+                raise RunInterrupted(
+                    f"stopped after {self.batches_done} waves with "
+                    f"{len(self.frontier)} paths pending; resume from "
+                    f"the checkpoint to continue")
+
+            batch = self.frontier.pop_batch(executor.batch_limit)
+            ctx = BatchContext(
+                first_path_id=len(result.path_records),
+                max_cycles_per_path=self.max_cycles_per_path,
+                total_cycles_remaining=(
+                    None if self.max_total_cycles is None
+                    else max(0, self.max_total_cycles
+                             - result.simulated_cycles)))
+            for offset, path in enumerate(batch):
+                tracer.emit("segment_start",
+                            path_id=ctx.first_path_id + offset,
+                            pc=path.state.pc)
+            journal_mark = len(result.journal)
+            try:
+                segments = executor.run_batch(batch, ctx)
+            except KeyboardInterrupt:
+                self.frontier.requeue(batch)
+                if self.checkpoint is not None:
+                    result.journal.append(RunEvent(
+                        "interrupt",
+                        detail=f"{len(self.frontier)} pending paths "
+                               f"checkpointed"))
+                    self._write_checkpoint(result)
+                tracer.emit("interrupt", frontier=len(self.frontier),
+                            detail="keyboard interrupt")
+                raise
+            self.batches_done += 1
+            # mirror resilience journal entries (worker retries, serial
+            # degradation) into the trace stream
+            for event in result.journal[journal_mark:]:
+                if event.kind == "retry":
+                    tracer.emit("retry", detail=event.detail)
+                elif event.kind == "degraded":
+                    tracer.emit("degraded", detail=event.detail)
+            for path, segment in zip(batch, segments):
+                self._absorb(path, segment, result)
+            tracer.emit("batch", frontier=len(self.frontier),
+                        data={"size": len(batch)})
+
+    # -- segment bookkeeping ------------------------------------------------
+    def _absorb(self, path: PendingPath, segment: SegmentResult,
+                result: CoAnalysisResult) -> None:
+        tracer = self.tracer
+        path_id = len(result.path_records)
+        result.simulated_cycles += segment.cycles
+        outcome = segment.outcome
+        if outcome == "budget":
+            result.truncated_paths += 1
+            if self.strict:
+                if self.max_total_cycles is not None:
+                    raise CoAnalysisError(
+                        f"cycle budget exhausted on path {path_id} "
+                        f"(per-path {self.max_cycles_per_path}, total "
+                        f"{self.max_total_cycles}); analysis unsound")
+                raise CoAnalysisError(
+                    f"cycle budget exhausted on path {path_id} "
+                    f"(per-path {self.max_cycles_per_path}); "
+                    f"analysis unsound")
+        elif outcome == "halt":
+            pc = segment.end_pc
+            if pc is None:
+                raise CoAnalysisError(
+                    "program counter contains X at a control-flow halt; "
+                    "cannot index the state repository (check the "
+                    "monitored signal list covers every PC-affecting "
+                    "source)")
+            tracer.emit("halt", path_id=path_id, pc=pc,
+                        cycles=segment.cycles)
+            decision = self.csm.observe(pc, segment.end_state)
+            self.frontier.observe_halt(pc)
+            if decision.covered:
+                result.paths_skipped += 1
+                outcome = "skipped"
+                tracer.emit("merge", path_id=path_id, pc=pc)
+            else:
+                if len(self.frontier) + 2 > self.max_paths:
+                    raise CoAnalysisError(
+                        f"path stack exceeded max_paths={self.max_paths}")
+                result.splits += 1
+                for branch in (1, 0):
+                    self.frontier.push(PendingPath(
+                        decision.resume_state, forced_decision=branch,
+                        depth=path.depth + 1, parent=path_id,
+                        origin_pc=pc))
+                    result.paths_created += 1
+                outcome = "split"
+                tracer.emit("fork", path_id=path_id, pc=pc,
+                            frontier=len(self.frontier))
+        result.path_records.append(PathRecord(
+            path_id, path.state.pc, segment.end_pc, segment.cycles,
+            outcome, path.forced_decision, path.parent))
+        if segment.exercised is not None:
+            result.per_path_exercised.append(segment.exercised)
+        tracer.emit("segment_end", path_id=path_id, pc=segment.end_pc,
+                    cycles=segment.cycles, outcome=outcome,
+                    frontier=len(self.frontier))
+
+    # -- checkpoint plumbing ------------------------------------------------
+    def _write_checkpoint(self, result: CoAnalysisResult) -> None:
+        payload = encode_run_payload(
+            engine=self.executor.kind,
+            design=result.design,
+            application=self.application,
+            frontier=[(p.state.to_bytes(), p.forced_decision, p.depth,
+                       p.parent, p.origin_pc)
+                      for p in self.frontier.entries()],
+            strategy=self.frontier.name,
+            strategy_meta=self.frontier.snapshot_meta(),
+            csm=self.csm.snapshot_state(),
+            activity=self.executor.activity_snapshot(),
+            counters={"paths_created": result.paths_created,
+                      "paths_skipped": result.paths_skipped,
+                      "splits": result.splits,
+                      "simulated_cycles": result.simulated_cycles,
+                      "truncated_paths": result.truncated_paths,
+                      "batches_done": self.batches_done},
+            path_records=list(result.path_records),
+            per_path_exercised=list(result.per_path_exercised),
+            journal=list(result.journal))
+        self.checkpoint.write(payload, progress=self.batches_done)
+        hook = getattr(self.executor, "on_checkpoint", None)
+        if hook is not None:
+            hook()
+        result.journal.append(RunEvent(
+            "checkpoint", wave=self.batches_done,
+            segment=len(result.path_records),
+            detail=f"{len(self.frontier)} pending paths"))
+        self.tracer.emit("checkpoint", frontier=len(self.frontier))
+
+    def _apply_checkpoint(self, raw: dict,
+                          result: CoAnalysisResult) -> None:
+        payload = decode_run_payload(raw)
+        kind = self.executor.kind
+        if payload.get("engine") != kind:
+            raise ResumeMismatch(
+                f"checkpoint was written by the "
+                f"{payload.get('engine')!r} engine, not {kind!r}")
+        if payload["design"] != result.design or \
+                payload["application"] != self.application:
+            raise ResumeMismatch(
+                f"checkpoint belongs to "
+                f"{payload['design']}/{payload['application']}, not "
+                f"{result.design}/{self.application}")
+        self.csm.restore_state(payload["csm"])
+        try:
+            self.executor.activity_restore(payload["activity"])
+        except ValueError as exc:
+            raise ResumeMismatch(
+                f"checkpoint activity arrays do not fit this netlist: "
+                f"{exc}") from exc
+        counters = dict(payload["counters"])
+        self.batches_done = counters.pop("batches_done", 0)
+        for key, value in counters.items():
+            setattr(result, key, value)
+        result.path_records = list(payload["path_records"])
+        result.per_path_exercised = list(payload["per_path_exercised"])
+        result.journal = list(payload["journal"])
+        result.resumed = True
+        for blob, forced, depth, parent, origin_pc in payload["frontier"]:
+            self.frontier.push(PendingPath(
+                SimState.from_bytes(blob), forced, depth, parent,
+                origin_pc))
+        if payload.get("strategy") == self.frontier.name:
+            self.frontier.restore_meta(payload.get("strategy_meta", {}))
+        hook = getattr(self.executor, "on_resume", None)
+        if hook is not None:
+            hook(self.batches_done)
+        result.journal.append(RunEvent(
+            "resume", wave=self.batches_done,
+            segment=len(result.path_records),
+            detail=f"{len(self.frontier)} pending paths restored"))
+        self.tracer.emit(
+            "resume", frontier=len(self.frontier),
+            data={"paths_explored": len(result.path_records),
+                  "splits": result.splits,
+                  "merges_covered": result.paths_skipped,
+                  "simulated_cycles": result.simulated_cycles,
+                  "batches": self.batches_done})

@@ -14,6 +14,13 @@ order differs from the serial engine's depth-first order, so path counts
 can differ slightly -- exactly as they would between the paper's serial
 and parallel runs -- while the exercisable-gate result is unchanged.
 
+Since the kernel extraction the wave loop, CSM arbitration, budgets and
+checkpointing all live in
+:class:`~repro.coanalysis.kernel.ExplorationKernel`; this module
+provides :class:`PoolExecutor` (the supervised worker-pool backend) and
+the :class:`ParallelCoAnalysis` front that wires the two together with a
+breadth-first frontier (wave order).
+
 Long runs are supervised (see :mod:`repro.resilience`): each dispatched
 segment carries a wall-clock deadline, lost or crashed segments are
 re-dispatched with backoff onto rebuilt pools, and once the failure
@@ -37,10 +44,10 @@ from ..resilience.checkpoint import as_checkpointer
 from ..resilience.faults import FaultPlan, execute_fault
 from ..resilience.supervisor import (DegradedToSerialWarning, PoolExhausted,
                                      PoolSupervisor, SupervisionPolicy)
-from ..sim.activity import ToggleProfile
 from ..sim.state import SimState
-from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
-                      PathRecord, ResumeMismatch, RunEvent, RunInterrupted)
+from .kernel import (BatchContext, ExplorationKernel, PendingPath,
+                     SegmentExecutor, SegmentResult)
+from .results import CoAnalysisResult, RunEvent
 from .target import SymbolicTarget
 
 _worker_target: Optional[SymbolicTarget] = None
@@ -123,6 +130,151 @@ class ParallelRunStats:
     checkpoints_written: int = 0
 
 
+class PoolExecutor(SegmentExecutor):
+    """Supervised worker-pool backend: one batch = one wave.
+
+    ``batch_limit=None`` asks the kernel for the whole frontier per
+    batch; segments are dispatched through a
+    :class:`~repro.resilience.supervisor.PoolSupervisor` (deadlines,
+    retry/backoff, pool rebuilds) and, after pool exhaustion, simulated
+    in-process on the parent's own simulator (serial degradation).
+    """
+
+    kind = "parallel"
+    batch_limit = None
+
+    def __init__(self, target_factory: Callable[[], SymbolicTarget],
+                 workers: int = 2,
+                 max_cycles_per_path: int = 20000,
+                 policy: Optional[SupervisionPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 stats: Optional[ParallelRunStats] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.target_factory = target_factory
+        self.target = target_factory()      # parent-side harness
+        self.netlist = self.target.netlist
+        self.design = self.target.name
+        self.workers = workers
+        self.max_cycles_per_path = max_cycles_per_path
+        self.policy = policy or SupervisionPolicy()
+        self.fault_plan = fault_plan
+        self.stats = stats or ParallelRunStats(workers=workers)
+        self._result: Optional[CoAnalysisResult] = None
+        self._supervisor: Optional[PoolSupervisor] = None
+        self._serial_sim = None
+        self._degraded = False
+
+    # -- protocol -----------------------------------------------------------
+    def bind(self, result: CoAnalysisResult) -> None:
+        self._result = result
+
+    def prepare(self) -> SimState:
+        target = self.target
+        sim = target.make_sim()
+        target.reset(sim)
+        target.apply_symbolic_inputs(sim)
+        target.drive_all(sim)
+        return sim.snapshot(pc=target.current_pc(sim))
+
+    def run_batch(self, batch: List[PendingPath],
+                  ctx: BatchContext) -> List[SegmentResult]:
+        if self._degraded:
+            return self._run_serial_batch(batch)
+        jobs = [(p.state.to_bytes(), p.forced_decision) for p in batch]
+        supervisor = self._ensure_supervisor()
+        wave_t0 = time.perf_counter()
+        try:
+            outputs = supervisor.run_wave(self.stats.waves, jobs)
+        except PoolExhausted as exc:
+            # nothing from the failed wave has been absorbed yet:
+            # re-run it whole, serially, from the pristine bytes
+            self._degrade(exc)
+            return self._run_serial_batch(batch)
+        self.stats.waves += 1
+        self.stats.wave_wall_seconds.append(time.perf_counter() - wave_t0)
+        return [self._to_segment(output) for output in outputs]
+
+    def activity_snapshot(self) -> dict:
+        profile = self._result.profile
+        return {"repr": "profile",
+                "toggled": profile.toggled.copy(),
+                "ever_x": profile.ever_x.copy(),
+                "val": profile.const_val.copy(),
+                "known": profile.const_known.copy()}
+
+    def activity_restore(self, planes: dict) -> None:
+        profile = self._result.profile
+        profile.toggled[:] = planes["toggled"]
+        profile.ever_x[:] = planes["ever_x"]
+        profile.const_val[:] = planes["val"]
+        profile.const_known[:] = planes["known"]
+
+    def on_checkpoint(self) -> None:
+        self.stats.checkpoints_written += 1
+
+    def on_resume(self, batches_done: int) -> None:
+        self.stats.waves = batches_done
+
+    def finalize(self, result: CoAnalysisResult) -> None:
+        result.recovered_failures = self.stats.segment_retries
+
+    def close(self) -> None:
+        # always reap the pool -- interrupted runs must not leak
+        # (possibly hung) workers
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
+
+    # -- pool plumbing ------------------------------------------------------
+    def _ensure_supervisor(self) -> PoolSupervisor:
+        if self._supervisor is None:
+            # spawn (not fork) for cross-platform determinism: workers
+            # build their simulator from the pickled factory on every
+            # platform alike, instead of inheriting arbitrary parent
+            # state on POSIX
+            ctx = mp.get_context("spawn")
+            self._supervisor = PoolSupervisor(
+                lambda: ctx.Pool(self.workers, initializer=_init_worker,
+                                 initargs=(self.target_factory,
+                                           self.max_cycles_per_path)),
+                _simulate_segment, policy=self.policy, stats=self.stats,
+                journal=self._result.journal, fault_plan=self.fault_plan)
+        return self._supervisor
+
+    def _to_segment(self, output) -> SegmentResult:
+        (outcome, end_pc, cycles, state_bytes, toggled, ever_x, cval,
+         cknown) = output
+        self._result.profile.absorb(toggled, ever_x, cval, cknown)
+        end_state = SimState.from_bytes(state_bytes) \
+            if state_bytes is not None else None
+        return SegmentResult(outcome, end_pc, cycles, end_state)
+
+    # -- serial degradation -------------------------------------------------
+    def _degrade(self, reason: PoolExhausted) -> None:
+        self._degraded = True
+        self.stats.degraded = True
+        result = self._result
+        result.degraded_to_serial = True
+        result.journal.append(RunEvent("degraded", detail=str(reason)))
+        warnings.warn(
+            f"parallel exploration of {result.design}/"
+            f"{result.application} degraded to serial execution: "
+            f"{reason}", DegradedToSerialWarning, stacklevel=2)
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
+
+    def _run_serial_batch(self,
+                          batch: List[PendingPath]) -> List[SegmentResult]:
+        if self._serial_sim is None:
+            self._serial_sim = self.target.make_sim()
+        return [self._to_segment(_segment_impl(
+                    self.target, self._serial_sim, path.state.to_bytes(),
+                    path.forced_decision, self.max_cycles_per_path))
+                for path in batch]
+
+
 class ParallelCoAnalysis:
     """Wave-parallel variant of :class:`CoAnalysisEngine`.
 
@@ -138,6 +290,9 @@ class ParallelCoAnalysis:
         stop_after_waves: stop (with a checkpoint and
             :class:`RunInterrupted`) once this many total waves have
             completed -- time-sliced exploration for batch schedulers.
+        frontier: frontier strategy name/instance (default ``"bfs"``,
+            the wave order).
+        tracer: optional :class:`~repro.coanalysis.trace.Tracer`.
     """
 
     def __init__(self, target_factory: Callable[[], SymbolicTarget],
@@ -149,7 +304,9 @@ class ParallelCoAnalysis:
                  fault_plan: Optional[FaultPlan] = None,
                  checkpoint=None,
                  resume: bool = False,
-                 stop_after_waves: Optional[int] = None):
+                 stop_after_waves: Optional[int] = None,
+                 frontier=None,
+                 tracer=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.target_factory = target_factory
@@ -162,218 +319,47 @@ class ParallelCoAnalysis:
         self.checkpoint = as_checkpointer(checkpoint)
         self.resume = resume
         self.stop_after_waves = stop_after_waves
+        self.frontier = frontier
+        self.tracer = tracer
         self.stats = ParallelRunStats(workers=workers)
 
     def run(self) -> CoAnalysisResult:
         t0 = time.perf_counter()
-        target = self.target_factory()
-        result = CoAnalysisResult(
-            design=target.name, application=self.application,
-            profile=ToggleProfile.empty(target.netlist))
-
-        pending: Optional[List[Tuple[bytes, Optional[int]]]] = None
-        if self.resume:
-            if self.checkpoint is None:
-                raise CheckpointError("resume=True requires a checkpoint")
-            payload = self.checkpoint.load_latest()
-            if payload is not None:
-                pending = self._apply_checkpoint(payload, target, result)
-        if pending is None:
-            sim = target.make_sim()
-            target.reset(sim)
-            target.apply_symbolic_inputs(sim)
-            target.drive_all(sim)
-            initial = sim.snapshot(pc=target.current_pc(sim))
-            pending = [(initial.to_bytes(), None)]
-            result.paths_created = 1
-
-        # spawn (not fork) for cross-platform determinism: workers build
-        # their simulator from the pickled factory on every platform
-        # alike, instead of inheriting arbitrary parent state on POSIX
-        ctx = mp.get_context("spawn")
-        supervisor = PoolSupervisor(
-            lambda: ctx.Pool(self.workers, initializer=_init_worker,
-                             initargs=(self.target_factory,
-                                       self.max_cycles_per_path)),
-            _simulate_segment, policy=self.policy, stats=self.stats,
-            journal=result.journal, fault_plan=self.fault_plan)
-        degrade_reason: Optional[PoolExhausted] = None
+        executor = PoolExecutor(
+            self.target_factory, workers=self.workers,
+            max_cycles_per_path=self.max_cycles_per_path,
+            policy=self.policy, fault_plan=self.fault_plan,
+            stats=self.stats)
+        kernel = ExplorationKernel(
+            executor, csm=self.csm,
+            frontier=self.frontier if self.frontier is not None else "bfs",
+            max_cycles_per_path=self.max_cycles_per_path,
+            max_total_cycles=None,
+            application=self.application, checkpoint=self.checkpoint,
+            resume=self.resume, stop_after_batches=self.stop_after_waves,
+            tracer=self.tracer)
         try:
-            while pending:
-                if self.checkpoint is not None and \
-                        self.checkpoint.due(self.stats.waves):
-                    self._write_checkpoint(pending, result)
-                if self.stop_after_waves is not None and \
-                        self.stats.waves >= self.stop_after_waves:
-                    if self.checkpoint is not None:
-                        self._write_checkpoint(pending, result)
-                    raise RunInterrupted(
-                        f"stopped after {self.stats.waves} waves with "
-                        f"{len(pending)} paths pending; resume from the "
-                        f"checkpoint to continue")
-                wave = pending
-                pending = []
-                wave_t0 = time.perf_counter()
-                try:
-                    outputs = supervisor.run_wave(self.stats.waves, wave)
-                except PoolExhausted as exc:
-                    # nothing from the failed wave has been absorbed yet:
-                    # re-run it whole, serially, from the pristine bytes
-                    degrade_reason = exc
-                    pending = wave
-                    break
-                self.stats.waves += 1
-                self.stats.wave_wall_seconds.append(
-                    time.perf_counter() - wave_t0)
-                for output, (_, forced) in zip(outputs, wave):
-                    self._absorb(output, forced, pending, result)
+            result = kernel.run()
         finally:
-            # always reap the pool -- interrupted runs must not leak
-            # (possibly hung) workers
-            supervisor.close()
-
-        if degrade_reason is not None:
-            self.stats.degraded = True
-            result.degraded_to_serial = True
-            result.journal.append(RunEvent("degraded",
-                                           detail=str(degrade_reason)))
-            warnings.warn(
-                f"parallel exploration of {result.design}/"
-                f"{self.application} degraded to serial execution: "
-                f"{degrade_reason}", DegradedToSerialWarning,
-                stacklevel=2)
-            self._run_serial(target, pending, result)
-
-        if self.checkpoint is not None:
-            # final record: resuming a finished run returns immediately
-            self._write_checkpoint([], result)
-
-        result.recovered_failures = self.stats.segment_retries
-        result.csm_stats = self.csm.stats.snapshot()
-        self.stats.wall_seconds = time.perf_counter() - t0
+            self.stats.wall_seconds = time.perf_counter() - t0
         result.wall_seconds = self.stats.wall_seconds
         return result
 
-    # -- shared bookkeeping ------------------------------------------------
-    def _absorb(self, output, forced: Optional[int],
-                pending: List[Tuple[bytes, Optional[int]]],
-                result: CoAnalysisResult) -> None:
-        """Fold one segment's output into the result and schedule any
-        forked branches (identical for pool and serial-fallback paths)."""
-        (outcome, end_pc, cycles, state_bytes, toggled, ever_x, cval,
-         cknown) = output
-        path_id = len(result.path_records)
-        result.simulated_cycles += cycles
-        result.profile.absorb(toggled, ever_x, cval, cknown)
-        if outcome == "budget":
-            raise CoAnalysisError(
-                f"cycle budget exhausted on path {path_id}")
-        if outcome == "halt":
-            decision = self.csm.observe(
-                end_pc, SimState.from_bytes(state_bytes))
-            if decision.covered:
-                result.paths_skipped += 1
-                outcome = "skipped"
-            else:
-                result.splits += 1
-                resume = decision.resume_state.to_bytes()
-                for branch in (1, 0):
-                    pending.append((resume, branch))
-                    result.paths_created += 1
-                outcome = "split"
-        result.path_records.append(PathRecord(
-            path_id, None, end_pc, cycles, outcome, forced))
-
-    def _run_serial(self, target: SymbolicTarget,
-                    pending: List[Tuple[bytes, Optional[int]]],
-                    result: CoAnalysisResult) -> None:
-        """Finish the exploration in-process after pool exhaustion."""
-        sim = target.make_sim()
-        while pending:
-            state_bytes, forced = pending.pop()
-            output = _segment_impl(target, sim, state_bytes, forced,
-                                   self.max_cycles_per_path)
-            self._absorb(output, forced, pending, result)
-
-    # -- checkpoint plumbing -----------------------------------------------
-    def _checkpoint_payload(self, pending, result: CoAnalysisResult) -> dict:
-        return {
-            "engine": "parallel",
-            "design": result.design,
-            "application": self.application,
-            "pending": list(pending),
-            "csm": self.csm.snapshot_state(),
-            "profile": {"toggled": result.profile.toggled.copy(),
-                        "ever_x": result.profile.ever_x.copy(),
-                        "const_val": result.profile.const_val.copy(),
-                        "const_known": result.profile.const_known.copy()},
-            "counters": {"paths_created": result.paths_created,
-                         "paths_skipped": result.paths_skipped,
-                         "splits": result.splits,
-                         "simulated_cycles": result.simulated_cycles,
-                         "truncated_paths": result.truncated_paths},
-            "path_records": list(result.path_records),
-            "journal": list(result.journal),
-            "waves_done": self.stats.waves,
-        }
-
-    def _write_checkpoint(self, pending, result: CoAnalysisResult) -> None:
-        self.checkpoint.write(self._checkpoint_payload(pending, result),
-                              progress=self.stats.waves)
-        self.stats.checkpoints_written += 1
-        result.journal.append(RunEvent(
-            "checkpoint", wave=self.stats.waves,
-            detail=f"{len(pending)} pending paths"))
-
-    def _apply_checkpoint(self, payload: dict, target: SymbolicTarget,
-                          result: CoAnalysisResult
-                          ) -> List[Tuple[bytes, Optional[int]]]:
-        if payload.get("engine") != "parallel":
-            raise ResumeMismatch(
-                f"checkpoint was written by the "
-                f"{payload.get('engine')!r} engine, not 'parallel'")
-        if payload["design"] != target.name or \
-                payload["application"] != self.application:
-            raise ResumeMismatch(
-                f"checkpoint belongs to "
-                f"{payload['design']}/{payload['application']}, not "
-                f"{target.name}/{self.application}")
-        self.csm.restore_state(payload["csm"])
-        profile = payload["profile"]
-        try:
-            result.profile.toggled[:] = profile["toggled"]
-            result.profile.ever_x[:] = profile["ever_x"]
-            result.profile.const_val[:] = profile["const_val"]
-            result.profile.const_known[:] = profile["const_known"]
-        except ValueError as exc:
-            raise ResumeMismatch(
-                f"checkpoint profile arrays do not fit this netlist: "
-                f"{exc}") from exc
-        for key, value in payload["counters"].items():
-            setattr(result, key, value)
-        result.path_records = list(payload["path_records"])
-        result.journal = list(payload["journal"])
-        result.resumed = True
-        self.stats.waves = payload["waves_done"]
-        pending = [(blob, forced) for blob, forced in payload["pending"]]
-        result.journal.append(RunEvent(
-            "resume", wave=self.stats.waves,
-            detail=f"{len(pending)} pending paths restored"))
-        return pending
-
-
-def make_workload_target(design: str, benchmark: str) -> SymbolicTarget:
-    """Picklable target factory for (design, benchmark) pairs."""
-    from ..workloads import WORKLOADS, build_target
-    return build_target(design, WORKLOADS[benchmark])
-
 
 class WorkloadTargetFactory:
-    """Picklable callable wrapper for worker initializers."""
+    """Picklable callable building the target for a (design, benchmark)
+    pair -- the single construction site, sent to worker initializers."""
 
     def __init__(self, design: str, benchmark: str):
         self.design = design
         self.benchmark = benchmark
 
     def __call__(self) -> SymbolicTarget:
-        return make_workload_target(self.design, self.benchmark)
+        from ..workloads import WORKLOADS, build_target
+        return build_target(self.design, WORKLOADS[self.benchmark])
+
+
+def make_workload_target(design: str, benchmark: str) -> SymbolicTarget:
+    """Build a workload target once (delegates to
+    :class:`WorkloadTargetFactory`, the one construction site)."""
+    return WorkloadTargetFactory(design, benchmark)()

@@ -72,6 +72,11 @@ class CoAnalysisResult:
     degraded_to_serial: bool = False
     #: True when this result continues an earlier checkpointed run
     resumed: bool = False
+    #: discrete events processed (event-driven backend only; 0 otherwise)
+    events_executed: int = 0
+    #: aggregated :class:`~repro.coanalysis.trace.RunMetrics` derived
+    #: from the kernel's trace stream (None for hand-built results)
+    metrics: Optional[object] = None
 
     # -- headline metrics ------------------------------------------------------
     @property

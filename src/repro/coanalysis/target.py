@@ -47,9 +47,23 @@ class SymbolicTarget:
         self.pc_nets: List[int] = []
 
     # -- life-cycle hooks (override as needed) ------------------------------
+    def new_sim(self) -> CycleSim:
+        """Build the default (cycle-engine) simulator, unprepared."""
+        return CycleSim(self.compiled)
+
+    def prepare_sim(self, sim):
+        """Attach memories and drive constant inputs.
+
+        Split out of :meth:`make_sim` so an alternative backend (the
+        event-driven engine's CycleSim-compatible bridge) can be
+        prepared identically: build your own ``sim``, then pass it
+        through this hook.
+        """
+        return sim
+
     def make_sim(self) -> CycleSim:
         """Build a simulator with this target's memories attached."""
-        return CycleSim(self.compiled)
+        return self.prepare_sim(self.new_sim())
 
     def reset(self, sim: CycleSim) -> None:
         """Apply the reset sequence (Listing 1's ``RST_n`` pulse)."""

@@ -72,8 +72,7 @@ class CoreTarget(SymbolicTarget):
         self.rom.load_words(0, program.words)
 
     # -- engine hooks -------------------------------------------------------
-    def make_sim(self) -> CycleSim:
-        sim = CycleSim(self.compiled)
+    def prepare_sim(self, sim):
         sim.attach_memory(XMemory(self.dmem_words, self.meta.word_width,
                                   name=DMEM_NAME))
         if self._gpio_in is not None:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from ..coanalysis.engine import CoAnalysisEngine
 from ..coanalysis.results import CoAnalysisResult
+from ..coanalysis.trace import JsonlTraceSink, ProgressLine, Tracer
 from ..csm.constraints import ConstraintSet, parse_constraints
 from ..csm.manager import ConservativeStateManager
 from ..csm.strategies import MergeStrategy, UberConservative
@@ -23,7 +24,18 @@ from ..workloads import WORKLOAD_ORDER, WORKLOADS, build_target
 
 DESIGN_ORDER = ["bm32", "omsp430", "dr5"]     # paper table column order
 
-_GRID_VERSION = 5   # bump to invalidate caches when semantics change
+_GRID_VERSION = 6   # bump to invalidate caches when semantics change
+
+ENGINES = ("serial", "event", "parallel")
+
+
+def _make_tracer(trace, progress: bool) -> Optional[Tracer]:
+    sinks = []
+    if trace:
+        sinks.append(JsonlTraceSink(trace))
+    if progress:
+        sinks.append(ProgressLine())
+    return Tracer(sinks) if sinks else None
 
 
 def run_one(design: str, benchmark: str,
@@ -33,13 +45,28 @@ def run_one(design: str, benchmark: str,
             use_constraints: bool = True,
             checkpoint=None,
             resume: bool = False,
-            workers: int = 1) -> CoAnalysisResult:
+            workers: int = 1,
+            frontier: str = "dfs",
+            engine: Optional[str] = None,
+            trace=None,
+            progress: bool = False) -> CoAnalysisResult:
     """One symbolic co-analysis run (no caching).
 
+    ``strategy`` is the CSM merge strategy; ``frontier`` schedules the
+    path frontier (``dfs``/``bfs``/``novelty``).  ``engine`` picks the
+    simulation backend (``serial``, ``event`` or ``parallel``; default:
+    serial, or parallel when ``workers > 1``) -- all three run through
+    the same :class:`~repro.coanalysis.kernel.ExplorationKernel`.
     ``checkpoint``/``resume`` journal the run to disk and continue an
-    interrupted one (see :mod:`repro.resilience`); ``workers > 1``
-    explores with the supervised wave-parallel engine.
+    interrupted one (see :mod:`repro.resilience`); ``trace`` writes the
+    structured event stream as JSONL and ``progress`` keeps a live
+    status line.
     """
+    if engine is None:
+        engine = "parallel" if workers > 1 else "serial"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: "
+                         + ", ".join(ENGINES))
     workload = WORKLOADS[benchmark]
     target = build_target(design, workload)
     constraints = None
@@ -49,21 +76,26 @@ def run_one(design: str, benchmark: str,
                                     target.state_net_positions())
     csm = ConservativeStateManager(strategy or UberConservative(),
                                    constraints=constraints)
-    if workers > 1:
+    tracer = _make_tracer(trace, progress)
+    if engine == "parallel":
         from ..coanalysis.parallel import (ParallelCoAnalysis,
                                            WorkloadTargetFactory)
-        engine = ParallelCoAnalysis(WorkloadTargetFactory(design, benchmark),
-                                    csm=csm, workers=workers,
+        runner = ParallelCoAnalysis(WorkloadTargetFactory(design, benchmark),
+                                    csm=csm, workers=max(1, workers),
                                     max_cycles_per_path=max_cycles_per_path,
                                     application=benchmark,
-                                    checkpoint=checkpoint, resume=resume)
-        return engine.run()
-    engine = CoAnalysisEngine(target, csm=csm,
+                                    checkpoint=checkpoint, resume=resume,
+                                    frontier=frontier, tracer=tracer)
+        return runner.run()
+    runner = CoAnalysisEngine(target, csm=csm,
                               max_cycles_per_path=max_cycles_per_path,
                               max_total_cycles=max_total_cycles,
                               application=benchmark,
-                              checkpoint=checkpoint, resume=resume)
-    return engine.run()
+                              checkpoint=checkpoint, resume=resume,
+                              frontier=frontier, tracer=tracer,
+                              backend="cycle" if engine == "serial"
+                              else "event")
+    return runner.run()
 
 
 def _cache_path(cache_dir: Path, design: str, benchmark: str,
@@ -104,10 +136,12 @@ def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
             result = run_one(design, benchmark,
                              strategy=strategy_factory())
             if verbose:
+                m = result.metrics
                 print(f"  {design:>8} / {benchmark:<10}"
                       f" paths={result.paths_created:<5}"
-                      f" skipped={result.paths_skipped:<5}"
-                      f" cycles={result.simulated_cycles:<7}"
+                      f" merged={m.merges_covered:<5}"
+                      f" cycles={m.simulated_cycles:<7}"
+                      f" frontier_max={m.frontier_high_water:<4}"
                       f" exercisable={result.exercisable_gate_count}"
                       f" ({time.perf_counter() - t0:.1f}s)")
             results[design][benchmark] = result

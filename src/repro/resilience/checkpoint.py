@@ -9,10 +9,14 @@ torn tail.  Resuming therefore always sees a consistent snapshot -- the
 state as of some completed segment/wave boundary -- never a partially
 written one.
 
-The payload schema is owned by the engines (see
-``CoAnalysisEngine._checkpoint_payload`` and
-``ParallelCoAnalysis._checkpoint_payload``); this module only frames,
-persists, and paces records.
+The payload schema is owned by this module too:
+:func:`encode_run_payload` / :func:`decode_run_payload` define the one
+versioned run-payload codec used by the
+:class:`~repro.coanalysis.kernel.ExplorationKernel` for every backend.
+``decode_run_payload`` transparently upgrades the two legacy payload
+shapes (the serial engine's ``stack`` payload and the parallel engine's
+``pending``/``profile`` payload) so journals written before the codec
+was unified still resume.
 """
 
 from __future__ import annotations
@@ -135,6 +139,113 @@ def load_checkpoint(path) -> Optional[dict]:
             raise CheckpointError(
                 f"undecodable checkpoint record in {path}: {exc}") from exc
     return newest
+
+
+#: version of the *run payload* schema (inside a record); independent of
+#: the record framing version above
+RUN_PAYLOAD_CODEC = 2
+
+
+def encode_run_payload(engine: str, design: str, application: str,
+                       frontier: list, strategy: str, strategy_meta: dict,
+                       csm: dict, activity: dict, counters: dict,
+                       path_records: list, per_path_exercised: list,
+                       journal: list) -> dict:
+    """Build the one v2 run payload every backend checkpoints through.
+
+    ``frontier`` is a list of ``(state_bytes, forced_decision, depth,
+    parent, origin_pc)`` tuples in re-push order; ``activity`` carries a
+    ``"repr"`` key (``"sim"`` for live simulator planes, ``"profile"``
+    for an accumulated toggle profile) beside the four boolean planes.
+    """
+    return {
+        "codec": RUN_PAYLOAD_CODEC,
+        "engine": engine,
+        "design": design,
+        "application": application,
+        "frontier": list(frontier),
+        "strategy": strategy,
+        "strategy_meta": dict(strategy_meta),
+        "csm": csm,
+        "activity": activity,
+        "counters": dict(counters),
+        "path_records": list(path_records),
+        "per_path_exercised": list(per_path_exercised),
+        "journal": list(journal),
+    }
+
+
+def decode_run_payload(payload: dict) -> dict:
+    """Normalise any supported payload shape to the v2 schema.
+
+    Legacy (pre-codec) payloads carried no ``"codec"`` key: the serial
+    engine stored the frontier as 4-tuples under ``"stack"`` with live
+    sim planes, the parallel engine as 2-tuples under ``"pending"``
+    with an accumulated profile.  Both upgrade losslessly.
+    """
+    codec = payload.get("codec")
+    if codec == RUN_PAYLOAD_CODEC:
+        out = dict(payload)
+        out.setdefault("per_path_exercised", [])
+        out.setdefault("strategy_meta", {})
+        return out
+    if codec is not None:
+        raise CheckpointError(
+            f"run payload codec v{codec} is not supported "
+            f"(this build reads v{RUN_PAYLOAD_CODEC} and the legacy "
+            f"pre-codec shapes)")
+    engine = payload.get("engine")
+    if engine == "serial":
+        counters = dict(payload["counters"])
+        counters.setdefault("batches_done", len(payload["path_records"]))
+        activity = dict(payload["activity"])
+        activity.setdefault("repr", "sim")
+        return {
+            "codec": RUN_PAYLOAD_CODEC,
+            "engine": "serial",
+            "design": payload["design"],
+            "application": payload["application"],
+            "frontier": [(blob, forced, depth, parent, None)
+                         for blob, forced, depth, parent
+                         in payload["stack"]],
+            "strategy": "dfs",
+            "strategy_meta": {},
+            "csm": payload["csm"],
+            "activity": activity,
+            "counters": counters,
+            "path_records": list(payload["path_records"]),
+            "per_path_exercised": list(payload["per_path_exercised"]),
+            "journal": list(payload["journal"]),
+        }
+    if engine == "parallel":
+        counters = dict(payload["counters"])
+        counters.setdefault("batches_done", payload.get("waves_done", 0))
+        profile = payload["profile"]
+        return {
+            "codec": RUN_PAYLOAD_CODEC,
+            "engine": "parallel",
+            "design": payload["design"],
+            "application": payload["application"],
+            "frontier": [(blob, forced, 0, None, None)
+                         for blob, forced in payload["pending"]],
+            "strategy": "bfs",
+            "strategy_meta": {},
+            "csm": payload["csm"],
+            "activity": {"repr": "profile",
+                         "toggled": profile["toggled"],
+                         "ever_x": profile["ever_x"],
+                         "val": profile["const_val"],
+                         "known": profile["const_known"]},
+            "counters": counters,
+            "path_records": list(payload["path_records"]),
+            "per_path_exercised": [],
+            "journal": list(payload["journal"]),
+        }
+    # unknown engine tag: hand back just enough for the kernel to raise
+    # its engine-mismatch ResumeMismatch with the original tag
+    return {"codec": RUN_PAYLOAD_CODEC, "engine": engine,
+            "design": payload.get("design"),
+            "application": payload.get("application")}
 
 
 def as_checkpointer(checkpoint) -> Optional[Checkpointer]:

@@ -5,8 +5,14 @@ Worker death, hangs, and corrupted state hand-offs must be absorbed by
 the supervision layer, and a checkpointed run killed partway through
 must resume to the same exercisable-gate dichotomy as an uninterrupted
 run -- never a silently different answer.
+
+The whole suite re-runs under any frontier scheduling strategy: set
+``REPRO_FRONTIER`` (``dfs``/``bfs``/``novelty``) to pin the schedule --
+CI runs the dfs and bfs legs -- since fault recovery must be
+order-independent.
 """
 
+import os
 import warnings
 
 import pytest
@@ -23,6 +29,9 @@ from repro.workloads import WORKLOADS, build_target
 
 DESIGN, BENCH = "bm32", "Div"
 
+#: frontier scheduling strategy under test (None = engine defaults)
+FRONTIER = os.environ.get("REPRO_FRONTIER") or None
+
 pytestmark = pytest.mark.timeout(600)
 
 FAST_POLICY = dict(segment_timeout=20.0, backoff_base=0.01,
@@ -32,15 +41,18 @@ FAST_POLICY = dict(segment_timeout=20.0, backoff_base=0.01,
 @pytest.fixture(scope="module")
 def fault_free():
     """Serial, fault-free reference run (the ground truth)."""
-    return run_one(DESIGN, BENCH, use_constraints=False)
+    return run_one(DESIGN, BENCH, use_constraints=False,
+                   frontier=FRONTIER or "dfs")
 
 
 def make_parallel(**kw):
+    kw.setdefault("frontier", FRONTIER)
     return ParallelCoAnalysis(WorkloadTargetFactory(DESIGN, BENCH),
                               workers=2, application=BENCH, **kw)
 
 
 def make_serial(**kw):
+    kw.setdefault("frontier", FRONTIER)
     target = build_target(DESIGN, WORKLOADS[BENCH])
     return CoAnalysisEngine(target, csm=ConservativeStateManager(),
                             application=BENCH, **kw)

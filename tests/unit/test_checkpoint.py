@@ -94,3 +94,70 @@ class TestCoercion:
     def test_instance_passes_through(self, tmp_path):
         ck = Checkpointer(tmp_path / "run.ckpt", every_segments=3)
         assert as_checkpointer(ck) is ck
+
+
+class TestRunPayloadCodec:
+    """The single versioned codec for exploration-run payloads."""
+
+    def _v2(self, **overrides):
+        from repro.resilience.checkpoint import (RUN_PAYLOAD_CODEC,
+                                                 encode_run_payload)
+        payload = encode_run_payload(
+            engine="serial", design="d", application="a",
+            frontier=[(b"blob", 1, 2, 0, 7)], strategy="dfs",
+            strategy_meta={}, csm={"repo": []},
+            activity={"repr": "sim"},
+            counters={"paths_created": 3, "batches_done": 1},
+            path_records=[], per_path_exercised=[], journal=[])
+        assert payload["codec"] == RUN_PAYLOAD_CODEC
+        payload.update(overrides)
+        return payload
+
+    def test_v2_roundtrips_unchanged(self):
+        from repro.resilience.checkpoint import decode_run_payload
+        payload = self._v2()
+        assert decode_run_payload(payload) == payload
+
+    def test_unsupported_codec_raises(self):
+        from repro.resilience.checkpoint import decode_run_payload
+        with pytest.raises(CheckpointError, match="codec v99"):
+            decode_run_payload(self._v2(codec=99))
+
+    def test_legacy_serial_payload_upgrades(self):
+        from repro.resilience.checkpoint import decode_run_payload
+        legacy = {
+            "engine": "serial", "design": "d", "application": "a",
+            "stack": [(b"blob", 1, 2, 0)],
+            "csm": {"repo": []},
+            "activity": {"toggled": [True]},
+            "counters": {"paths_created": 3},
+            "path_records": ["r1", "r2"],
+            "per_path_exercised": [], "journal": [],
+        }
+        out = decode_run_payload(legacy)
+        assert out["frontier"] == [(b"blob", 1, 2, 0, None)]
+        assert out["strategy"] == "dfs"
+        assert out["activity"]["repr"] == "sim"
+        # pre-codec serial runs checkpointed once per segment
+        assert out["counters"]["batches_done"] == 2
+
+    def test_legacy_parallel_payload_upgrades(self):
+        from repro.resilience.checkpoint import decode_run_payload
+        legacy = {
+            "engine": "parallel", "design": "d", "application": "a",
+            "pending": [(b"blob", 0)],
+            "waves_done": 4,
+            "csm": {"repo": []},
+            "profile": {"toggled": [True], "ever_x": [False],
+                        "const_val": [False], "const_known": [True]},
+            "counters": {"paths_created": 9},
+            "path_records": [], "journal": [],
+        }
+        out = decode_run_payload(legacy)
+        assert out["frontier"] == [(b"blob", 0, 0, None, None)]
+        assert out["strategy"] == "bfs"
+        assert out["activity"] == {"repr": "profile",
+                                   "toggled": [True], "ever_x": [False],
+                                   "val": [False], "known": [True]}
+        assert out["counters"]["batches_done"] == 4
+        assert out["per_path_exercised"] == []

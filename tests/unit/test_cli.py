@@ -14,9 +14,27 @@ class TestParser:
 
     def test_analyze_args(self):
         args = build_parser().parse_args(
-            ["analyze", "dr5", "mult", "--strategy", "clustered2"])
+            ["analyze", "dr5", "mult", "--csm", "clustered2",
+             "--strategy", "bfs"])
         assert args.design == "dr5"
-        assert args.strategy == "clustered2"
+        assert args.csm == "clustered2"
+        assert args.strategy == "bfs"
+
+    def test_run_is_an_alias_of_analyze(self):
+        args = build_parser().parse_args(
+            ["run", "dr5", "mult", "--engine", "event",
+             "--strategy", "novelty", "--trace", "out.jsonl",
+             "--progress"])
+        assert args.engine == "event"
+        assert args.strategy == "novelty"
+        assert args.trace == "out.jsonl"
+        assert args.progress
+
+    def test_strategy_rejects_csm_names(self):
+        # the CSM knob moved to --csm; --strategy is the frontier now
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "dr5", "mult", "--strategy", "clustered2"])
 
     def test_rejects_unknown_design(self):
         with pytest.raises(SystemExit):
@@ -91,6 +109,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "peak switching bound" in out
         assert "energy saving" in out
+
+    def test_run_with_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro.coanalysis.trace import aggregate_trace, read_trace
+        out = tmp_path / "run.jsonl"
+        rc = main(["run", "dr5", "mult", "--strategy", "bfs",
+                   "--trace", str(out), "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert f"trace written to {out}" in captured.err
+        summary = json.loads(captured.out)
+        events = read_trace(out)
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+        metrics = aggregate_trace(events)
+        # the trace stream reconstructs the engine's own counters
+        assert 1 + 2 * metrics.splits == summary["paths_created"]
+        assert metrics.merges_covered == summary["paths_skipped"]
+        assert metrics.simulated_cycles == summary["simulated_cycles"]
+        assert metrics.summary() == summary["metrics"]
 
     def test_analyze_checkpoint_then_resume(self, tmp_path, capsys):
         ckpt = tmp_path / "run.ckpt"

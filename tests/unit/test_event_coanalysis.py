@@ -8,7 +8,7 @@ accumulator adds an unknown input until it crosses a threshold, so the
 import pytest
 
 from repro.coanalysis.event_engine import EventCoAnalysis
-from repro.coanalysis.results import CoAnalysisError
+from repro.coanalysis.results import CoAnalysisError, CoAnalysisResult
 from repro.logic import Logic
 from repro.rtl import Design, mux
 
@@ -80,16 +80,23 @@ class TestEventCoAnalysis:
         nl = reset_state
         analysis = make_analysis(nl)
         result = analysis.run()
+        # one result type across all backends since the kernel extraction
+        assert isinstance(result, CoAnalysisResult)
         assert result.splits >= 1
         assert result.paths_created == 1 + 2 * result.splits
         assert result.simulated_cycles > 0
+        # trace-derived metrics agree with the engine's own counters
+        assert result.metrics.splits == result.splits
+        assert result.metrics.paths_explored == len(result.path_records)
+        assert result.metrics.simulated_cycles == result.simulated_cycles
 
     def test_exercised_nets_cover_symbolic_cone(self, reset_state):
         nl = reset_state
         result = make_analysis(nl).run()
-        assert nl.net_index("din[0]") in result.exercised_nets
-        assert nl.net_index("crossed") in result.exercised_nets
-        gates = result.exercisable_gates(nl)
+        exercised = result.profile.exercised_nets()
+        assert exercised[nl.net_index("din[0]")]
+        assert exercised[nl.net_index("crossed")]
+        gates = result.profile.exercisable_gates()
         assert 0 < len(gates) <= nl.gate_count()
 
     def test_concrete_input_single_path(self, reset_state):

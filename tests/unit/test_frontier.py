@@ -1,0 +1,138 @@
+"""Unit tests for the pluggable frontier scheduling strategies."""
+
+import pytest
+
+from repro.coanalysis.frontier import (FRONTIER_STRATEGIES,
+                                       BreadthFirstFrontier,
+                                       DepthFirstFrontier, FrontierStrategy,
+                                       NoveltyFrontier, make_frontier)
+from repro.coanalysis.kernel import PendingPath
+from repro.sim.state import SimState
+
+import numpy as np
+
+
+def path(tag, depth=0, origin_pc=None):
+    state = SimState(net_val=np.zeros(1, dtype=bool),
+                     net_known=np.zeros(1, dtype=bool),
+                     memories={}, cycle=tag, pc=origin_pc)
+    return PendingPath(state, depth=depth, origin_pc=origin_pc)
+
+
+def tags(paths):
+    return [p.state.cycle for p in paths]
+
+
+class TestMakeFrontier:
+    def test_none_gives_dfs(self):
+        assert isinstance(make_frontier(None), DepthFirstFrontier)
+
+    def test_name_lookup(self):
+        for name, cls in FRONTIER_STRATEGIES.items():
+            assert isinstance(make_frontier(name), cls)
+
+    def test_instance_passthrough(self):
+        frontier = BreadthFirstFrontier()
+        assert make_frontier(frontier) is frontier
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown frontier strategy"):
+            make_frontier("random")
+
+    def test_registry_names_match_classes(self):
+        for name, cls in FRONTIER_STRATEGIES.items():
+            assert cls.name == name
+
+
+class TestDepthFirst:
+    def test_lifo_order(self):
+        f = DepthFirstFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag))
+        assert tags(f.pop_batch(None)) == [3, 2, 1]
+        assert len(f) == 0
+
+    def test_partial_pop(self):
+        f = DepthFirstFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag))
+        assert tags(f.pop_batch(2)) == [3, 2]
+        assert len(f) == 1
+
+    def test_requeue_restores_schedule(self):
+        f = DepthFirstFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag))
+        batch = f.pop_batch(2)
+        f.requeue(batch)
+        assert tags(f.pop_batch(None)) == [3, 2, 1]
+
+
+class TestBreadthFirst:
+    def test_fifo_order(self):
+        f = BreadthFirstFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag))
+        assert tags(f.pop_batch(None)) == [1, 2, 3]
+
+    def test_requeue_restores_schedule(self):
+        f = BreadthFirstFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag))
+        batch = f.pop_batch(2)
+        f.requeue(batch)
+        assert tags(f.pop_batch(None)) == [1, 2, 3]
+
+
+class TestNovelty:
+    def test_prefers_rare_origin_pcs(self):
+        f = NoveltyFrontier()
+        for _ in range(3):
+            f.observe_halt(100)          # pc 100 is well-trodden
+        f.push(path(1, depth=1, origin_pc=100))
+        f.push(path(2, depth=5, origin_pc=200))   # never seen: novel
+        assert tags(f.pop_batch(None)) == [2, 1]
+
+    def test_ties_break_by_depth_then_insertion(self):
+        f = NoveltyFrontier()
+        f.push(path(1, depth=3, origin_pc=7))
+        f.push(path(2, depth=1, origin_pc=7))
+        f.push(path(3, depth=1, origin_pc=7))
+        assert tags(f.pop_batch(None)) == [2, 3, 1]
+
+    def test_requeue_keeps_interrupted_schedule(self):
+        f = NoveltyFrontier()
+        for tag in (1, 2, 3):
+            f.push(path(tag, origin_pc=7))
+        batch = f.pop_batch(2)
+        f.requeue(batch)
+        assert tags(f.pop_batch(None)) == [1, 2, 3]
+
+    def test_meta_roundtrip(self):
+        f = NoveltyFrontier()
+        f.observe_halt(7)
+        f.observe_halt(7)
+        g = NoveltyFrontier()
+        g.restore_meta(f.snapshot_meta())
+        g.push(path(1, origin_pc=7))
+        g.push(path(2, origin_pc=9))
+        assert tags(g.pop_batch(None)) == [2, 1]
+
+
+class TestEntriesRoundTrip:
+    """entries() must list paths so that re-push reproduces the order."""
+
+    @pytest.mark.parametrize("name", sorted(FRONTIER_STRATEGIES))
+    def test_rebuild_preserves_schedule(self, name):
+        f = make_frontier(name)
+        for tag in (1, 2, 3, 4):
+            f.push(path(tag, depth=tag % 2, origin_pc=tag % 3))
+        expected = tags(f.pop_batch(None))
+
+        g = make_frontier(name)
+        h = make_frontier(name)
+        for tag in (1, 2, 3, 4):
+            g.push(path(tag, depth=tag % 2, origin_pc=tag % 3))
+        for entry in g.entries():
+            h.push(entry)
+        assert tags(h.pop_batch(None)) == expected
