@@ -6,16 +6,24 @@ For each core, pick a benchmark, generate the bespoke netlist, and:
   the outputs match;
 * check the fixed-input exercised set is a subset of the reported
   exercisable set;
+* prove original/bespoke equivalence formally with the SAT miter and
+  record the encoding size (variables/clauses) and solve wall-time;
 * report original vs bespoke gate counts.
 
 The timed quantity is a full generate-and-validate cycle on omsp430.
+Artifacts: ``validation.txt`` (the spot-check table),
+``equivalence.txt`` (the miter table) and ``equivalence.json``
+(machine-readable per-processor SAT statistics).
 """
+
+import json
 
 import pytest
 from conftest import emit
 
 from repro.bespoke import area_report, generate_bespoke, validate_bespoke
-from repro.reporting.tables import render_table
+from repro.equiv import check_equivalence
+from repro.reporting.tables import equivalence_table, render_table
 from repro.workloads import WORKLOADS, build_target
 
 PAIRS = [("omsp430", "tea8"), ("bm32", "Div"), ("dr5", "binSearch")]
@@ -53,6 +61,48 @@ def test_validation_table(benchmark, validations, artifact_dir):
         assert report.ok, report.mismatches
         assert report.behaviour_match
         assert report.subset_ok
+
+
+@pytest.fixture(scope="module")
+def equivalences(grid):
+    outcomes = []
+    for design, bench in PAIRS:
+        result = grid[design][bench]
+        workload = WORKLOADS[bench]
+        original = build_target(design, workload)
+        bespoke_nl = generate_bespoke(original.netlist, result.profile)
+        outcomes.append((bench, check_equivalence(
+            original.netlist, bespoke_nl, profile=result.profile,
+            design=design)))
+    return outcomes
+
+
+def test_equivalence_table(benchmark, equivalences, artifact_dir):
+    """SAT-equivalence wall-time and clause/variable counts per core."""
+    emit(artifact_dir, "equivalence.txt",
+         equivalence_table([o for _, o in equivalences]))
+    payload = []
+    for bench, outcome in equivalences:
+        assert outcome.status == "UNSAT", outcome.summary()
+        row = outcome.summary()
+        row["benchmark"] = bench
+        payload.append(row)
+    emit(artifact_dir, "equivalence.json", json.dumps(payload, indent=2))
+
+
+def test_equivalence_runtime(benchmark, grid):
+    """Timed: one full miter build + solve on omsp430."""
+    design, bench = "omsp430", "tea8"
+    result = grid[design][bench]
+    original = build_target(design, WORKLOADS[bench])
+    bespoke_nl = generate_bespoke(original.netlist, result.profile)
+
+    def check():
+        return check_equivalence(original.netlist, bespoke_nl,
+                                 profile=result.profile, design=design)
+
+    outcome = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert outcome.status == "UNSAT"
 
 
 def test_validation_runtime(benchmark, grid):

@@ -226,6 +226,7 @@ def resynthesize(netlist: Netlist, keep_output_ties: bool = True) -> Netlist:
 
 
 def area_report(before: Netlist, after: Netlist) -> Dict[str, float]:
+    from ..netlist.stats import diff_kinds
     return {
         "gates_before": before.gate_count(),
         "gates_after": after.gate_count(),
@@ -236,4 +237,10 @@ def area_report(before: Netlist, after: Netlist) -> Dict[str, float]:
         "area_after": round(after.area(), 2),
         "area_reduction_percent": round(
             100.0 * (1 - after.area() / max(1e-9, before.area())), 2),
+        # per-cell-kind breakdown of what pruning/re-synthesis removed,
+        # so equivalence results can be read next to what changed
+        "pruned_by_kind": {kind: removed
+                           for kind, _, _, removed in diff_kinds(before,
+                                                                 after)
+                           if removed},
     }

@@ -1,29 +1,37 @@
 """Bespoke-netlist validation (paper section 5.0.1).
 
-Three checks, mirroring the paper's methodology:
+Three validation modes (``mode=`` argument):
 
-1. **Behavioural equivalence**: simulate the application with fixed known
-   inputs on both the original and the bespoke gate-level netlist and
-   verify the observable behaviour (PC trace, store stream, final data
-   memory) is identical.
-2. **Subset property**: the set of nets exercised by any fixed-input run
-   must be a subset of the exercisable set reported by symbolic
-   co-analysis (otherwise the analysis missed behaviour and pruning would
-   be unsound).
-3. **Non-interference** (tested in the suite, not here): the simulator
-   enhancements must not change event streams for non-symbolic runs.
+* ``"sim"`` -- the paper's spot-check: simulate the application with
+  fixed known inputs on both netlists and verify the observable
+  behaviour (PC trace, store stream, final data memory) is identical,
+  plus the **subset property**: the set of nets exercised by any
+  fixed-input run must be a subset of the exercisable set reported by
+  symbolic co-analysis (otherwise the analysis missed behaviour and
+  pruning would be unsound).
+* ``"sat"`` -- the formal check: a SAT miter
+  (:mod:`repro.equiv.miter`) proves the two netlists agree on *every*
+  input/state the co-analysis assumptions permit, not just the sampled
+  cases; a SAT answer is replayed through ``CycleSim``
+  (:mod:`repro.equiv.cex`) before it is reported as a real divergence.
+* ``"both"`` -- run both; ``ok`` requires both to pass.
+
+A fourth property, **non-interference** (simulator enhancements must not
+change event streams for non-symbolic runs), is tested in the suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..coanalysis.concrete import ConcreteRun, run_concrete
 from ..coanalysis.results import CoAnalysisResult
 from ..coanalysis.target import SymbolicTarget
+
+VALIDATION_MODES = ("sim", "sat", "both")
 
 
 @dataclass
@@ -37,11 +45,30 @@ class ValidationReport:
     original_gates: int = 0
     bespoke_gates: int = 0
     mismatches: List[str] = field(default_factory=list)
+    mode: str = "sim"
+    #: formal result (mode "sat"/"both"): UNSAT / SAT / UNKNOWN / ""
+    equiv_status: str = ""
+    #: the full :class:`repro.equiv.miter.EquivOutcome` summary dict
+    equiv: Dict[str, object] = field(default_factory=dict)
+    #: replay verdict for a SAT witness (see :mod:`repro.equiv.cex`)
+    equiv_replay: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def sim_ok(self) -> bool:
+        return (self.behaviour_match and self.subset_ok
+                and self.all_finished and self.cases_run > 0)
+
+    @property
+    def equiv_ok(self) -> bool:
+        return self.equiv_status == "UNSAT"
 
     @property
     def ok(self) -> bool:
-        return (self.behaviour_match and self.subset_ok
-                and self.all_finished and self.cases_run > 0)
+        if self.mode == "sat":
+            return self.equiv_ok
+        if self.mode == "both":
+            return self.sim_ok and self.equiv_ok
+        return self.sim_ok
 
 
 def _observable(run: ConcreteRun, dmem_range) -> Dict[str, object]:
@@ -63,11 +90,34 @@ def validate_bespoke(original: SymbolicTarget, bespoke: SymbolicTarget,
                      analysis: CoAnalysisResult,
                      cases: Sequence[Dict[int, int]],
                      dmem_compare_range=(0, 128),
-                     max_cycles: int = 20000) -> ValidationReport:
-    """Run every concrete case on both netlists and compare."""
+                     max_cycles: int = 20000,
+                     mode: str = "sim",
+                     unroll: int = 1,
+                     max_conflicts: Optional[int] = None,
+                     csm_states=None,
+                     tracer=None) -> ValidationReport:
+    """Validate a bespoke netlist against its original.
+
+    ``mode`` selects simulation spot-checks (``"sim"``), the formal SAT
+    miter (``"sat"``), or both.  ``unroll``/``max_conflicts``/
+    ``csm_states`` (CSM ``SimState`` objects restricting frame-0 state)
+    parameterize the formal check (see
+    :func:`repro.equiv.miter.check_equivalence`); ``tracer`` receives
+    the typed equivalence events.
+    """
+    if mode not in VALIDATION_MODES:
+        raise ValueError(f"unknown validation mode {mode!r}; "
+                         f"known: {', '.join(VALIDATION_MODES)}")
     report = ValidationReport(
         original_gates=original.netlist.gate_count(),
-        bespoke_gates=bespoke.netlist.gate_count())
+        bespoke_gates=bespoke.netlist.gate_count(),
+        mode=mode)
+    if mode in ("sat", "both"):
+        _validate_formal(report, original, bespoke, analysis,
+                         unroll=unroll, max_conflicts=max_conflicts,
+                         csm_states=csm_states, tracer=tracer)
+    if mode == "sat":
+        return report
     exercisable = analysis.profile.exercised_nets()
 
     for i, case in enumerate(cases):
@@ -100,6 +150,37 @@ def validate_bespoke(original: SymbolicTarget, bespoke: SymbolicTarget,
                 f"case {i}: {int(extra.sum())} nets exercised concretely "
                 f"but not reported exercisable, e.g. {names}")
     return report
+
+
+def _validate_formal(report: ValidationReport, original: SymbolicTarget,
+                     bespoke: SymbolicTarget, analysis: CoAnalysisResult,
+                     unroll: int, max_conflicts: Optional[int],
+                     csm_states, tracer) -> None:
+    """The SAT leg: miter check plus counterexample replay."""
+    from ..equiv import (DEFAULT_MAX_CONFLICTS, check_equivalence,
+                         replay_witness)
+    outcome = check_equivalence(
+        original.netlist, bespoke.netlist, profile=analysis.profile,
+        unroll=unroll,
+        max_conflicts=max_conflicts or DEFAULT_MAX_CONFLICTS,
+        csm_states=csm_states,
+        state_positions=original.state_net_positions()
+        if csm_states is not None else None,
+        design=analysis.design, tracer=tracer)
+    report.equiv_status = outcome.status
+    report.equiv = outcome.summary()
+    if outcome.status == "SAT":
+        replay = replay_witness(original.netlist, bespoke.netlist,
+                                outcome.witness, unroll=unroll)
+        report.equiv_replay = replay.summary()
+        verdict = "confirmed by CycleSim replay" if replay.confirmed \
+            else "NOT reproduced in simulation (assumption gap or " \
+                 "encoder bug)"
+        report.mismatches.append(
+            f"formal: miter SAT at {outcome.diff_point}; {verdict}")
+    elif outcome.status == "UNKNOWN":
+        report.mismatches.append(
+            f"formal: {outcome.detail or 'solver budget exhausted'}")
 
 
 def _clip(value, limit: int = 120) -> str:

@@ -8,6 +8,9 @@ Commands:
   ``--csm`` the merge strategy, ``--trace``/``--progress`` the
   observability sinks
 * ``bespoke``  -- analysis + bespoke generation + validation (+ Verilog out)
+* ``verify``   -- formal equivalence check of the bespoke netlist
+  (SAT miter under the co-analysis assumptions; ``--mode`` picks
+  simulation spot-checks, the SAT proof, or both)
 * ``grid``     -- the full evaluation grid: Tables 3/4, Figures 5/6
 * ``power``    -- bespoke power savings + input-independent peak bound
 * ``asm``      -- assemble a program file for one of the ISAs
@@ -89,6 +92,9 @@ def cmd_bespoke(args) -> int:
           f"({report['gate_reduction_percent']}% reduction)")
     print(f"area : {report['area_before']} -> {report['area_after']} "
           f"({report['area_reduction_percent']}% reduction)")
+    from .netlist.stats import pruned_breakdown
+    print("pruned gates by cell kind:")
+    print(pruned_breakdown(original.netlist, bespoke_nl))
     bespoke = build_target(args.design, workload, netlist=bespoke_nl)
     validation = validate_bespoke(original, bespoke, result,
                                   cases=workload.cases)
@@ -100,6 +106,83 @@ def cmd_bespoke(args) -> int:
     if args.output:
         Path(args.output).write_text(write_verilog(bespoke_nl))
         print(f"bespoke netlist written to {args.output}")
+    return 0 if validation.ok else 1
+
+
+def cmd_verify(args) -> int:
+    from .bespoke.validate import validate_bespoke as _validate
+    from .coanalysis.engine import CoAnalysisEngine
+    from .coanalysis.trace import JsonlTraceSink, Tracer
+    from .csm.constraints import ConstraintSet, parse_constraints
+    from .csm.manager import ConservativeStateManager
+    from .netlist.stats import pruned_breakdown
+    from .reporting import equivalence_table
+
+    workload = WORKLOADS[args.benchmark]
+    target = build_target(args.design, workload)
+    constraints = None
+    text = workload.constraints.get(args.design)
+    if text and not args.no_constraints:
+        constraints = ConstraintSet(parse_constraints(text),
+                                    target.state_net_positions())
+    # run the engine directly (not run_one) so the CSM's reachable
+    # super-states stay accessible for assumption cubes
+    csm = ConservativeStateManager(CSM_STRATEGIES[args.csm](),
+                                   constraints=constraints)
+    engine = CoAnalysisEngine(target, csm=csm, application=args.benchmark)
+    result = engine.run()
+    bespoke_nl = generate_bespoke(target.netlist, result.profile)
+    bespoke = build_target(args.design, workload, netlist=bespoke_nl)
+
+    tracer = Tracer([JsonlTraceSink(args.trace)]) if args.trace else None
+    states = None
+    if args.csm_states:
+        states = [s for lst in csm.repository.values() for s in lst]
+    validation = _validate(target, bespoke, result, cases=workload.cases,
+                           mode=args.mode, unroll=args.unroll,
+                           max_conflicts=args.max_conflicts,
+                           csm_states=states, tracer=tracer)
+    if tracer is not None:
+        tracer.close()
+        print(f"# trace written to {args.trace}", file=sys.stderr)
+
+    payload = {
+        "design": args.design,
+        "benchmark": args.benchmark,
+        "mode": validation.mode,
+        "ok": validation.ok,
+        "equiv": validation.equiv,
+        "equiv_status": validation.equiv_status,
+        "equiv_replay": validation.equiv_replay,
+        "sim_cases": validation.cases_run,
+        "sim_ok": validation.sim_ok if args.mode != "sat" else None,
+        "mismatches": validation.mismatches,
+        "gates": {"original": validation.original_gates,
+                  "bespoke": validation.bespoke_gates},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        if args.mode in ("sat", "both"):
+            print(equivalence_table([validation.equiv]))
+            replay = validation.equiv_replay
+            if replay:
+                print(f"counterexample replay: "
+                      f"{'CONFIRMED' if replay['confirmed'] else 'refuted'}"
+                      f" -- {replay['note']}")
+        if args.mode in ("sim", "both"):
+            print(f"simulation spot-check: "
+                  f"{'PASS' if validation.sim_ok else 'FAIL'} "
+                  f"({validation.cases_run} cases)")
+        for mismatch in validation.mismatches:
+            print("  !!", mismatch)
+        print("pruned gates by cell kind:")
+        print(pruned_breakdown(target.netlist, bespoke_nl))
+        print(f"verdict: {'PASS' if validation.ok else 'FAIL'}")
+    if args.report:
+        Path(args.report).write_text(json.dumps(payload, indent=2))
+        print(f"equivalence report written to {args.report}",
+              file=sys.stderr)
     return 0 if validation.ok else 1
 
 
@@ -263,6 +346,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pair_args(p)
     p.add_argument("-o", "--output", help="write bespoke Verilog here")
     p.set_defaults(func=cmd_bespoke)
+
+    p = sub.add_parser("verify",
+                       help="formal equivalence check of the bespoke "
+                            "netlist (SAT miter + counterexample replay)")
+    _add_pair_args(p)
+    p.add_argument("--mode", choices=["sim", "sat", "both"],
+                   default="sat",
+                   help="simulation spot-checks, the SAT proof, or both "
+                        "(default: sat)")
+    p.add_argument("--unroll", type=int, default=1, metavar="K",
+                   help="compare K chained transition-function frames "
+                        "(default: 1)")
+    p.add_argument("--max-conflicts", type=int, default=None, metavar="N",
+                   help="CDCL conflict budget before reporting UNKNOWN")
+    p.add_argument("--csm-states", action="store_true",
+                   help="restrict frame-0 state to the CSM's reachable "
+                        "super-states (one assumption cube per state)")
+    p.add_argument("--csm", choices=sorted(CSM_STRATEGIES),
+                   default="uber",
+                   help="conservative-state-manager merge strategy")
+    p.add_argument("--no-constraints", action="store_true",
+                   help="ignore the workload's CSM constraint file")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write typed equivalence events to PATH (JSONL)")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the JSON equivalence report to PATH")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("grid", help="full evaluation grid (Tables 3/4)")
     p.add_argument("--cache", default=".repro_cache")

@@ -42,6 +42,8 @@ EVENT_KINDS = (
     "batch",          # one frontier batch (wave) completed
     "phase",          # wall-time accounting for one run phase
     "run_end",        # exploration finished (summary counters)
+    "equiv_start",    # a formal equivalence check began (miter sizes)
+    "equiv_outcome",  # it finished (UNSAT / SAT / UNKNOWN, conflicts)
 )
 
 
@@ -150,6 +152,8 @@ class RunMetrics:
     resumes: int = 0
     retries: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
+    equiv_checks: int = 0               # equiv_outcome events
+    equiv_outcomes: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
@@ -166,6 +170,8 @@ class RunMetrics:
             "resumes": self.resumes,
             "retries": self.retries,
             "outcomes": dict(self.outcomes),
+            "equiv_checks": self.equiv_checks,
+            "equiv_outcomes": dict(self.equiv_outcomes),
             "phase_seconds": {k: round(v, 6)
                               for k, v in self.phase_seconds.items()},
             "wall_seconds": round(self.wall_seconds, 6),
@@ -211,6 +217,11 @@ class MetricsAggregator(TraceSink):
                     setattr(m, key, event.data[key])
         elif event.kind == "retry":
             m.retries += 1
+        elif event.kind == "equiv_outcome":
+            m.equiv_checks += 1
+            if event.outcome:
+                m.equiv_outcomes[event.outcome] = \
+                    m.equiv_outcomes.get(event.outcome, 0) + 1
         elif event.kind == "phase":
             name = str(event.data.get("phase", "unknown"))
             m.phase_seconds[name] = m.phase_seconds.get(name, 0.0) \

@@ -1,0 +1,326 @@
+"""Tseitin encoding of netlists into CNF.
+
+Two layers, deliberately separate:
+
+* :func:`cell_clauses` -- the raw per-cell clause generators.  One
+  generator per combinational cell kind in :mod:`repro.netlist.cells`,
+  cross-checked exhaustively against the 4-valued evaluation tables in
+  :mod:`repro.logic.tables` by the unit suite.  CNF is **binary-only**:
+  the clauses characterize the cell's function on known (0/1) inputs,
+  which is exactly the fragment a SAT witness ranges over.  The ``X``
+  rows of the 4-valued tables have no CNF counterpart -- an ``X`` in the
+  co-analysis means "either binary value", and the solver explores both
+  sides of that choice explicitly instead of propagating a third value
+  (see the equivalence-checking notes in ``docs/TUTORIAL.md``).
+
+* :class:`StructuralEncoder` -- the encoder the miter actually uses.
+  It lowers every cell to an AND/XOR/NOT node algebra with constant
+  folding and structural hashing, so two netlists encoded through the
+  *same* encoder share literals for structurally identical cones.  This
+  is what keeps the miter of an original core against its bespoke
+  re-synthesis tractable for a CDCL solver: the surviving logic is
+  byte-identical on both sides and collapses to shared variables, and
+  only genuine differences reach the clause database.
+
+Literals are DIMACS-style signed integers: variable ``v`` is the
+positive literal ``v``, its negation ``-v``.  The constant *true* is the
+reserved literal :data:`TRUE_LIT` (variable 1, pinned by a unit clause);
+*false* is its negation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.cells import COMB_KINDS, SEQ_KINDS
+from ..netlist.netlist import Netlist
+
+#: the reserved constant-true literal (variable 1)
+TRUE_LIT = 1
+FALSE_LIT = -1
+
+Clause = List[int]
+
+
+class CnfBuilder:
+    """Growable CNF formula with a reserved constant-true variable."""
+
+    def __init__(self):
+        self.n_vars = 1                      # var 1 == constant true
+        self.clauses: List[Clause] = [[TRUE_LIT]]
+        #: optional human-readable labels (var -> name), for debugging
+        #: and counterexample rendering
+        self.labels: Dict[int, str] = {1: "<true>"}
+
+    def new_var(self, label: Optional[str] = None) -> int:
+        self.n_vars += 1
+        if label is not None:
+            self.labels[self.n_vars] = label
+        return self.n_vars
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        self.clauses.append(list(lits))
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+
+# -- raw per-cell clause generators -------------------------------------------
+
+def _buf(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, = ins
+    return [[-o, a], [o, -a]]
+
+
+def _not(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, = ins
+    return [[-o, -a], [o, a]]
+
+
+def _and(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[-o, a], [-o, b], [o, -a, -b]]
+
+
+def _nand(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[o, a], [o, b], [-o, -a, -b]]
+
+
+def _or(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[o, -a], [o, -b], [-o, a, b]]
+
+
+def _nor(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[-o, -a], [-o, -b], [o, a, b]]
+
+
+def _xor(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[-o, a, b], [-o, -a, -b], [o, -a, b], [o, a, -b]]
+
+
+def _xnor(o: int, ins: Sequence[int]) -> List[Clause]:
+    a, b = ins
+    return [[o, a, b], [o, -a, -b], [-o, -a, b], [-o, a, -b]]
+
+
+def _mux2(o: int, ins: Sequence[int]) -> List[Clause]:
+    # pin order D0, D1, S: o = S ? D1 : D0
+    d0, d1, s = ins
+    return [[-s, -d1, o], [-s, d1, -o],
+            [s, -d0, o], [s, d0, -o],
+            # redundant but propagation-strengthening: if D0 == D1 the
+            # output is that value regardless of S
+            [-d0, -d1, o], [d0, d1, -o]]
+
+
+def _tie0(o: int, ins: Sequence[int]) -> List[Clause]:
+    return [[-o]]
+
+
+def _tie1(o: int, ins: Sequence[int]) -> List[Clause]:
+    return [[o]]
+
+
+#: clause generator per combinational cell kind; exhaustively
+#: cross-checked against :data:`repro.logic.tables.COMB_EVAL`
+CELL_CLAUSES: Dict[str, Callable[[int, Sequence[int]], List[Clause]]] = {
+    "BUF": _buf,
+    "NOT": _not,
+    "AND": _and,
+    "NAND": _nand,
+    "OR": _or,
+    "NOR": _nor,
+    "XOR": _xor,
+    "XNOR": _xnor,
+    "MUX2": _mux2,
+    "TIE0": _tie0,
+    "TIE1": _tie1,
+}
+
+assert set(CELL_CLAUSES) == set(COMB_KINDS), \
+    "every combinational cell kind needs a CNF clause generator"
+
+
+def cell_clauses(kind: str, out: int, ins: Sequence[int]) -> List[Clause]:
+    """Raw Tseitin clauses asserting ``out == kind(ins)`` (binary)."""
+    try:
+        gen = CELL_CLAUSES[kind]
+    except KeyError:
+        raise KeyError(f"no CNF clause generator for cell kind {kind!r}") \
+            from None
+    return gen(out, ins)
+
+
+# -- structural encoder -------------------------------------------------------
+
+class StructuralEncoder:
+    """Hash-consing AND/XOR node encoder over a :class:`CnfBuilder`.
+
+    All cell kinds are lowered to a two-operator algebra (AND and XOR
+    over signed literals, with negation free) with local rewriting:
+
+    * constants fold (``AND(x, true) -> x``, ``XOR(x, false) -> x``, ...);
+    * idempotence/annihilation (``AND(x, x) -> x``, ``AND(x, -x) ->
+      false``, ``XOR(x, x) -> false``, ``XOR(x, -x) -> true``);
+    * commutative operands are canonically ordered, and XOR polarity is
+      pulled out of the node (``XOR(-a, b) == -XOR(a, b)``) so all four
+      polarity variants share one variable.
+
+    The node cache is keyed on the rewritten operands, so any two cones
+    with the same structure -- whichever netlist they came from --
+    encode to the *same literal*.  A miter over an original netlist and
+    a rewrite of it therefore only spends clauses on real differences.
+    """
+
+    def __init__(self, builder: Optional[CnfBuilder] = None):
+        self.builder = builder or CnfBuilder()
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- node constructors ------------------------------------------------
+    def and2(self, a: int, b: int) -> int:
+        if a == FALSE_LIT or b == FALSE_LIT or a == -b:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if b == TRUE_LIT or a == b:
+            return a
+        key = (a, b) if a < b else (b, a)
+        lit = self._and_cache.get(key)
+        if lit is None:
+            lit = self.builder.new_var()
+            self.builder.clauses.extend(_and(lit, key))
+            self._and_cache[key] = lit
+        return lit
+
+    def xor2(self, a: int, b: int) -> int:
+        if a == b:
+            return FALSE_LIT
+        if a == -b:
+            return TRUE_LIT
+        if abs(a) == 1:          # constant operand
+            return b if a == FALSE_LIT else -b
+        if abs(b) == 1:
+            return a if b == FALSE_LIT else -a
+        # pull polarity out of the node: XOR(-a, b) == -XOR(a, b)
+        sign = 1
+        if a < 0:
+            a, sign = -a, -sign
+        if b < 0:
+            b, sign = -b, -sign
+        key = (a, b) if a < b else (b, a)
+        lit = self._xor_cache.get(key)
+        if lit is None:
+            lit = self.builder.new_var()
+            self.builder.clauses.extend(_xor(lit, key))
+            self._xor_cache[key] = lit
+        return sign * lit
+
+    def or2(self, a: int, b: int) -> int:
+        return -self.and2(-a, -b)
+
+    def mux(self, d0: int, d1: int, s: int) -> int:
+        if s == FALSE_LIT:
+            return d0
+        if s == TRUE_LIT:
+            return d1
+        if d0 == d1:
+            return d0
+        return self.or2(self.and2(s, d1), self.and2(-s, d0))
+
+    def iff(self, a: int, b: int) -> int:
+        return -self.xor2(a, b)
+
+    # -- cell lowering ----------------------------------------------------
+    def cell_lit(self, kind: str, ins: Sequence[int]) -> int:
+        """Literal for a combinational cell applied to input literals."""
+        if kind == "TIE0":
+            return FALSE_LIT
+        if kind == "TIE1":
+            return TRUE_LIT
+        if kind == "BUF":
+            return ins[0]
+        if kind == "NOT":
+            return -ins[0]
+        if kind == "AND":
+            return self.and2(ins[0], ins[1])
+        if kind == "NAND":
+            return -self.and2(ins[0], ins[1])
+        if kind == "OR":
+            return self.or2(ins[0], ins[1])
+        if kind == "NOR":
+            return -self.or2(ins[0], ins[1])
+        if kind == "XOR":
+            return self.xor2(ins[0], ins[1])
+        if kind == "XNOR":
+            return -self.xor2(ins[0], ins[1])
+        if kind == "MUX2":
+            return self.mux(ins[0], ins[1], ins[2])
+        raise KeyError(f"no encoder for cell kind {kind!r}")
+
+    def flop_next_lit(self, kind: str, q: int, ins: Sequence[int]) -> int:
+        """Next-state literal of a sequential cell (binary semantics).
+
+        Mirrors :meth:`repro.sim.cycle_sim.CycleSim.clock_edge`: the
+        enable mux resolves first, then a synchronous reset overrides.
+        """
+        if kind == "DFF":
+            return ins[0]
+        if kind == "DFFR":
+            d, r = ins
+            return self.and2(d, -r)
+        if kind == "DFFE":
+            d, e = ins
+            return self.mux(q, d, e)
+        if kind == "DFFER":
+            d, e, r = ins
+            return self.and2(self.mux(q, d, e), -r)
+        raise KeyError(f"no next-state encoder for cell kind {kind!r}")
+
+    # -- netlist lowering -------------------------------------------------
+    def encode_comb(self, netlist: Netlist,
+                    cut: Dict[int, int]) -> Dict[int, int]:
+        """Encode one netlist's combinational cloud.
+
+        ``cut`` maps net index -> literal for every *cut* net (primary
+        inputs and flop outputs); constants injected there fold through
+        the whole cone.  Returns the completed net -> literal map for
+        all nets in the combinational fanout of the cut.
+        """
+        lit_of: Dict[int, int] = dict(cut)
+        levels = netlist.levelize()
+        # ties first within level 0: a level-0 gate may read a tie output
+        # (levelization counts only comb-driven edges)
+        order = sorted((g for g in netlist.gates if not g.is_sequential),
+                       key=lambda g: (levels[g.index],
+                                      g.kind not in ("TIE0", "TIE1")))
+        for gate in order:
+            if gate.output in lit_of:
+                continue        # cut nets (incl. assumed constants) win
+            ins = []
+            for net in gate.inputs:
+                lit = lit_of.get(net)
+                if lit is None:
+                    raise KeyError(
+                        f"net {netlist.net_name(net)!r} read by gate "
+                        f"{gate.name!r} has no literal; is it an "
+                        f"undriven non-input net?")
+                ins.append(lit)
+            lit_of[gate.output] = self.cell_lit(gate.kind, ins)
+        return lit_of
+
+
+def assumption_literal(value: bool) -> int:
+    """The constant literal for an assumed net value."""
+    return TRUE_LIT if value else FALSE_LIT
+
+
+__all__ = [
+    "TRUE_LIT", "FALSE_LIT", "CnfBuilder", "CELL_CLAUSES", "cell_clauses",
+    "StructuralEncoder", "assumption_literal", "SEQ_KINDS",
+]

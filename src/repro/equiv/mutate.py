@@ -1,0 +1,168 @@
+"""Seeded netlist mutations: self-test harness for the equivalence flow.
+
+A formal checker that always answers UNSAT is indistinguishable from one
+that checks nothing.  This module injects a *known* bug into a bespoke
+netlist -- flip one gate's function, swap a constant tie -- and the test
+suite then asserts the full pipeline reacts correctly end to end: the
+miter goes SAT, and the extracted witness replays through
+:class:`~repro.sim.cycle_sim.CycleSim` to a *concrete* divergence
+(:mod:`repro.equiv.cex`).
+
+Mutations are restricted to gates the co-analysis profile marks
+*exercisable*: mutating a gate in unexercisable logic changes nothing
+observable under the assumptions (the miter stays UNSAT by design --
+that is the whole point of bespoke pruning), so such a mutation would
+test nothing.  All mutations are deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist.netlist import Netlist
+from ..sim.activity import ToggleProfile
+
+#: function substitutions that change behaviour for at least one input
+#: pattern (each maps to a kind with the same pin count/order)
+_KIND_SWAPS: Dict[str, Sequence[str]] = {
+    "AND": ("OR", "XOR", "NAND"),
+    "OR": ("AND", "XNOR", "NOR"),
+    "NAND": ("NOR", "XNOR", "AND"),
+    "NOR": ("NAND", "XOR", "OR"),
+    "XOR": ("XNOR", "AND", "OR"),
+    "XNOR": ("XOR", "NOR", "NAND"),
+    "NOT": ("BUF",),
+    "BUF": ("NOT",),
+    "TIE0": ("TIE1",),
+    "TIE1": ("TIE0",),
+}
+
+
+@dataclass
+class Mutation:
+    """A recorded single-gate mutation."""
+
+    gate_name: str
+    net_name: str          # the gate's output net
+    old_kind: str
+    new_kind: str
+    swapped_inputs: bool = False
+
+    def describe(self) -> str:
+        if self.swapped_inputs:
+            return (f"{self.gate_name} ({self.net_name}): "
+                    f"MUX2 data inputs swapped")
+        return (f"{self.gate_name} ({self.net_name}): "
+                f"{self.old_kind} -> {self.new_kind}")
+
+
+class MutationError(Exception):
+    """No mutable gate available (e.g. nothing exercisable)."""
+
+
+def mutable_gates(netlist: Netlist,
+                  profile: Optional[ToggleProfile] = None) -> List[int]:
+    """Indices of gates whose mutation is observable under the profile.
+
+    Without a profile every combinational gate with a known substitution
+    qualifies; with one, only gates driving *exercised* nets do.
+    """
+    exercised = profile.exercised_nets() if profile is not None else None
+    out = []
+    for gate in netlist.gates:
+        if gate.is_sequential:
+            continue
+        if gate.kind not in _KIND_SWAPS and gate.kind != "MUX2":
+            continue
+        # ties are always candidates: their outputs are unexercised by
+        # construction (that is why they were tied), but a swapped tie
+        # contradicts the assumed constant and is visible wherever the
+        # cone reaches an output or flop
+        if gate.kind not in ("TIE0", "TIE1") \
+                and exercised is not None and not exercised[gate.output]:
+            continue
+        out.append(gate.index)
+    return out
+
+
+def mutate(netlist: Netlist, seed: int,
+           profile: Optional[ToggleProfile] = None) -> "MutatedNetlist":
+    """Clone ``netlist`` and flip one gate, chosen by ``seed``.
+
+    The original netlist is untouched.  Returns the mutated clone
+    together with the :class:`Mutation` record (for the test report and
+    for checking the counterexample blames the right cone).
+    """
+    candidates = mutable_gates(netlist, profile)
+    if not candidates:
+        raise MutationError(
+            f"netlist {netlist.name!r} has no mutable exercisable gates")
+    rng = random.Random(seed)
+    target = netlist.gates[rng.choice(candidates)]
+
+    mutant = netlist.clone()
+    gate = mutant.gates[target.index]
+    if gate.kind == "MUX2":
+        d0, d1, s = gate.inputs
+        gate.inputs = (d1, d0, s)
+        record = Mutation(gate.name, mutant.net_name(gate.output),
+                          "MUX2", "MUX2", swapped_inputs=True)
+    else:
+        new_kind = rng.choice(_KIND_SWAPS[gate.kind])
+        record = Mutation(gate.name, mutant.net_name(gate.output),
+                          gate.kind, new_kind)
+        gate.kind = new_kind
+    mutant._mutation_version += 1
+    mutant.name = f"{netlist.name}_mut{seed}"
+    return MutatedNetlist(mutant, record, seed)
+
+
+@dataclass
+class MutatedNetlist:
+    """A mutated clone plus provenance."""
+
+    netlist: Netlist
+    mutation: Mutation
+    seed: int
+
+
+def mutation_campaign(original: Netlist, bespoke: Netlist,
+                      profile: ToggleProfile, seeds: Sequence[int],
+                      unroll: int = 1,
+                      max_conflicts: int = 50_000) -> List[Dict[str, object]]:
+    """Run the whole detect-and-confirm loop for each seed.
+
+    For every seed: mutate the bespoke netlist, check the miter against
+    the original, and (on SAT) replay the witness.  Returns one record
+    per seed -- the test suite asserts every record is
+    ``detected and confirmed``.
+    """
+    from .cex import replay_witness
+    from .miter import check_equivalence
+
+    records: List[Dict[str, object]] = []
+    for seed in seeds:
+        mutated = mutate(bespoke, seed, profile)
+        outcome = check_equivalence(original, mutated.netlist,
+                                    profile=profile, unroll=unroll,
+                                    max_conflicts=max_conflicts)
+        record: Dict[str, object] = {
+            "seed": seed,
+            "mutation": mutated.mutation.describe(),
+            "status": outcome.status,
+            "detected": outcome.status == "SAT",
+            "confirmed": False,
+        }
+        if outcome.status == "SAT" and outcome.witness is not None:
+            replay = replay_witness(original, mutated.netlist,
+                                    outcome.witness, unroll=unroll)
+            record["confirmed"] = replay.confirmed
+            record["divergence"] = str(replay.first) if replay.first else ""
+        records.append(record)
+    return records
+
+
+__all__ = ["Mutation", "MutatedNetlist", "MutationError",
+           "mutable_gates", "mutate", "mutation_campaign"]

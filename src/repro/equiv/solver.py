@@ -1,0 +1,459 @@
+"""A dependency-free CDCL SAT solver.
+
+The equivalence subsystem must run wherever the rest of the tool runs --
+pure Python, no native solver to ship or link.  This is a compact but
+real CDCL implementation:
+
+* two-watched-literal propagation;
+* first-UIP conflict analysis with a cheap clause-minimization pass;
+* VSIDS-style exponential variable activity with phase saving;
+* Luby-sequence restarts;
+* LBD-aware learned-clause database reduction;
+* an **assumption interface**: :meth:`Solver.solve` takes a cube of
+  literals decided before any free decision, so one CNF can be queried
+  under many hypotheses (the miter uses this to re-check the same
+  unrolling under each CSM super-state without re-encoding);
+* a conflict budget, so equivalence checks time out with ``UNKNOWN``
+  instead of hanging an analysis pipeline.
+
+Literals are DIMACS-style signed ints (see :mod:`repro.equiv.cnf`).
+Variable 0 is unused.  Assumptions are asserted one per decision level
+before any free decision, so a conflict whose decision level lies inside
+the assumption prefix proves unsatisfiability *under the assumptions*.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one :meth:`Solver.solve` call."""
+
+    status: str                                  # SAT / UNSAT / UNKNOWN
+    #: var -> bool assignment (only for SAT); vars the search never
+    #: touched keep their saved phase, so the model is always total
+    model: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    def value(self, lit: int) -> Optional[bool]:
+        v = self.model.get(abs(lit))
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "lbd", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False,
+                 lbd: int = 0):
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+def _luby(x: int) -> int:
+    """The reluctant-doubling sequence 1 1 2 1 1 2 4 1 1 2 ... (0-based)."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL over DIMACS-style literals."""
+
+    def __init__(self, n_vars: int = 0,
+                 clauses: Optional[Iterable[Sequence[int]]] = None):
+        self.n_vars = 0
+        self.assign: List[Optional[bool]] = [None]
+        self.level: List[int] = [0]
+        self.reason: List[Optional[_Clause]] = [None]
+        self.phase: List[bool] = [False]
+        self.activity: List[float] = [0.0]
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self._ok = True              # False once a root conflict is found
+        self._order: List = []       # lazy max-activity heap
+        self.conflicts_total = 0
+        if n_vars:
+            self.ensure_vars(n_vars)
+        for cl in clauses or ():
+            self.add_clause(cl)
+
+    # -- construction -----------------------------------------------------
+    def ensure_vars(self, n: int) -> None:
+        while self.n_vars < n:
+            self.n_vars += 1
+            v = self.n_vars
+            self.assign.append(None)
+            self.level.append(0)
+            self.reason.append(None)
+            self.phase.append(False)
+            self.activity.append(0.0)
+            self.watches[v] = []
+            self.watches[-v] = []
+            heapq.heappush(self._order, (0.0, v))
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a problem clause; returns False when the formula became
+        trivially unsatisfiable at the root level."""
+        if not self._ok:
+            return False
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 is not a valid DIMACS literal")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True          # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            val = self._value(lit)
+            if val is True and self.level[abs(lit)] == 0:
+                return True          # satisfied at root
+            if val is False and self.level[abs(lit)] == 0:
+                continue             # falsified at root: drop literal
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if self._value(out[0]) is True:
+                return True
+            if self._value(out[0]) is False:
+                self._ok = False
+                return False
+            self._enqueue(out[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: _Clause) -> None:
+        self.watches[-clause.lits[0]].append(clause)
+        self.watches[-clause.lits[1]].append(clause)
+
+    # -- assignment primitives --------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        v = self.assign[abs(lit)]
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        v = abs(lit)
+        self.assign[v] = lit > 0
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """BCP to fixpoint; returns the conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            watchlist = self.watches[lit]
+            i = 0
+            while i < len(watchlist):
+                clause = watchlist[i]
+                lits = clause.lits
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) is True:
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[-lits[1]].append(clause)
+                        watchlist[i] = watchlist[-1]
+                        watchlist.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if self._value(first) is False:
+                    self.qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+                i += 1
+        return None
+
+    # -- VSIDS ------------------------------------------------------------
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for u in range(1, self.n_vars + 1):
+                self.activity[u] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self._order, (-self.activity[v], v))
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._order:
+            act, v = self._order[0]
+            if self.assign[v] is None and -act == self.activity[v]:
+                return v
+            heapq.heappop(self._order)
+        refill = [(-self.activity[v], v)
+                  for v in range(1, self.n_vars + 1)
+                  if self.assign[v] is None]
+        if not refill:
+            return None
+        heapq.heapify(refill)
+        self._order = refill
+        return self._order[0][1]
+
+    # -- conflict analysis -------------------------------------------------
+    def _analyze(self, conflict: _Clause) -> tuple:
+        """First-UIP learning; returns (learnt_lits, backtrack_level).
+
+        ``learnt_lits[0]`` is the asserting literal."""
+        learnt: List[int] = [0]
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        lit: Optional[int] = None
+        reason: Optional[_Clause] = conflict
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+        while True:
+            if reason is not None:
+                if reason.learned:
+                    reason.activity += self.cla_inc
+                for q in reason.lits:
+                    if lit is not None and abs(q) == abs(lit):
+                        continue     # the implied literal itself
+                    v = abs(q)
+                    if not seen[v] and self.level[v] > 0:
+                        seen[v] = True
+                        self._bump_var(v)
+                        if self.level[v] >= cur_level:
+                            counter += 1
+                        else:
+                            learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            reason = self.reason[v]
+        # cheap minimization: drop literals whose reason clause is fully
+        # covered by the remaining literals (or root-level facts)
+        cached = {abs(q) for q in learnt}
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            r = self.reason[abs(q)]
+            if r is not None and all(
+                    abs(p) in cached or self.level[abs(p)] == 0
+                    for p in r.lits if abs(p) != abs(q)):
+                continue
+            minimized.append(q)
+        learnt = minimized
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self.level[abs(learnt[i])] > self.level[abs(
+                        learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self.level[abs(learnt[1])]
+        return learnt, bt_level
+
+    def _lbd(self, lits: Sequence[int]) -> int:
+        return len({self.level[abs(q)] for q in lits})
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self.trail_lim) <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            v = abs(lit)
+            self.phase[v] = lit > 0
+            self.assign[v] = None
+            self.reason[v] = None
+            heapq.heappush(self._order, (-self.activity[v], v))
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    def _reduce_db(self) -> None:
+        """Drop the less valuable half of the learned clauses."""
+        self.learned.sort(key=lambda c: (c.lbd, -c.activity))
+        locked = {id(self.reason[abs(lit)]) for lit in self.trail
+                  if self.reason[abs(lit)] is not None}
+        half = len(self.learned) // 2
+        keep: List[_Clause] = []
+        for i, clause in enumerate(self.learned):
+            if i < half or clause.lbd <= 3 or id(clause) in locked:
+                keep.append(clause)
+            else:
+                for w in (-clause.lits[0], -clause.lits[1]):
+                    try:
+                        self.watches[w].remove(clause)
+                    except ValueError:
+                        pass
+        self.learned = keep
+
+    # -- phase priming -----------------------------------------------------
+    def prime_phases(self, phases: Dict[int, bool]) -> None:
+        """Seed saved phases (e.g. with the activity profile's settled
+        values) so SAT witnesses stay close to observed states."""
+        for var, value in phases.items():
+            if 1 <= var <= self.n_vars:
+                self.phase[var] = bool(value)
+
+    # -- main search -------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None) -> SolveResult:
+        """Search under ``assumptions``; ``UNKNOWN`` when the conflict
+        budget runs out.
+
+        Solver state persists between calls: learned clauses and
+        activities survive, so repeated queries over the same CNF under
+        different assumption cubes get faster, not slower.
+        """
+        result = SolveResult(status=UNKNOWN)
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        self._backtrack(0)
+        if not self._ok:
+            result.status = UNSAT
+            return result
+        if self._propagate() is not None:
+            self._ok = False
+            result.status = UNSAT
+            return result
+        restart_num = 0
+        conflicts_at_restart = 0
+        restart_budget = 100 * _luby(restart_num)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                result.conflicts += 1
+                self.conflicts_total += 1
+                conflicts_at_restart += 1
+                if len(self.trail_lim) == 0:
+                    self._ok = False
+                    result.status = UNSAT
+                    return result
+                if len(self.trail_lim) <= len(assumptions):
+                    # every decision on the trail is an assumption: the
+                    # conflict follows from the formula + the cube
+                    result.status = UNSAT
+                    self._backtrack(0)
+                    return result
+                learnt, bt_level = self._analyze(conflict)
+                self._backtrack(bt_level)
+                if len(learnt) == 1:
+                    if self._value(learnt[0]) is False:
+                        self._ok = False
+                        result.status = UNSAT
+                        return result
+                    if self._value(learnt[0]) is None:
+                        self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learned=True,
+                                     lbd=self._lbd(learnt))
+                    self.learned.append(clause)
+                    self._watch(clause)
+                    self._enqueue(learnt[0], clause)
+                self.var_inc /= self.var_decay
+                if max_conflicts is not None and \
+                        result.conflicts >= max_conflicts:
+                    result.status = UNKNOWN
+                    self._backtrack(0)
+                    return result
+                if len(self.learned) > 2000 + 8 * (len(self.clauses)
+                                                   ** 0.5):
+                    self._reduce_db()
+                if conflicts_at_restart >= restart_budget:
+                    restart_num += 1
+                    result.restarts += 1
+                    conflicts_at_restart = 0
+                    restart_budget = 100 * _luby(restart_num)
+                    self._backtrack(0)
+                continue
+            result.propagations = len(self.trail)
+            # decide the next pending assumption (one per level)
+            if len(self.trail_lim) < len(assumptions):
+                lit = assumptions[len(self.trail_lim)]
+                val = self._value(lit)
+                if val is False:
+                    result.status = UNSAT
+                    self._backtrack(0)
+                    return result
+                self.trail_lim.append(len(self.trail))
+                if val is None:
+                    self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                result.status = SAT
+                result.model = {
+                    v: (bool(self.assign[v]) if self.assign[v] is not None
+                        else self.phase[v])
+                    for v in range(1, self.n_vars + 1)}
+                self._backtrack(0)
+                return result
+            result.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+
+def solve_cnf(n_vars: int, clauses: Iterable[Sequence[int]],
+              assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None) -> SolveResult:
+    """One-shot convenience wrapper."""
+    solver = Solver(n_vars, clauses)
+    return solver.solve(assumptions, max_conflicts=max_conflicts)
+
+
+__all__ = ["Solver", "SolveResult", "solve_cnf", "SAT", "UNSAT", "UNKNOWN"]

@@ -87,3 +87,33 @@ def diff_blocks(before: Netlist, after: Netlist) -> List[Tuple[str, int,
         out.append((block, rb.get(block, (0, 0.0))[0],
                     ra.get(block, (0, 0.0))[0]))
     return out
+
+
+def diff_kinds(before: Netlist,
+               after: Netlist) -> List[Tuple[str, int, int, int]]:
+    """Per-cell-kind gate counts before vs after pruning.
+
+    Returns ``(kind, before, after, removed)`` rows, biggest removal
+    first.  ``removed`` can be negative: re-synthesis introduces tie
+    cells that did not exist in the original.
+    """
+    rb = report(before).by_kind
+    ra = report(after).by_kind
+    rows = []
+    for kind in set(rb) | set(ra):
+        b, a = rb.get(kind, 0), ra.get(kind, 0)
+        rows.append((kind, b, a, b - a))
+    rows.sort(key=lambda row: (-row[3], row[0]))
+    return rows
+
+
+def pruned_breakdown(before: Netlist, after: Netlist) -> str:
+    """Render the per-kind pruning breakdown for the bespoke report."""
+    lines = [f"  {'cell':<6} {'before':>7} {'after':>7} {'removed':>8}"]
+    for kind, b, a, removed in diff_kinds(before, after):
+        lines.append(f"  {kind:<6} {b:>7} {a:>7} {removed:>8}")
+    total_b = before.gate_count()
+    total_a = after.gate_count()
+    lines.append(f"  {'total':<6} {total_b:>7} {total_a:>7} "
+                 f"{total_b - total_a:>8}")
+    return "\n".join(lines)

@@ -102,3 +102,24 @@ def results_csv(results: ResultGrid, benchmarks: Sequence[str],
                 f"{r.paths_created},{r.paths_skipped},"
                 f"{r.simulated_cycles},{r.wall_seconds:.3f}")
     return "\n".join(lines)
+
+
+def equivalence_table(outcomes: Iterable) -> str:
+    """Formal equivalence results, one row per miter check.
+
+    ``outcomes`` holds :class:`repro.equiv.miter.EquivOutcome` objects
+    or their ``summary()`` dicts; rendered by ``repro verify`` and the
+    validation benchmark.
+    """
+    headers = ["Design", "Unroll", "Result", "Vars", "Clauses",
+               "Compare pts", "Structural", "Conflicts", "Time (s)"]
+    rows: List[List[object]] = []
+    for o in outcomes:
+        s = o.summary() if hasattr(o, "summary") else dict(o)
+        rows.append([
+            s.get("design", ""), s.get("unroll", 1),
+            s.get("status", "?"), s.get("vars", 0), s.get("clauses", 0),
+            s.get("compare_points", 0), s.get("proved_structurally", 0),
+            s.get("conflicts", 0),
+            f"{float(s.get('wall_seconds', 0.0)):.3f}"])
+    return render_table(headers, rows)

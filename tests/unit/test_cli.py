@@ -44,6 +44,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "dr5", "quicksort"])
 
+    def test_verify_args(self):
+        args = build_parser().parse_args(
+            ["verify", "dr5", "mult", "--mode", "both", "--unroll", "3",
+             "--max-conflicts", "5000", "--csm-states"])
+        assert args.mode == "both"
+        assert args.unroll == 3
+        assert args.max_conflicts == 5000
+        assert args.csm_states
+
+    def test_verify_mode_defaults_to_sat(self):
+        args = build_parser().parse_args(["verify", "dr5", "mult"])
+        assert args.mode == "sat"
+        assert args.unroll == 1
+
+    def test_verify_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "dr5", "mult", "--mode", "smt"])
+
     def test_analyze_resilience_args(self):
         args = build_parser().parse_args(
             ["analyze", "dr5", "mult", "--checkpoint", "run.ckpt",
@@ -96,6 +115,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "start:" in out
         assert "movi r1, 7" in out
+
+    def test_verify_sat_json(self, tmp_path, capsys):
+        report = tmp_path / "equiv.json"
+        rc = main(["verify", "dr5", "mult", "--json",
+                   "--report", str(report)])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["equiv_status"] == "UNSAT"
+        assert data["ok"] is True
+        assert data["equiv"]["compare_points"] > 0
+        saved = json.loads(report.read_text())
+        assert saved["equiv_status"] == "UNSAT"
+
+    def test_verify_both_prints_table_and_breakdown(self, capsys):
+        rc = main(["verify", "dr5", "mult", "--mode", "both"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "UNSAT" in out
+        assert "simulation spot-check: PASS" in out
+        assert "pruned gates by cell kind" in out
+        assert "verdict: PASS" in out
 
     def test_trace_writes_vcd(self, tmp_path, capsys):
         out_vcd = tmp_path / "w.vcd"

@@ -1,0 +1,282 @@
+"""Unit tests for miter construction, assumption injection, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.bespoke import generate_bespoke
+from repro.equiv import (EquivOutcome, MiterError, build_miter,
+                         check_equivalence, csm_state_cubes, mutate,
+                         mutation_campaign, replay_witness)
+from repro.equiv.mutate import MutationError, mutable_gates
+from repro.rtl import Design, mux
+from repro.sim.activity import ToggleProfile
+from repro.sim.state import SimState
+
+
+def profile_for(netlist, exercised_names, const_values=None):
+    """Hand-built profile: listed nets exercised, the rest constant."""
+    p = ToggleProfile.empty(netlist)
+    for name in exercised_names:
+        p.toggled[netlist.net_index(name)] = True
+    p.const_known[:] = True
+    if const_values:
+        for name, v in const_values.items():
+            p.const_val[netlist.net_index(name)] = bool(v)
+    return p
+
+
+def comb_netlist():
+    """y = (a & b) ^ c, z = a | c."""
+    d = Design("comb")
+    a, b, c = d.input("a"), d.input("b"), d.input("c")
+    d.output("y", (a & b) ^ c)
+    d.output("z", a | c)
+    return d.finalize()
+
+
+def two_path_netlist():
+    """y = sel ? pb : pa (the bespoke-flow staple)."""
+    d = Design("t")
+    a, b, sel = d.input("a"), d.input("b"), d.input("sel")
+    pa = d.name_sig("pa", a & d.const(1, 1))
+    pb = d.name_sig("pb", b & d.const(1, 1))
+    d.output("y", mux(sel, pb, pa))
+    return d.finalize()
+
+
+def seq_netlist():
+    """One-bit accumulator: s' = s ^ a, y = s."""
+    d = Design("seq")
+    a = d.input("a")
+    s = d.reg(1, "s", reset=False)
+    s.drive(s.q ^ a)
+    d.output("y", s.q)
+    return d.finalize()
+
+
+class TestCombinationalMiter:
+    def test_identical_netlists_prove_structurally(self):
+        nl = comb_netlist()
+        out = check_equivalence(nl, nl.clone())
+        assert out.status == "UNSAT"
+        assert out.proved_structurally == out.compare_points == 2
+        assert out.conflicts == 0
+        assert out.equivalent
+
+    def test_inequivalent_netlist_goes_sat_and_replays(self):
+        nl = comb_netlist()
+        bad = nl.clone()
+        # flip the AND to an OR: y differs whenever a != b
+        gate = next(g for g in bad.gates if g.kind == "AND")
+        gate.kind = "OR"
+        bad._mutation_version += 1
+        out = check_equivalence(nl, bad)
+        assert out.status == "SAT"
+        assert out.diff_point.startswith("po:y")
+        replay = replay_witness(nl, bad, out.witness)
+        assert replay.confirmed
+        assert replay.first.kind == "po"
+        assert replay.first.name == "y"
+
+    def test_witness_values_cover_every_input(self):
+        nl = comb_netlist()
+        bad = nl.clone()
+        next(g for g in bad.gates if g.kind == "AND").kind = "NAND"
+        bad._mutation_version += 1
+        out = check_equivalence(nl, bad)
+        assert out.status == "SAT"
+        assert set(out.witness["inputs"][0]) == {"a", "b", "c"}
+
+    def test_missing_output_is_a_miter_error(self):
+        nl = comb_netlist()
+        d = Design("comb")          # rebuild with the z output dropped
+        a, b, c = d.input("a"), d.input("b"), d.input("c")
+        d.output("y", (a & b) ^ c)
+        with pytest.raises(MiterError):
+            build_miter(nl, d.finalize())
+
+    def test_extra_input_is_a_miter_error(self):
+        nl = comb_netlist()
+        d = Design("comb")
+        a, b, c, w = (d.input("a"), d.input("b"), d.input("c"),
+                      d.input("w"))
+        d.output("y", (a & b) ^ c)
+        d.output("z", (a | c) & ~w)
+        with pytest.raises(MiterError):
+            build_miter(nl, d.finalize())
+
+    def test_bad_unroll_rejected(self):
+        nl = comb_netlist()
+        with pytest.raises(MiterError):
+            build_miter(nl, nl.clone(), unroll=0)
+
+
+class TestAssumptionInjection:
+    def test_equivalence_holds_only_under_assumptions(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"],
+                           const_values={"pb": 0, "b": 0})
+        besp = generate_bespoke(nl, prof)
+        assert besp.gate_count() < nl.gate_count()
+        # under the co-analysis constants: formally equivalent
+        under = check_equivalence(nl, besp, profile=prof)
+        assert under.status == "UNSAT"
+        assert under.assumptions_injected > 0
+        # with the assumptions dropped the pruning is visible, and the
+        # witness replays to a real divergence in CycleSim
+        free = check_equivalence(nl, besp)
+        assert free.status == "SAT"
+        replay = replay_witness(nl, besp, free.witness)
+        assert replay.confirmed
+
+    def test_profile_constants_reach_the_report(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"],
+                           const_values={"pb": 0, "b": 0})
+        m = build_miter(nl, generate_bespoke(nl, prof), profile=prof)
+        assert m.assumed_consts[nl.net_index("b")] is False
+
+
+class TestSequentialUnrolling:
+    def test_identical_seq_design_unsat_at_depth(self):
+        nl = seq_netlist()
+        for k in (1, 2, 3):
+            out = check_equivalence(nl, nl.clone(), unroll=k)
+            assert out.status == "UNSAT"
+            assert out.unroll == k
+        # deeper unrolls add PO compare points per frame
+        deep = check_equivalence(nl, nl.clone(), unroll=3)
+        assert deep.compare_points > \
+            check_equivalence(nl, nl.clone(), unroll=1).compare_points
+
+    def test_broken_transition_function_detected_and_replays(self):
+        nl = seq_netlist()
+        bad = nl.clone()
+        gate = next(g for g in bad.gates if g.kind == "XOR")
+        gate.kind = "XNOR"
+        bad._mutation_version += 1
+        out = check_equivalence(nl, bad, unroll=2)
+        assert out.status == "SAT"
+        replay = replay_witness(nl, bad, out.witness, unroll=2)
+        assert replay.confirmed
+        assert replay.frames == 2
+
+
+class TestCsmStateCubes:
+    def build_gated_pair(self):
+        """Original y = a & s; 'bespoke' believes s is stuck at 0."""
+        d = Design("g")
+        a = d.input("a")
+        s = d.reg(1, "s", reset=False)
+        s.drive(s.q)
+        d.output("y", a & s.q)
+
+        b = Design("g")
+        ab = b.input("a")
+        sb = b.reg(1, "s", reset=False)
+        sb.drive(sb.q)
+        b.output("y", ab & b.const(0, 1))
+        return d.finalize(), b.finalize()
+
+    def state(self, val, known):
+        return SimState(net_val=np.array([val], dtype=bool),
+                        net_known=np.array([known], dtype=bool),
+                        memories={})
+
+    def test_cubes_gate_the_verdict(self):
+        orig, besp = self.build_gated_pair()
+        positions = {"s": 0}
+        m = build_miter(orig, besp)
+        # reachable super-state says s == 0: the designs agree
+        cubes = csm_state_cubes(m, [self.state(False, True)], positions)
+        assert check_equivalence(orig, besp, miter=m,
+                                 csm_cubes=cubes).status == "UNSAT"
+        # s == 1 reachable: divergence is real (y = a vs y = 0)
+        m2 = build_miter(orig, besp)
+        cubes = csm_state_cubes(m2, [self.state(True, True)], positions)
+        out = check_equivalence(orig, besp, miter=m2, csm_cubes=cubes)
+        assert out.status == "SAT"
+        assert replay_witness(orig, besp, out.witness).confirmed
+
+    def test_merged_x_bit_leaves_state_free(self):
+        orig, besp = self.build_gated_pair()
+        m = build_miter(orig, besp)
+        cubes = csm_state_cubes(m, [self.state(False, False)], {"s": 0})
+        assert cubes == [[]]            # X bit contributes no literal
+        assert check_equivalence(orig, besp, miter=m,
+                                 csm_cubes=cubes).status == "SAT"
+
+    def test_states_translate_inside_check(self):
+        orig, besp = self.build_gated_pair()
+        out = check_equivalence(orig, besp,
+                                csm_states=[self.state(False, True)],
+                                state_positions={"s": 0})
+        assert out.status == "UNSAT"
+        assert out.csm_cubes_checked == 1
+
+
+class TestMutate:
+    def test_mutation_is_deterministic_and_nondestructive(self):
+        nl = comb_netlist()
+        before = [g.kind for g in nl.gates]
+        m1, m2 = mutate(nl, seed=3), mutate(nl, seed=3)
+        assert m1.mutation == m2.mutation
+        assert [g.kind for g in nl.gates] == before
+        kinds1 = [g.kind for g in m1.netlist.gates]
+        assert kinds1 != before or m1.mutation.swapped_inputs
+
+    def test_profile_restricts_to_exercised_gates(self):
+        nl = two_path_netlist()
+        prof = profile_for(nl, ["a", "pa", "y", "sel"],
+                           const_values={"pb": 0, "b": 0})
+        allowed = mutable_gates(nl, prof)
+        exercised = prof.exercised_nets()
+        for idx in allowed:
+            gate = nl.gates[idx]
+            assert exercised[gate.output] \
+                or gate.kind in ("TIE0", "TIE1")
+
+    def test_no_candidates_raises(self):
+        d = Design("empty")
+        s = d.reg(1, "s", reset=False)
+        s.drive(s.q)
+        d.output("y", s.q)
+        nl = d.finalize()
+        seq_only = nl.clone()
+        for g in list(seq_only.gates):
+            if not g.is_sequential and g.kind != "BUF":
+                break
+        prof = ToggleProfile.empty(nl)   # nothing exercised
+        prof.const_known[:] = True
+        with pytest.raises(MutationError):
+            mutate(nl, seed=0, profile=prof)
+
+    def test_campaign_detects_and_confirms(self):
+        nl = comb_netlist()
+        prof = profile_for(nl, [nl.net_name(i) for i in
+                                list(nl.inputs) + list(nl.outputs)])
+        # every net toggles: all gates are fair game
+        prof.toggled[:] = True
+        records = mutation_campaign(nl, nl.clone(), prof, seeds=range(6))
+        assert len(records) == 6
+        assert all(r["detected"] for r in records)
+        assert all(r["confirmed"] for r in records)
+
+
+class TestOutcomeShape:
+    def test_summary_round_trips_through_reporting_table(self):
+        from repro.reporting import equivalence_table
+        nl = comb_netlist()
+        out = check_equivalence(nl, nl.clone(), design="comb")
+        text = equivalence_table([out, out.summary()])
+        assert "UNSAT" in text and "comb" in text
+
+    def test_tracer_receives_typed_events(self):
+        from repro.coanalysis.trace import EVENT_KINDS, Tracer
+        assert "equiv_start" in EVENT_KINDS
+        assert "equiv_outcome" in EVENT_KINDS
+        tracer = Tracer()
+        nl = comb_netlist()
+        check_equivalence(nl, nl.clone(), design="comb", tracer=tracer)
+        assert tracer.metrics.equiv_checks == 1
+        assert tracer.metrics.equiv_outcomes == {"UNSAT": 1}

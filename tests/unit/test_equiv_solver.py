@@ -1,0 +1,131 @@
+"""Unit tests for the dependency-free CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.equiv.solver import (SAT, UNKNOWN, UNSAT, Solver, solve_cnf)
+
+
+def brute_force(n_vars, clauses, assumptions=()):
+    """Reference decision procedure (exponential, for tiny instances)."""
+    fixed = {abs(l): l > 0 for l in assumptions}
+    free = [v for v in range(1, n_vars + 1) if v not in fixed]
+    for bits in itertools.product((False, True), repeat=len(free)):
+        asg = dict(fixed)
+        asg.update(zip(free, bits))
+        if all(any(asg[abs(l)] == (l > 0) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+def random_3sat(rng, n_vars, n_clauses):
+    clauses = []
+    for _ in range(n_clauses):
+        vs = rng.sample(range(1, n_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return clauses
+
+
+def pigeonhole(holes):
+    """PHP(holes+1, holes): classic UNSAT family, resolution-hard."""
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver(3, []).solve().status == SAT
+
+    def test_unit_propagation(self):
+        res = solve_cnf(2, [[1], [-1, 2]])
+        assert res.status == SAT
+        assert res.value(1) and res.value(2)
+
+    def test_trivial_conflict(self):
+        assert solve_cnf(1, [[1], [-1]]).status == UNSAT
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        res = solve_cnf(3, clauses)
+        assert res.status == SAT
+        for cl in clauses:
+            assert any(res.value(l) for l in cl)
+
+    def test_tautology_and_duplicate_literals(self):
+        s = Solver(2)
+        s.add_clause([1, -1])           # dropped
+        s.add_clause([2, 2])            # deduped to unit
+        res = s.solve()
+        assert res.status == SAT
+        assert res.value(2)
+
+
+class TestAgainstBruteForce:
+    def test_random_3sat_grid(self):
+        rng = random.Random(20260805)
+        for trial in range(150):
+            n = rng.randint(4, 9)
+            clauses = random_3sat(rng, n, rng.randint(4, int(4.5 * n)))
+            want = brute_force(n, clauses)
+            res = solve_cnf(n, clauses)
+            assert res.status == (SAT if want else UNSAT), \
+                (trial, n, clauses)
+            if want:
+                for cl in clauses:
+                    assert any(res.value(l) for l in cl)
+
+    def test_incremental_assumptions(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(4, 8)
+            clauses = random_3sat(rng, n, rng.randint(6, 3 * n))
+            solver = Solver(n, clauses)
+            for _ in range(4):          # reuse one solver incrementally
+                k = rng.randint(0, 3)
+                assum = [v if rng.random() < 0.5 else -v
+                         for v in rng.sample(range(1, n + 1), k)]
+                want = brute_force(n, clauses, assum)
+                res = solver.solve(assum)
+                assert res.status == (SAT if want else UNSAT), \
+                    (clauses, assum)
+
+
+class TestHardInstances:
+    def test_pigeonhole_unsat(self):
+        n, clauses = pigeonhole(5)
+        res = solve_cnf(n, clauses)
+        assert res.status == UNSAT
+        assert res.conflicts > 0        # needed real search, not luck
+
+    def test_xor_chain_sat(self):
+        # x1 ^ x2, x2 ^ x3, ... : trivially SAT but propagation-heavy
+        clauses = []
+        for v in range(1, 40):
+            clauses += [[v, v + 1], [-v, -(v + 1)]]
+        assert solve_cnf(40, clauses).status == SAT
+
+
+class TestBudget:
+    def test_conflict_budget_yields_unknown_then_solves(self):
+        n, clauses = pigeonhole(5)
+        solver = Solver(n, clauses)
+        res = solver.solve(max_conflicts=3)
+        assert res.status == UNKNOWN
+        assert solver.solve().status == UNSAT   # same solver, full budget
+
+
+class TestPhasePriming:
+    def test_primed_phase_steers_model(self):
+        solver = Solver(2, [[1, 2]])
+        solver.prime_phases({1: False, 2: True})
+        res = solver.solve()
+        assert res.status == SAT
+        assert res.value(2) and not res.value(1)
