@@ -193,8 +193,9 @@ def test_traced_coanalysis_smoke(benchmark, artifact_dir):
     assert replayed.simulated_cycles == result.simulated_cycles
     assert replayed.summary() == result.metrics.summary()
 
-    (artifact_dir / "METRICS_coanalysis_smoke.json").write_text(
-        json.dumps(result.metrics.summary(), indent=2) + "\n")
+    from repro.resilience.artifacts import atomic_write_json
+    atomic_write_json(artifact_dir / "METRICS_coanalysis_smoke.json",
+                      result.metrics.summary())
     print(f"\n  trace: {len(events)} events, "
           f"{replayed.paths_explored} paths, "
           f"{replayed.simulated_cycles} cycles, "

@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.reporting.runner import DESIGN_ORDER, run_grid
+from repro.resilience.artifacts import atomic_write_text
 from repro.workloads import WORKLOAD_ORDER
 
 CACHE_DIR = Path(__file__).resolve().parent.parent / ".repro_cache"
@@ -40,7 +41,10 @@ def artifact_dir():
 
 
 def emit(artifact_dir: Path, name: str, text: str) -> None:
-    """Print an artifact and persist it under benchmarks/artifacts/."""
+    """Print an artifact and persist it under benchmarks/artifacts/.
+
+    Written atomically: a benchmark run killed mid-emit leaves the
+    previous complete artifact, not a torn one."""
     print()
     print(text)
-    (artifact_dir / name).write_text(text + "\n")
+    atomic_write_text(artifact_dir / name, text + "\n")

@@ -29,7 +29,10 @@ from .analysis import (analyze_coverage, analyze_peak_power,
                        compare_power, concrete_peak, timing_slack)
 from .bespoke import area_report, generate_bespoke, validate_bespoke
 from .coanalysis.frontier import FRONTIER_STRATEGIES
-from .coanalysis.results import CoAnalysisError, RunInterrupted
+from .coanalysis.results import (CoAnalysisError, PartialResult,
+                                 RunInterrupted)
+from .resilience.artifacts import atomic_write_text
+from .resilience.governor import RunBudget
 from .csm import Clustered, ExactSet, UberConservative
 from .isa import ASSEMBLERS
 from .netlist import write_verilog
@@ -59,6 +62,14 @@ def _add_pair_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("benchmark", choices=WORKLOAD_ORDER)
 
 
+def _run_budget(args) -> Optional[RunBudget]:
+    budget = RunBudget(deadline_seconds=args.deadline,
+                       max_rss_mb=args.max_rss_mb,
+                       max_frontier=args.max_frontier,
+                       max_segments=args.max_segments)
+    return None if budget.unlimited else budget
+
+
 def cmd_analyze(args) -> int:
     result = run_one(args.design, args.benchmark,
                      strategy=CSM_STRATEGIES[args.csm](),
@@ -66,7 +77,9 @@ def cmd_analyze(args) -> int:
                      checkpoint=args.checkpoint, resume=args.resume,
                      workers=args.workers,
                      frontier=args.strategy, engine=args.engine,
-                     trace=args.trace, progress=args.progress)
+                     trace=args.trace, progress=args.progress,
+                     budget=_run_budget(args),
+                     quarantine=args.quarantine_after)
     summary = result.summary()
     if result.resumed:
         print(f"# resumed from checkpoint {args.checkpoint}",
@@ -75,10 +88,22 @@ def cmd_analyze(args) -> int:
         print(f"# trace written to {args.trace}", file=sys.stderr)
     if args.json:
         summary["metrics"] = result.metrics.summary()
+        if result.quarantine_verdicts:
+            summary["quarantine_verdicts"] = result.quarantine_verdicts
         print(json.dumps(summary, indent=2))
     else:
         for key, value in summary.items():
             print(f"{key:>20}: {value}")
+    if not result.complete:
+        assert isinstance(result, PartialResult)
+        hint = (f"; resume with --checkpoint {args.checkpoint} --resume"
+                if args.checkpoint else
+                "; re-run with --checkpoint to make partial runs resumable")
+        print(f"# partial result ({result.stop_reason}): "
+              f"{result.stop_detail or 'governed stop'} -- "
+              f"{result.pending_paths} paths pending{hint}",
+              file=sys.stderr)
+        return 4
     return 0
 
 
@@ -104,7 +129,7 @@ def cmd_bespoke(args) -> int:
     for mismatch in validation.mismatches:
         print("  !!", mismatch)
     if args.output:
-        Path(args.output).write_text(write_verilog(bespoke_nl))
+        atomic_write_text(args.output, write_verilog(bespoke_nl))
         print(f"bespoke netlist written to {args.output}")
     return 0 if validation.ok else 1
 
@@ -180,7 +205,7 @@ def cmd_verify(args) -> int:
         print(pruned_breakdown(target.netlist, bespoke_nl))
         print(f"verdict: {'PASS' if validation.ok else 'FAIL'}")
     if args.report:
-        Path(args.report).write_text(json.dumps(payload, indent=2))
+        atomic_write_text(args.report, json.dumps(payload, indent=2))
         print(f"equivalence report written to {args.report}",
               file=sys.stderr)
     return 0 if validation.ok else 1
@@ -340,6 +365,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1, metavar="N",
                        help="explore paths with N supervised worker "
                             "processes (default: serial)")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget; a governed run past it "
+                            "checkpoints and exits 4 with a partial "
+                            "result (resume with --resume)")
+        p.add_argument("--max-rss-mb", type=float, default=None,
+                       metavar="MB",
+                       help="memory watchdog: stop gracefully once the "
+                            "process RSS exceeds MB mebibytes")
+        p.add_argument("--max-frontier", type=int, default=None,
+                       metavar="N",
+                       help="stop gracefully once more than N paths are "
+                            "pending (bounds checkpoint size and memory)")
+        p.add_argument("--max-segments", type=int, default=None,
+                       metavar="N",
+                       help="stop gracefully after N explored segments")
+        p.add_argument("--quarantine-after", type=int, default=None,
+                       metavar="K",
+                       help="quarantine a segment whose (pc, state) key "
+                            "kills workers K times instead of degrading "
+                            "the pool (parallel engine)")
         p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bespoke", help="generate + validate a bespoke core")
@@ -422,7 +468,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except RunInterrupted as exc:
-        print(f"interrupted: {exc}", file=sys.stderr)
+        print(f"interrupted ({exc.stop_reason}): {exc}", file=sys.stderr)
         return 3
     except CoAnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -49,7 +49,9 @@ class CoAnalysisEngine:
                  resume: bool = False,
                  frontier=None,
                  tracer=None,
-                 backend: str = "cycle"):
+                 backend: str = "cycle",
+                 budget=None,
+                 quarantine=None):
         self.target = target
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
@@ -81,6 +83,12 @@ class CoAnalysisEngine:
         #: array in result.per_path_exercised (feeds the power-gating
         #: analysis of prior work [6])
         self.record_per_path_activity = record_per_path_activity
+        #: optional :class:`~repro.resilience.governor.RunBudget` (or
+        #: governor) ending the run as a PartialResult when a deadline,
+        #: RSS ceiling, or frontier/segment cap trips
+        self.budget = budget
+        #: optional quarantine threshold / registry for poison segments
+        self.quarantine = quarantine
 
     def run(self) -> CoAnalysisResult:
         executor = SerialExecutor(
@@ -93,5 +101,6 @@ class CoAnalysisEngine:
             max_total_cycles=self.max_total_cycles,
             max_paths=self.max_paths, strict=self.strict,
             application=self.application, checkpoint=self.checkpoint,
-            resume=self.resume, tracer=self.tracer)
+            resume=self.resume, tracer=self.tracer,
+            budget=self.budget, quarantine=self.quarantine)
         return kernel.run()

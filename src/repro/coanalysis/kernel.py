@@ -11,7 +11,15 @@ differs.  :class:`ExplorationKernel` owns everything else:
 * per-path and total cycle budgets;
 * checkpoint/resume through the one versioned payload codec in
   :mod:`repro.resilience.checkpoint`;
-* the structured trace stream (:mod:`repro.coanalysis.trace`).
+* the structured trace stream (:mod:`repro.coanalysis.trace`);
+* the run governor (:mod:`repro.resilience.governor`): wall-clock
+  deadlines, the RSS memory watchdog, frontier/segment caps, and
+  SIGINT/SIGTERM turned into cooperative stops -- all ending the run as
+  a first-class :class:`~repro.coanalysis.results.PartialResult` with a
+  final checkpoint, never a mid-flight exception;
+* poison-segment quarantine (:mod:`repro.resilience.quarantine`):
+  pending paths whose segment key is quarantined are skipped with a
+  recorded verdict instead of being re-dispatched forever.
 
 Backends plug in through :class:`SegmentExecutor`: ``prepare()`` builds
 the reset+symbolic initial state, ``run_batch()`` simulates pending
@@ -29,10 +37,13 @@ from typing import List, Optional
 
 from ..resilience.checkpoint import (as_checkpointer, decode_run_payload,
                                      encode_run_payload)
+from ..resilience.governor import TRACE_KIND_FOR_REASON, as_governor
+from ..resilience.quarantine import as_quarantine, segment_key
 from ..sim.activity import ToggleProfile
 from ..sim.state import SimState
 from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
-                      PathRecord, ResumeMismatch, RunEvent, RunInterrupted)
+                      PartialResult, PathRecord, ResumeMismatch, RunEvent,
+                      RunInterrupted)
 
 
 @dataclass
@@ -133,7 +144,9 @@ class ExplorationKernel:
                  checkpoint=None,
                  resume: bool = False,
                  stop_after_batches: Optional[int] = None,
-                 tracer=None):
+                 tracer=None,
+                 budget=None,
+                 quarantine=None):
         from ..csm.manager import ConservativeStateManager
         from .frontier import make_frontier
         from .trace import Tracer
@@ -149,10 +162,19 @@ class ExplorationKernel:
         self.resume = resume
         self.stop_after_batches = stop_after_batches
         self.tracer = tracer if tracer is not None else Tracer()
+        self.governor = as_governor(budget)
+        self.quarantine = as_quarantine(quarantine)
         self.batches_done = 0
+        self._stop = None               # StopRequest once governed-stopped
 
     # -- the main loop ------------------------------------------------------
     def run(self) -> CoAnalysisResult:
+        if self.governor is not None:
+            with self.governor.governed():
+                return self._run()
+        return self._run()
+
+    def _run(self) -> CoAnalysisResult:
         executor, tracer = self.executor, self.tracer
         result = CoAnalysisResult(
             design=executor.design, application=self.application,
@@ -168,21 +190,25 @@ class ExplorationKernel:
 
         try:
             initial = executor.prepare()
+            # run_start frames the trace even when resuming: emit it
+            # before _apply_checkpoint's "resume" event
+            tracer.emit("run_start", frontier=int(payload is None),
+                        data={"design": result.design,
+                              "application": self.application,
+                              "engine": executor.kind,
+                              "strategy": self.frontier.name,
+                              "resuming": payload is not None})
             if payload is not None:
                 self._apply_checkpoint(payload, result)
             else:
                 self.frontier.push(PendingPath(initial))
                 result.paths_created = 1
-            tracer.emit("run_start", frontier=len(self.frontier),
-                        data={"design": result.design,
-                              "application": self.application,
-                              "engine": executor.kind,
-                              "strategy": self.frontier.name})
 
             self._explore(result)
 
             if self.checkpoint is not None:
-                # final record: resuming a finished run returns immediately
+                # final record: resuming a finished run returns
+                # immediately, a governed-stopped run from where it ended
                 self._write_checkpoint(result)
 
             explore_seconds = time.perf_counter() - t0
@@ -191,11 +217,19 @@ class ExplorationKernel:
             f0 = time.perf_counter()
             executor.finalize(result)
             result.csm_stats = self.csm.stats.snapshot()
+            if self.quarantine is not None:
+                result.quarantine_verdicts = self.quarantine.summary()
             result.wall_seconds = time.perf_counter() - t0
             tracer.emit("phase", data={"phase": "finalize",
                                        "seconds":
                                        time.perf_counter() - f0})
-            tracer.emit("run_end", frontier=0, data=result.summary())
+            if self._stop is not None:
+                result = PartialResult.from_result(
+                    result, stop_reason=self._stop.reason,
+                    stop_detail=self._stop.detail,
+                    pending_paths=len(self.frontier))
+            tracer.emit("run_end", frontier=len(self.frontier),
+                        data=result.summary())
             result.metrics = tracer.metrics
             return result
         finally:
@@ -205,6 +239,13 @@ class ExplorationKernel:
     def _explore(self, result: CoAnalysisResult) -> None:
         executor, tracer = self.executor, self.tracer
         while len(self.frontier):
+            if self.governor is not None:
+                stop = self.governor.check(
+                    frontier=len(self.frontier),
+                    segments=len(result.path_records))
+                if stop is not None:
+                    self._governed_stop(stop, result)
+                    return
             if self.checkpoint is not None and \
                     self.checkpoint.due(self.batches_done):
                 self._write_checkpoint(result)
@@ -217,9 +258,14 @@ class ExplorationKernel:
                 raise RunInterrupted(
                     f"stopped after {self.batches_done} waves with "
                     f"{len(self.frontier)} paths pending; resume from "
-                    f"the checkpoint to continue")
+                    f"the checkpoint to continue",
+                    stop_reason="wave_budget")
 
             batch = self.frontier.pop_batch(executor.batch_limit)
+            if self.quarantine is not None and self.quarantine.active:
+                batch = self._skip_quarantined(batch, result)
+                if not batch:
+                    continue
             ctx = BatchContext(
                 first_path_id=len(result.path_records),
                 max_cycles_per_path=self.max_cycles_per_path,
@@ -258,6 +304,40 @@ class ExplorationKernel:
             tracer.emit("batch", frontier=len(self.frontier),
                         data={"size": len(batch)})
 
+    # -- governed stop / quarantine -----------------------------------------
+    def _governed_stop(self, stop, result: CoAnalysisResult) -> None:
+        """End the run cooperatively: flush a checkpoint, record why."""
+        if self.checkpoint is not None:
+            self._write_checkpoint(result)
+        result.journal.append(RunEvent(
+            "governed_stop", wave=self.batches_done,
+            segment=len(result.path_records),
+            detail=f"{stop.reason}: {stop.detail}"))
+        self.tracer.emit(
+            TRACE_KIND_FOR_REASON.get(stop.reason, "interrupt"),
+            frontier=len(self.frontier), detail=stop.detail,
+            data={"reason": stop.reason})
+        self._stop = stop
+
+    def _skip_quarantined(self, batch: List[PendingPath],
+                          result: CoAnalysisResult) -> List[PendingPath]:
+        """Seal pending paths whose segment key is quarantined with a
+        recorded verdict; return the paths still worth dispatching."""
+        live: List[PendingPath] = []
+        for path in batch:
+            key = segment_key(path.state.to_bytes(), path.forced_decision)
+            if self.quarantine.is_quarantined(key):
+                result.journal.append(RunEvent(
+                    "quarantined", wave=self.batches_done,
+                    segment=len(result.path_records),
+                    detail=f"pending path skipped: key {key} "
+                           f"(pc={path.state.pc})"))
+                self._absorb(path, SegmentResult("quarantined", None, 0),
+                             result)
+            else:
+                live.append(path)
+        return live
+
     # -- segment bookkeeping ------------------------------------------------
     def _absorb(self, path: PendingPath, segment: SegmentResult,
                 result: CoAnalysisResult) -> None:
@@ -277,6 +357,10 @@ class ExplorationKernel:
                     f"cycle budget exhausted on path {path_id} "
                     f"(per-path {self.max_cycles_per_path}); "
                     f"analysis unsound")
+        elif outcome == "quarantined":
+            result.quarantined_paths += 1
+            tracer.emit("quarantined", path_id=path_id,
+                        pc=path.state.pc, frontier=len(self.frontier))
         elif outcome == "halt":
             pc = segment.end_pc
             if pc is None:
@@ -334,10 +418,13 @@ class ExplorationKernel:
                       "splits": result.splits,
                       "simulated_cycles": result.simulated_cycles,
                       "truncated_paths": result.truncated_paths,
+                      "quarantined_paths": result.quarantined_paths,
                       "batches_done": self.batches_done},
             path_records=list(result.path_records),
             per_path_exercised=list(result.per_path_exercised),
-            journal=list(result.journal))
+            journal=list(result.journal),
+            quarantine=(None if self.quarantine is None
+                        else self.quarantine.snapshot_state()))
         self.checkpoint.write(payload, progress=self.batches_done)
         hook = getattr(self.executor, "on_checkpoint", None)
         if hook is not None:
@@ -376,6 +463,8 @@ class ExplorationKernel:
         result.path_records = list(payload["path_records"])
         result.per_path_exercised = list(payload["per_path_exercised"])
         result.journal = list(payload["journal"])
+        if self.quarantine is not None and payload.get("quarantine"):
+            self.quarantine.restore_state(payload["quarantine"])
         result.resumed = True
         for blob, forced, depth, parent, origin_pc in payload["frontier"]:
             self.frontier.push(PendingPath(

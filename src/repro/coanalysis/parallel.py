@@ -42,6 +42,8 @@ from ..csm.manager import ConservativeStateManager
 from ..logic.value import Logic
 from ..resilience.checkpoint import as_checkpointer
 from ..resilience.faults import FaultPlan, execute_fault
+from ..resilience.quarantine import (Quarantined, QuarantineRegistry,
+                                     as_quarantine, segment_key)
 from ..resilience.supervisor import (DegradedToSerialWarning, PoolExhausted,
                                      PoolSupervisor, SupervisionPolicy)
 from ..sim.state import SimState
@@ -148,7 +150,8 @@ class PoolExecutor(SegmentExecutor):
                  max_cycles_per_path: int = 20000,
                  policy: Optional[SupervisionPolicy] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 stats: Optional[ParallelRunStats] = None):
+                 stats: Optional[ParallelRunStats] = None,
+                 quarantine: Optional[QuarantineRegistry] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.target_factory = target_factory
@@ -160,6 +163,7 @@ class PoolExecutor(SegmentExecutor):
         self.policy = policy or SupervisionPolicy()
         self.fault_plan = fault_plan
         self.stats = stats or ParallelRunStats(workers=workers)
+        self.quarantine = quarantine
         self._result: Optional[CoAnalysisResult] = None
         self._supervisor: Optional[PoolSupervisor] = None
         self._serial_sim = None
@@ -181,11 +185,19 @@ class PoolExecutor(SegmentExecutor):
                   ctx: BatchContext) -> List[SegmentResult]:
         if self._degraded:
             return self._run_serial_batch(batch)
-        jobs = [(p.state.to_bytes(), p.forced_decision) for p in batch]
+        blobs = [p.state.to_bytes() for p in batch]
+        jobs = [(blob, p.forced_decision)
+                for blob, p in zip(blobs, batch)]
+        keys = pcs = None
+        if self.quarantine is not None:
+            keys = [segment_key(blob, p.forced_decision)
+                    for blob, p in zip(blobs, batch)]
+            pcs = [p.state.pc for p in batch]
         supervisor = self._ensure_supervisor()
         wave_t0 = time.perf_counter()
         try:
-            outputs = supervisor.run_wave(self.stats.waves, jobs)
+            outputs = supervisor.run_wave(self.stats.waves, jobs,
+                                          keys=keys, pcs=pcs)
         except PoolExhausted as exc:
             # nothing from the failed wave has been absorbed yet:
             # re-run it whole, serially, from the pristine bytes
@@ -239,10 +251,15 @@ class PoolExecutor(SegmentExecutor):
                                  initargs=(self.target_factory,
                                            self.max_cycles_per_path)),
                 _simulate_segment, policy=self.policy, stats=self.stats,
-                journal=self._result.journal, fault_plan=self.fault_plan)
+                journal=self._result.journal, fault_plan=self.fault_plan,
+                quarantine=self.quarantine)
         return self._supervisor
 
     def _to_segment(self, output) -> SegmentResult:
+        if isinstance(output, Quarantined):
+            # sealed by the supervisor: no simulation happened, no
+            # activity to absorb -- the kernel records the verdict
+            return SegmentResult("quarantined", None, 0)
         (outcome, end_pc, cycles, state_bytes, toggled, ever_x, cval,
          cknown) = output
         self._result.profile.absorb(toggled, ever_x, cval, cknown)
@@ -293,6 +310,12 @@ class ParallelCoAnalysis:
         frontier: frontier strategy name/instance (default ``"bfs"``,
             the wave order).
         tracer: optional :class:`~repro.coanalysis.trace.Tracer`.
+        budget: optional :class:`~repro.resilience.governor.RunBudget`
+            (or governor); a tripped limit ends the run as a
+            :class:`~repro.coanalysis.results.PartialResult`.
+        quarantine: optional threshold (int) or
+            :class:`~repro.resilience.quarantine.QuarantineRegistry`
+            quarantining poison segments instead of degrading.
     """
 
     def __init__(self, target_factory: Callable[[], SymbolicTarget],
@@ -306,7 +329,9 @@ class ParallelCoAnalysis:
                  resume: bool = False,
                  stop_after_waves: Optional[int] = None,
                  frontier=None,
-                 tracer=None):
+                 tracer=None,
+                 budget=None,
+                 quarantine=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.target_factory = target_factory
@@ -321,6 +346,10 @@ class ParallelCoAnalysis:
         self.stop_after_waves = stop_after_waves
         self.frontier = frontier
         self.tracer = tracer
+        self.budget = budget
+        #: one registry shared by the supervisor (failure counting) and
+        #: the kernel (pre-dispatch skip + checkpoint round-trip)
+        self.quarantine = as_quarantine(quarantine)
         self.stats = ParallelRunStats(workers=workers)
 
     def run(self) -> CoAnalysisResult:
@@ -329,7 +358,7 @@ class ParallelCoAnalysis:
             self.target_factory, workers=self.workers,
             max_cycles_per_path=self.max_cycles_per_path,
             policy=self.policy, fault_plan=self.fault_plan,
-            stats=self.stats)
+            stats=self.stats, quarantine=self.quarantine)
         kernel = ExplorationKernel(
             executor, csm=self.csm,
             frontier=self.frontier if self.frontier is not None else "bfs",
@@ -337,7 +366,8 @@ class ParallelCoAnalysis:
             max_total_cycles=None,
             application=self.application, checkpoint=self.checkpoint,
             resume=self.resume, stop_after_batches=self.stop_after_waves,
-            tracer=self.tracer)
+            tracer=self.tracer, budget=self.budget,
+            quarantine=self.quarantine)
         try:
             result = kernel.run()
         finally:

@@ -23,6 +23,7 @@ class PathRecord:
     end_pc: Optional[int]
     cycles: int
     outcome: str                 # "split" | "skipped" | "done" | "budget"
+                                 # | "quarantined"
     forced_decision: Optional[int] = None
     #: path_id of the segment whose split spawned this one (None = root)
     parent: Optional[int] = None
@@ -35,7 +36,7 @@ class RunEvent:
     ``kind`` is drawn from a small vocabulary so operators can grep a
     long run's history: ``checkpoint``, ``resume``, ``timeout``,
     ``crash``, ``corrupt``, ``retry``, ``pool_restart``, ``degraded``,
-    ``interrupt``.
+    ``interrupt``, ``quarantined``, ``governed_stop``.
     """
 
     kind: str
@@ -77,6 +78,17 @@ class CoAnalysisResult:
     #: aggregated :class:`~repro.coanalysis.trace.RunMetrics` derived
     #: from the kernel's trace stream (None for hand-built results)
     metrics: Optional[object] = None
+    #: pending paths skipped because their segment key was quarantined
+    quarantined_paths: int = 0
+    #: machine-readable verdicts for every quarantined segment key
+    #: (:meth:`~repro.resilience.quarantine.QuarantineRegistry.summary`)
+    quarantine_verdicts: List[Dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when exploration exhausted the frontier (a
+        :class:`PartialResult` reports False)."""
+        return True
 
     # -- headline metrics ------------------------------------------------------
     @property
@@ -99,7 +111,7 @@ class CoAnalysisResult:
         return 100.0 * self.unexercisable_gate_count / self.total_gates
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out = {
             "design": self.design,
             "application": self.application,
             "total_gates": self.total_gates,
@@ -110,6 +122,58 @@ class CoAnalysisResult:
             "simulated_cycles": self.simulated_cycles,
             "truncated_paths": self.truncated_paths,
         }
+        if self.quarantined_paths:
+            out["quarantined_paths"] = self.quarantined_paths
+        return out
+
+
+#: machine-readable reasons a governed run can stop early (open set)
+STOP_REASONS = ("deadline", "memory", "frontier", "segments",
+                "interrupted", "wave_budget")
+
+
+@dataclass
+class PartialResult(CoAnalysisResult):
+    """A governed run that stopped early, as a first-class outcome.
+
+    Carries everything a :class:`CoAnalysisResult` does -- the activity
+    explored *so far* -- plus a machine-readable ``stop_reason`` (one of
+    :data:`STOP_REASONS`) and the number of paths still pending.  A
+    final checkpoint was flushed before the stop, so re-running with
+    ``resume=True`` continues exactly where this result ends.
+
+    The profile of a partial run is a *subset* of the converged answer:
+    gates it marks exercisable are, gates it has not reached yet may
+    still be.  Treat the dichotomy as sound only once a resumed run
+    returns a complete :class:`CoAnalysisResult`.
+    """
+
+    stop_reason: str = "unknown"
+    stop_detail: str = ""
+    #: paths still pending on the frontier at the stop
+    pending_paths: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return False
+
+    @classmethod
+    def from_result(cls, result: CoAnalysisResult, stop_reason: str,
+                    stop_detail: str = "",
+                    pending_paths: int = 0) -> "PartialResult":
+        import dataclasses
+        data = {f.name: getattr(result, f.name)
+                for f in dataclasses.fields(CoAnalysisResult)}
+        return cls(stop_reason=stop_reason, stop_detail=stop_detail,
+                   pending_paths=pending_paths, **data)
+
+    def summary(self) -> Dict[str, object]:
+        out = super().summary()
+        out["partial"] = True
+        out["stop_reason"] = self.stop_reason
+        out["stop_detail"] = self.stop_detail
+        out["pending_paths"] = self.pending_paths
+        return out
 
 
 class CoAnalysisError(Exception):
@@ -150,4 +214,12 @@ class ResumeMismatch(CheckpointError):
 
 class RunInterrupted(CoAnalysisError):
     """The run stopped early on purpose (wave budget / interrupt) after
-    writing a checkpoint; resume with ``resume=True`` to continue."""
+    writing a checkpoint; resume with ``resume=True`` to continue.
+
+    Carries a machine-readable ``stop_reason`` mirroring
+    :class:`PartialResult` so callers (the CLI exit message, schedulers)
+    need not parse the human-readable text."""
+
+    def __init__(self, message: str, stop_reason: str = "wave_budget"):
+        super().__init__(message)
+        self.stop_reason = stop_reason

@@ -39,6 +39,10 @@ EVENT_KINDS = (
     "retry",          # a worker failure was absorbed by re-dispatch
     "degraded",       # the pool was exhausted; run fell back to serial
     "interrupt",      # the run was interrupted (checkpoint written)
+    "deadline",       # governor: wall-clock/segment budget spent
+    "mem_pressure",   # governor: RSS ceiling or frontier cap reached
+    "interrupted",    # governor: SIGINT/SIGTERM turned into a stop
+    "quarantined",    # a poison segment was quarantined and skipped
     "batch",          # one frontier batch (wave) completed
     "phase",          # wall-time accounting for one run phase
     "run_end",        # exploration finished (summary counters)
@@ -151,6 +155,9 @@ class RunMetrics:
     checkpoints: int = 0
     resumes: int = 0
     retries: int = 0
+    quarantined: int = 0                # quarantined events
+    #: why a governed run stopped early (None = ran to completion)
+    stop_reason: Optional[str] = None
     outcomes: Dict[str, int] = field(default_factory=dict)
     equiv_checks: int = 0               # equiv_outcome events
     equiv_outcomes: Dict[str, int] = field(default_factory=dict)
@@ -169,6 +176,8 @@ class RunMetrics:
             "checkpoints": self.checkpoints,
             "resumes": self.resumes,
             "retries": self.retries,
+            "quarantined": self.quarantined,
+            "stop_reason": self.stop_reason,
             "outcomes": dict(self.outcomes),
             "equiv_checks": self.equiv_checks,
             "equiv_outcomes": dict(self.equiv_outcomes),
@@ -217,6 +226,10 @@ class MetricsAggregator(TraceSink):
                     setattr(m, key, event.data[key])
         elif event.kind == "retry":
             m.retries += 1
+        elif event.kind == "quarantined":
+            m.quarantined += 1
+        elif event.kind in ("deadline", "mem_pressure", "interrupted"):
+            m.stop_reason = str(event.data.get("reason", event.kind))
         elif event.kind == "equiv_outcome":
             m.equiv_checks += 1
             if event.outcome:

@@ -49,7 +49,9 @@ def run_one(design: str, benchmark: str,
             frontier: str = "dfs",
             engine: Optional[str] = None,
             trace=None,
-            progress: bool = False) -> CoAnalysisResult:
+            progress: bool = False,
+            budget=None,
+            quarantine=None) -> CoAnalysisResult:
     """One symbolic co-analysis run (no caching).
 
     ``strategy`` is the CSM merge strategy; ``frontier`` schedules the
@@ -60,7 +62,12 @@ def run_one(design: str, benchmark: str,
     ``checkpoint``/``resume`` journal the run to disk and continue an
     interrupted one (see :mod:`repro.resilience`); ``trace`` writes the
     structured event stream as JSONL and ``progress`` keeps a live
-    status line.
+    status line.  ``budget`` is an optional
+    :class:`~repro.resilience.governor.RunBudget` governing the run
+    (deadline / RSS ceiling / frontier and segment caps -- a tripped
+    limit returns a :class:`~repro.coanalysis.results.PartialResult`);
+    ``quarantine`` is a poison-segment threshold (int) or
+    :class:`~repro.resilience.quarantine.QuarantineRegistry`.
     """
     if engine is None:
         engine = "parallel" if workers > 1 else "serial"
@@ -85,7 +92,8 @@ def run_one(design: str, benchmark: str,
                                     max_cycles_per_path=max_cycles_per_path,
                                     application=benchmark,
                                     checkpoint=checkpoint, resume=resume,
-                                    frontier=frontier, tracer=tracer)
+                                    frontier=frontier, tracer=tracer,
+                                    budget=budget, quarantine=quarantine)
         return runner.run()
     runner = CoAnalysisEngine(target, csm=csm,
                               max_cycles_per_path=max_cycles_per_path,
@@ -94,7 +102,8 @@ def run_one(design: str, benchmark: str,
                               checkpoint=checkpoint, resume=resume,
                               frontier=frontier, tracer=tracer,
                               backend="cycle" if engine == "serial"
-                              else "event")
+                              else "event",
+                              budget=budget, quarantine=quarantine)
     return runner.run()
 
 
@@ -146,9 +155,12 @@ def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
                       f" ({time.perf_counter() - t0:.1f}s)")
             results[design][benchmark] = result
             if path is not None:
-                with path.open("wb") as fh:
-                    pickle.dump(result, fh,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                # atomic: a run killed mid-dump must not leave a torn
+                # pickle that poisons every later grid invocation
+                from ..resilience.artifacts import atomic_write_bytes
+                atomic_write_bytes(
+                    path, pickle.dumps(result,
+                                       protocol=pickle.HIGHEST_PROTOCOL))
     return results
 
 

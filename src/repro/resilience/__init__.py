@@ -14,19 +14,41 @@ exploration layer survive the failures that long runs actually hit:
   backoff, re-dispatch of segments lost to dead or hung workers, and
   graceful degradation to serial execution;
 * :mod:`~repro.resilience.faults` -- a deterministic, seedable
-  fault-injection harness (worker crashes, hangs, corrupted state
-  bytes) so the supervision logic is testable in CI.
+  fault-injection harness (worker crashes, hangs, memory spikes,
+  corrupted state bytes, mid-wave SIGTERM) so the supervision logic is
+  testable in CI;
+* :mod:`~repro.resilience.governor` -- the run governor: wall-clock
+  deadlines, the RSS memory watchdog, frontier/segment caps, and
+  SIGINT/SIGTERM turned into cooperative checkpoint-and-stop;
+* :mod:`~repro.resilience.quarantine` -- poison-segment quarantine:
+  a (pc, state) segment that keeps killing workers is skipped with a
+  recorded verdict instead of burning the failure budget;
+* :mod:`~repro.resilience.artifacts` -- crash-consistent artifact
+  writes (temp file + fsync + ``os.replace``) for reports, benches,
+  traces, and waveforms.
 """
 
+from .artifacts import (atomic_open, atomic_write_bytes, atomic_write_json,
+                        atomic_write_text, fsync_dir)
 from .checkpoint import (CHECKPOINT_FORMAT_VERSION, Checkpointer,
                          load_checkpoint)
-from .faults import FaultPlan, FaultSpec, InjectedFault
+from .faults import FaultPlan, FaultSpec, InjectedFault, torn_write
+from .governor import (RunBudget, RunGovernor, StopRequest, as_governor,
+                       current_rss_mb)
+from .quarantine import (Quarantined, QuarantineRecord, QuarantineRegistry,
+                         as_quarantine, segment_key)
 from .supervisor import (DegradedToSerialWarning, PoolExhausted,
                          PoolSupervisor, SupervisionPolicy)
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION", "Checkpointer", "load_checkpoint",
-    "FaultPlan", "FaultSpec", "InjectedFault",
+    "FaultPlan", "FaultSpec", "InjectedFault", "torn_write",
     "DegradedToSerialWarning", "PoolExhausted", "PoolSupervisor",
     "SupervisionPolicy",
+    "RunBudget", "RunGovernor", "StopRequest", "as_governor",
+    "current_rss_mb",
+    "Quarantined", "QuarantineRecord", "QuarantineRegistry",
+    "as_quarantine", "segment_key",
+    "atomic_open", "atomic_write_bytes", "atomic_write_json",
+    "atomic_write_text", "fsync_dir",
 ]

@@ -1,0 +1,104 @@
+"""Crash-consistent artifact writing (tempfile + fsync + rename).
+
+Checkpoint journals are append-safe by construction, but every *other*
+output a run leaves behind -- equivalence reports, benchmark JSON,
+trace-derived metrics, rendered tables, VCD waveforms, grid caches --
+used to be written in place: a kill mid-write left a torn file that
+looks present but does not parse.  This module gives every non-journal
+artifact the standard crash-consistency recipe:
+
+1. write the full content to a temporary file *in the destination
+   directory* (same filesystem, so the final rename is atomic);
+2. flush and ``fsync`` the temporary file so the bytes are durable;
+3. ``os.replace`` it over the destination (atomic on POSIX and
+   Windows);
+4. ``fsync`` the containing directory so the rename itself survives a
+   power cut.
+
+A crash at any instant therefore leaves either the complete old file or
+the complete new file -- never a prefix.  The obvious costs (one extra
+fsync pair per artifact) are irrelevant at artifact frequency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    Needed after creating, renaming, or deleting a file: the file's own
+    fsync makes its *contents* durable, but the name-to-inode mapping
+    lives in the directory.  Platforms that cannot open directories
+    (Windows) are silently skipped -- the rename there is already as
+    durable as the platform offers.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_open(path: PathLike, mode: str = "w") -> Iterator:
+    """Open a temporary file that atomically becomes ``path`` on exit.
+
+    The handle behaves like a normal file object opened with ``mode``
+    (``"w"`` or ``"wb"``).  On clean exit the content is fsynced and
+    renamed over ``path``; on an exception the temporary file is
+    removed and the destination is left untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_open supports 'w' and 'wb', not {mode!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
+    fh = os.fdopen(fd, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        if not fh.closed:
+            fh.close()
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: PathLike, blob: bytes) -> None:
+    """Atomically replace ``path`` with ``blob``."""
+    with atomic_open(path, "wb") as fh:
+        fh.write(blob)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, obj, indent: int = 2) -> None:
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    atomic_write_text(path, json.dumps(obj, indent=indent, default=str)
+                      + "\n")

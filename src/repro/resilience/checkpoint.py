@@ -76,18 +76,28 @@ class Checkpointer:
 
     # -- writing -----------------------------------------------------------
     def write(self, payload: dict, progress: int = 0) -> None:
-        """Append one snapshot record and fsync it to disk."""
+        """Append one snapshot record and fsync it to disk.
+
+        The first write of a journal also fsyncs the containing
+        directory: fsyncing the file alone makes its *content* durable,
+        but a freshly created *name* lives in the directory, and a crash
+        in that window can leave a fully-synced file that simply is not
+        there after reboot."""
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         record = (_MAGIC
                   + _HEADER.pack(CHECKPOINT_FORMAT_VERSION, len(blob),
                                  zlib.crc32(blob))
                   + blob)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
         try:
             with open(self.path, "ab") as fh:
                 fh.write(record)
                 fh.flush()
                 os.fsync(fh.fileno())
+            if not existed:
+                from .artifacts import fsync_dir
+                fsync_dir(self.path.parent)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot write checkpoint {self.path}: {exc}") from exc
@@ -150,13 +160,18 @@ def encode_run_payload(engine: str, design: str, application: str,
                        frontier: list, strategy: str, strategy_meta: dict,
                        csm: dict, activity: dict, counters: dict,
                        path_records: list, per_path_exercised: list,
-                       journal: list) -> dict:
+                       journal: list, quarantine: Optional[dict] = None
+                       ) -> dict:
     """Build the one v2 run payload every backend checkpoints through.
 
     ``frontier`` is a list of ``(state_bytes, forced_decision, depth,
     parent, origin_pc)`` tuples in re-push order; ``activity`` carries a
     ``"repr"`` key (``"sim"`` for live simulator planes, ``"profile"``
     for an accumulated toggle profile) beside the four boolean planes.
+    ``quarantine`` is an optional
+    :meth:`~repro.resilience.quarantine.QuarantineRegistry.snapshot_state`
+    dict so poison-segment verdicts survive a resume; payloads written
+    before the key existed decode with it absent (still codec v2).
     """
     return {
         "codec": RUN_PAYLOAD_CODEC,
@@ -172,6 +187,7 @@ def encode_run_payload(engine: str, design: str, application: str,
         "path_records": list(path_records),
         "per_path_exercised": list(per_path_exercised),
         "journal": list(journal),
+        "quarantine": quarantine,
     }
 
 
@@ -188,6 +204,7 @@ def decode_run_payload(payload: dict) -> dict:
         out = dict(payload)
         out.setdefault("per_path_exercised", [])
         out.setdefault("strategy_meta", {})
+        out.setdefault("quarantine", None)
         return out
     if codec is not None:
         raise CheckpointError(

@@ -1,0 +1,151 @@
+"""Poison-segment quarantine.
+
+Path explosion makes resource exhaustion the *expected* failure mode of
+long symbolic runs, and some of it is input-shaped: one specific
+(pc, state) segment can deterministically crash a worker, hang it, or
+blow its memory -- every time, on every retry.  Without quarantine such
+a segment burns the supervisor's whole failure budget and drags the
+pool into serial degradation (or the run into abort), punishing the
+99.9% of healthy segments for one poison input.
+
+The :class:`QuarantineRegistry` keys every dispatched segment by its
+``(pc, state-hash, forced-decision)`` fingerprint and counts failures
+per key across retries, waves, *and resumes* (the registry rides in the
+checkpoint payload).  Once a key fails ``threshold`` times it is
+quarantined: the supervisor stops re-dispatching it, the kernel skips
+any pending path carrying the key, and the run records a
+machine-readable verdict (``quarantined`` path record + trace event)
+instead of degrading.  A quarantined segment's activity is *not*
+explored, so the result's exercisable set is a subset of the fault-free
+answer -- the verdict is what tells an operator the answer is partial
+and exactly which state to reproduce under a debugger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def segment_key(state_bytes: bytes, forced: Optional[int],
+                pc: Optional[int] = None) -> str:
+    """Stable fingerprint of one dispatchable segment.
+
+    Hashes the serialized state (which embeds the PC) plus the forced
+    branch decision, so the two forks of one halt state get distinct
+    keys.  ``pc`` is accepted for readability of the verdict record but
+    does not change the digest (it is already inside ``state_bytes``).
+    """
+    h = hashlib.sha1()
+    h.update(state_bytes)
+    h.update(b"\x00" if forced is None else bytes([1, forced & 0xFF]))
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class QuarantineRecord:
+    """The verdict for one poison segment."""
+
+    key: str
+    pc: Optional[int] = None
+    failures: int = 0
+    kinds: List[str] = field(default_factory=list)   # failure kinds seen
+    detail: str = ""                                 # last failure message
+    quarantined: bool = False
+
+    def summary(self) -> Dict[str, object]:
+        return {"key": self.key, "pc": self.pc,
+                "failures": self.failures, "kinds": list(self.kinds),
+                "detail": self.detail, "quarantined": self.quarantined}
+
+
+class QuarantineRegistry:
+    """Counts per-segment failures and quarantines repeat offenders.
+
+    Args:
+        threshold: failures of one segment key before it is quarantined
+            (the CLI's ``--quarantine-after``).  Must be >= 1.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1")
+        self.threshold = threshold
+        self._records: Dict[str, QuarantineRecord] = {}
+
+    def __len__(self) -> int:
+        return sum(1 for r in self._records.values() if r.quarantined)
+
+    @property
+    def active(self) -> bool:
+        """Any quarantined keys to filter against?"""
+        return any(r.quarantined for r in self._records.values())
+
+    # -- failure accounting -------------------------------------------------
+    def record_failure(self, key: str, kind: str, detail: str = "",
+                       pc: Optional[int] = None) -> bool:
+        """Count one failure of ``key``; returns True when this failure
+        crossed the threshold (the segment is *now* quarantined)."""
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = QuarantineRecord(key, pc=pc)
+        record.failures += 1
+        record.kinds.append(kind)
+        record.detail = detail
+        if pc is not None:
+            record.pc = pc
+        if not record.quarantined and record.failures >= self.threshold:
+            record.quarantined = True
+            return True
+        return False
+
+    def is_quarantined(self, key: str) -> bool:
+        record = self._records.get(key)
+        return record is not None and record.quarantined
+
+    def record(self, key: str) -> Optional[QuarantineRecord]:
+        return self._records.get(key)
+
+    def quarantined_records(self) -> List[QuarantineRecord]:
+        return [r for r in self._records.values() if r.quarantined]
+
+    def summary(self) -> List[Dict[str, object]]:
+        """Machine-readable verdicts for every quarantined segment."""
+        return [r.summary() for r in self.quarantined_records()]
+
+    # -- checkpoint round-trip ----------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"threshold": self.threshold,
+                "records": [{**r.summary()} for r in
+                            self._records.values()]}
+
+    def restore_state(self, state: dict) -> None:
+        self._records.clear()
+        for raw in state.get("records", []):
+            record = QuarantineRecord(
+                raw["key"], pc=raw.get("pc"),
+                failures=raw.get("failures", 0),
+                kinds=list(raw.get("kinds", [])),
+                detail=raw.get("detail", ""),
+                quarantined=raw.get("quarantined", False))
+            self._records[record.key] = record
+
+
+class Quarantined:
+    """Wave-output sentinel: this slot was quarantined, not simulated."""
+
+    def __init__(self, record: QuarantineRecord):
+        self.record = record
+
+    def __repr__(self) -> str:
+        return f"Quarantined({self.record.key}, pc={self.record.pc})"
+
+
+def as_quarantine(value) -> Optional[QuarantineRegistry]:
+    """Coerce an engine's ``quarantine=`` argument: an int becomes a
+    registry with that threshold, an instance passes through, ``None``
+    stays ``None``."""
+    if value is None or isinstance(value, QuarantineRegistry):
+        return value
+    return QuarantineRegistry(threshold=int(value))

@@ -10,21 +10,30 @@ and -- once the configured failure budget is spent -- signals the caller
 to degrade to serial execution rather than return a partial (unsound)
 answer.
 
-A wave either completes with every segment's output present, or raises:
-:class:`PoolExhausted` (degrade to serial) is the only non-exceptional
-failure exit, so callers can never silently drop a segment.
+A wave either completes with every segment's output present (a slot may
+hold a :class:`~repro.resilience.quarantine.Quarantined` verdict instead
+of a result), or raises: :class:`PoolExhausted` (degrade to serial) is
+the only non-exceptional failure exit, so callers can never silently
+drop a segment.
+
+With a :class:`~repro.resilience.quarantine.QuarantineRegistry`
+attached, a segment key that keeps failing is quarantined once it
+crosses the registry's threshold -- its slot is sealed with a recorded
+verdict and the wave proceeds, instead of one poison input burning the
+retry budget and dragging the whole pool into serial degradation.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..coanalysis.results import (RunEvent, SegmentTimeout, StateCorruption,
                                   WorkerCrashed, WorkerFailure)
 from ..sim.state import StateDecodeError
 from .faults import FaultPlan
+from .quarantine import Quarantined, QuarantineRegistry
 
 
 class DegradedToSerialWarning(RuntimeWarning):
@@ -73,18 +82,24 @@ class PoolSupervisor:
             counters to increment (the engine's run stats).
         journal: list collecting :class:`RunEvent` entries.
         fault_plan: optional :class:`FaultPlan` decorating dispatches.
+        quarantine: optional registry counting per-key failures; a key
+            over the threshold seals its slot with a
+            :class:`~repro.resilience.quarantine.Quarantined` verdict
+            instead of raising :class:`PoolExhausted`.
     """
 
     def __init__(self, pool_factory: Callable, task: Callable,
                  policy: Optional[SupervisionPolicy] = None,
                  stats=None, journal: Optional[List[RunEvent]] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 quarantine: Optional[QuarantineRegistry] = None):
         self.pool_factory = pool_factory
         self.task = task
         self.policy = policy or SupervisionPolicy()
         self.stats = stats
         self.journal = journal if journal is not None else []
         self.fault_plan = fault_plan
+        self.quarantine = quarantine
         self._pool = None
 
     # -- pool lifecycle ----------------------------------------------------
@@ -118,9 +133,13 @@ class PoolSupervisor:
                 wave=wave)
 
     # -- wave execution ----------------------------------------------------
-    def run_wave(self, wave: int, jobs: List) -> List:
+    def run_wave(self, wave: int, jobs: List,
+                 keys: Optional[Sequence[str]] = None,
+                 pcs: Optional[Sequence[Optional[int]]] = None) -> List:
         """Run one wave of ``(state_bytes, forced)`` jobs; outputs are
-        returned aligned with ``jobs``, every slot filled."""
+        returned aligned with ``jobs``, every slot filled -- with the
+        segment's result, or a :class:`Quarantined` verdict when its
+        ``keys[idx]`` crossed the quarantine threshold."""
         outputs: List = [None] * len(jobs)
         attempts = [0] * len(jobs)
         todo = list(range(len(jobs)))
@@ -168,19 +187,33 @@ class PoolSupervisor:
             todo = []
             for idx, failure in failures:
                 attempts[idx] += 1
-                if self.stats is not None:
-                    self.stats.segment_retries += 1
                 kind = {"SegmentTimeout": "timeout",
                         "StateCorruption": "corrupt"}.get(
                             type(failure).__name__, "crash")
                 self.journal.append(RunEvent(
                     kind, wave=wave, segment=idx, attempt=attempts[idx],
                     detail=str(failure)))
+                if self.quarantine is not None and keys is not None:
+                    self.quarantine.record_failure(
+                        keys[idx], kind, detail=str(failure),
+                        pc=pcs[idx] if pcs is not None else None)
+                    if self.quarantine.is_quarantined(keys[idx]):
+                        record = self.quarantine.record(keys[idx])
+                        outputs[idx] = Quarantined(record)
+                        self.journal.append(RunEvent(
+                            "quarantined", wave=wave, segment=idx,
+                            attempt=attempts[idx],
+                            detail=f"key {record.key} (pc={record.pc}) "
+                                   f"failed {record.failures}x: "
+                                   f"{record.detail}"))
+                        continue
                 if attempts[idx] > self.policy.max_retries:
                     raise PoolExhausted(
                         f"segment {idx} of wave {wave} failed "
                         f"{attempts[idx]} times ({failure}); degrading",
                         wave=wave, segment=idx, attempts=attempts[idx])
+                if self.stats is not None:
+                    self.stats.segment_retries += 1
                 self.journal.append(RunEvent(
                     "retry", wave=wave, segment=idx, attempt=attempts[idx]))
                 todo.append(idx)

@@ -144,7 +144,15 @@ class SimState:
                     "state checksum mismatch (corrupted bytes)")
             state = pickle.loads(payload)
         else:
-            # pre-versioned blobs were a bare pickle of the dataclass
+            # pre-versioned blobs were a bare pickle of the dataclass,
+            # which always starts with the PROTO opcode (0x80); anything
+            # else is a framed blob whose magic was corrupted -- the
+            # pickle VM could otherwise skip the flipped header bytes as
+            # a data opcode and return the payload *without* its CRC
+            # ever being checked
+            if blob[:1] != b"\x80":
+                raise StateDecodeError(
+                    "state magic mismatch (corrupted bytes)")
             try:
                 state = pickle.loads(blob)
             except Exception as exc:

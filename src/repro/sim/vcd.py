@@ -16,6 +16,8 @@ Usage::
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import IO, Dict, List, Optional, Sequence, Union
 
@@ -49,6 +51,7 @@ class VcdWriter:
             raise ValueError("no nets selected for dumping")
         self._path = Path(path)
         self._fh: Optional[IO[str]] = None
+        self._tmp: Optional[Path] = None
         self._ids: Dict[int, str] = {
             net: _identifier(i) for i, net in enumerate(self.nets)}
         self._last: Dict[int, str] = {}
@@ -66,13 +69,26 @@ class VcdWriter:
         self.close()
 
     def open(self) -> None:
-        self._fh = self._path.open("w")
+        # stream into a same-directory temp file and publish with an
+        # atomic rename on close: a run killed mid-dump leaves either
+        # the previous complete waveform or none, never a torn one
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self._path.parent),
+                                        prefix=self._path.name + ".",
+                                        suffix=".tmp")
+        self._tmp = Path(tmp_name)
+        self._fh = os.fdopen(fd, "w")
         self._write_header()
 
     def close(self) -> None:
         if self._fh is not None:
+            from ..resilience.artifacts import fsync_dir
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
+            os.replace(self._tmp, self._path)
+            fsync_dir(self._path.parent)
 
     # -- emission ------------------------------------------------------------
     def _write_header(self) -> None:

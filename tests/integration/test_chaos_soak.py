@@ -1,0 +1,112 @@
+"""Chaos soak: a governed bm32 co-analysis under randomized fault
+injection either completes or leaves a resumable checkpoint (ISSUE 6).
+
+This is the CI chaos job's payload.  A seeded :meth:`FaultPlan.random`
+schedule mixes worker crashes, hard deaths, hangs, memory spikes and a
+parent-side SIGTERM into a checkpointed, traced, quarantine-enabled
+parallel run.  The invariant under test is *operational*, not
+numerical: every launch must end either complete or as a
+:class:`PartialResult` whose checkpoint a relaunch can resume, every
+trace file must parse, and the final converged answer must equal the
+fault-free baseline.
+
+Set ``REPRO_CHAOS_ARTIFACTS`` to a directory to keep the trace JSONL
+and checkpoint for upload (CI does); otherwise they live in pytest's
+tmp_path and vanish with it.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.coanalysis.parallel import (ParallelCoAnalysis,
+                                       WorkloadTargetFactory)
+from repro.coanalysis.results import PartialResult
+from repro.coanalysis.trace import JsonlTraceSink, Tracer, read_trace
+from repro.reporting.runner import run_one
+from repro.resilience import (FaultPlan, RunBudget, SupervisionPolicy,
+                              load_checkpoint)
+
+DESIGN, BENCH = "bm32", "Div"
+
+pytestmark = pytest.mark.timeout(600)
+
+#: relaunches allowed before the soak is declared stuck
+MAX_LAUNCHES = 6
+
+CHAOS_KINDS = ("crash", "die", "hang", "memspike", "sigterm")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_one(DESIGN, BENCH, use_constraints=False)
+
+
+def artifact_dir(tmp_path: Path) -> Path:
+    override = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path
+
+
+@pytest.mark.parametrize("seed", [7, 2022])
+def test_chaos_soak_completes_or_resumes(seed, tmp_path, baseline):
+    outdir = artifact_dir(tmp_path)
+    plan = FaultPlan.random(seed=seed, n_faults=4, max_wave=6,
+                            max_segment=3, kinds=CHAOS_KINDS)
+    ckpt = outdir / f"chaos_{seed}.ckpt"
+
+    result = None
+    traces = []
+    for launch in range(MAX_LAUNCHES):
+        trace_path = outdir / f"chaos_{seed}_launch{launch}.jsonl"
+        traces.append(trace_path)
+        engine = ParallelCoAnalysis(
+            WorkloadTargetFactory(DESIGN, BENCH), workers=2,
+            application=BENCH,
+            # a fresh plan each launch: same schedule, reset bookkeeping
+            fault_plan=FaultPlan(plan.specs),
+            policy=SupervisionPolicy(segment_timeout=3.0,
+                                     backoff_base=0.01,
+                                     max_pool_restarts=5),
+            budget=RunBudget(deadline_seconds=300.0),
+            quarantine=3,
+            checkpoint=str(ckpt),
+            resume=launch > 0,
+            tracer=Tracer(sinks=[JsonlTraceSink(trace_path)]))
+        result = engine.run()
+        # the operational invariant: complete, or resumable partial
+        if result.complete:
+            break
+        assert isinstance(result, PartialResult)
+        assert result.stop_reason
+        assert load_checkpoint(ckpt) is not None, \
+            "partial run left no resumable checkpoint"
+    assert result is not None and result.complete, \
+        f"soak did not converge within {MAX_LAUNCHES} launches"
+
+    # the converged answer equals the fault-free baseline -- unless a
+    # segment was quarantined, in which case its (unexplored) activity
+    # soundly under-approximates it
+    final = result.profile.exercisable_gates()
+    if result.quarantined_paths:
+        assert final <= baseline.profile.exercisable_gates()
+    else:
+        assert final == baseline.profile.exercisable_gates()
+
+    # every launch left a well-formed trace: parseable JSONL framed by
+    # run_start/run_end
+    for trace_path in traces:
+        events = read_trace(trace_path)
+        assert events, f"empty trace {trace_path.name}"
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+
+    # the journal narrates whatever chaos actually fired
+    kinds = {e.kind for e in result.journal}
+    assert kinds & {"crash", "timeout", "corrupt", "quarantined",
+                    "governed_stop", "resume", "pool_restart"}, \
+        f"no fault/recovery evidence in journal: {sorted(kinds)}"

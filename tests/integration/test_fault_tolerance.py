@@ -92,6 +92,53 @@ class TestFaultInjection:
         assert engine.stats.segment_retries == 1
         assert any(e.kind == "crash" for e in result.journal)
 
+    def test_mixed_fault_kinds_on_one_segment(self, fault_free):
+        """One segment failing *differently* on consecutive attempts --
+        hard death, then crash, then corrupted hand-off -- exhausts the
+        retry budget across heterogeneous kinds; the run degrades with
+        every kind journaled and still converges to the fault-free
+        answer."""
+        plan = FaultPlan([FaultSpec(1, 0, "die", attempt=0),
+                          FaultSpec(1, 0, "crash", attempt=1),
+                          FaultSpec(1, 0, "corrupt", attempt=2)])
+        engine = make_parallel(
+            fault_plan=plan,
+            policy=SupervisionPolicy(max_retries=2, segment_timeout=6.0,
+                                     backoff_base=0.01,
+                                     max_pool_restarts=3))
+        with pytest.warns(DegradedToSerialWarning):
+            result = engine.run()
+        fired_kinds = [kind for (_, _, _, kind) in plan.fired]
+        assert fired_kinds == ["die", "crash", "corrupt"]
+        kinds = [e.kind for e in result.journal]
+        assert "timeout" in kinds      # the die, seen as a lost segment
+        assert "crash" in kinds
+        assert "corrupt" in kinds
+        assert "degraded" in kinds
+        assert result.degraded_to_serial
+        assert result.profile.exercisable_gates() == \
+            fault_free.profile.exercisable_gates()
+
+    def test_mixed_faults_with_quarantine_keep_the_pool(self, fault_free):
+        """The same heterogeneous poison segment under a quarantine
+        registry: the failures count against one (pc, state) key, the
+        segment is quarantined before the retry budget dies, and the
+        pool never degrades."""
+        plan = FaultPlan([FaultSpec(1, 0, "die", attempt=0),
+                          FaultSpec(1, 0, "crash", attempt=1)])
+        engine = make_parallel(
+            fault_plan=plan, quarantine=2,
+            policy=SupervisionPolicy(max_retries=5, segment_timeout=6.0,
+                                     backoff_base=0.01,
+                                     max_pool_restarts=3))
+        result = engine.run()
+        assert not result.degraded_to_serial
+        assert result.quarantined_paths == 1
+        (verdict,) = result.quarantine_verdicts
+        assert verdict["kinds"] == ["timeout", "crash"]
+        assert result.profile.exercisable_gates() <= \
+            fault_free.profile.exercisable_gates()
+
     def test_repeated_failures_degrade_to_serial(self, fault_free):
         """A segment that fails on every attempt exhausts the retry
         budget; the run degrades to serial with a structured warning and

@@ -51,14 +51,15 @@ class TinyTargetFactory:
         return tiny_target()
 
 
-def run_engine(engine_name: str, frontier: str):
+def run_engine(engine_name: str, frontier: str, **kw):
     if engine_name == "parallel":
         return ParallelCoAnalysis(TinyTargetFactory(), workers=2,
                                   application="tiny",
-                                  frontier=frontier).run()
+                                  frontier=frontier, **kw).run()
     backend = "cycle" if engine_name == "serial" else "event"
     return CoAnalysisEngine(tiny_target(), application="tiny",
-                            frontier=frontier, backend=backend).run()
+                            frontier=frontier, backend=backend,
+                            **kw).run()
 
 
 @pytest.fixture(scope="module")
@@ -85,6 +86,35 @@ def test_dichotomy_engine_and_order_invariant(engine_name, frontier,
     # structural bookkeeping holds regardless of backend/order
     assert result.paths_created == 1 + 2 * result.splits
     assert result.paths_skipped <= result.paths_created
+
+
+@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel"])
+@pytest.mark.parametrize("frontier", sorted(FRONTIER_STRATEGIES))
+def test_governed_stop_then_resume_is_equivalent(engine_name, frontier,
+                                                 serial_dfs, tmp_path):
+    """A governed run stopped mid-exploration (PartialResult) and then
+    resumed converges to the same dichotomy as an unbounded run, on
+    every backend and frontier order."""
+    from repro.coanalysis.results import PartialResult
+    from repro.resilience.governor import RunBudget
+
+    ckpt = tmp_path / f"{engine_name}_{frontier}.ckpt"
+    partial = run_engine(engine_name, frontier, checkpoint=str(ckpt),
+                         budget=RunBudget(max_segments=1))
+    assert isinstance(partial, PartialResult)
+    assert not partial.complete
+    assert partial.stop_reason == "segments"
+    assert partial.pending_paths >= 1
+    assert any(e.kind == "governed_stop" for e in partial.journal)
+    assert partial.metrics.stop_reason == "segments"
+    assert "stop_reason" in partial.summary()
+
+    resumed = run_engine(engine_name, frontier, checkpoint=str(ckpt),
+                         resume=True)
+    assert resumed.complete and resumed.resumed
+    assert resumed.profile.exercisable_gates() == \
+        serial_dfs.profile.exercisable_gates()
+    assert resumed.paths_created == 1 + 2 * resumed.splits
 
 
 def test_metrics_cross_check(serial_dfs):

@@ -1,0 +1,99 @@
+"""Unit tests for crash-consistent artifact writing."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.artifacts import (atomic_open, atomic_write_bytes,
+                                        atomic_write_json,
+                                        atomic_write_text, fsync_dir)
+from repro.resilience.faults import torn_write
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "out.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_json_helper_roundtrips(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": [1, 2], "b": "x"})
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": "x"}
+
+
+class TestErrorPath:
+    def test_error_keeps_old_file_and_removes_temp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_open(path) as fh:
+                fh.write("half of the new conte")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_error_with_no_previous_file_leaves_nothing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path, "wb") as fh:
+                fh.write(b"partial")
+                raise RuntimeError("crash")
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_open(tmp_path / "x", "r"):
+                pass
+
+
+class TestTornWriteSimulation:
+    """torn_write models the in-place failure the atomic writer closes."""
+
+    def test_torn_write_leaves_a_prefix(self, tmp_path):
+        path = tmp_path / "victim.json"
+        blob = json.dumps({"k": list(range(100))}).encode()
+        torn_write(path, blob, keep=0.5)
+        assert path.read_bytes() == blob[:len(blob) // 2]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_torn_write_clamps_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            torn_write(tmp_path / "x", b"data", keep=1.5)
+
+    def test_atomic_writer_is_immune_to_the_same_window(self, tmp_path):
+        # the scenario torn_write models: old artifact + kill mid-update.
+        # In-place writing leaves garbage; the atomic path leaves the
+        # old artifact intact (verified via the error path above) and
+        # after a *completed* write the content is whole.
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"version": 1})
+        atomic_write_json(path, {"version": 2, "extra": "x" * 4096})
+        assert json.loads(path.read_text())["version"] == 2
+
+
+class TestFsyncDir:
+    def test_fsync_dir_is_silent_on_missing_path(self, tmp_path):
+        fsync_dir(tmp_path / "nope")        # must not raise
+
+    def test_fsync_dir_on_real_directory(self, tmp_path):
+        fsync_dir(tmp_path)                 # must not raise

@@ -63,6 +63,35 @@ class TestFraming:
         ck.write({"n": 0})
         assert load_checkpoint(ck.path) == {"n": 0}
 
+    def test_directory_synced_on_journal_creation(self, tmp_path,
+                                                  monkeypatch):
+        """The create-then-crash window: a journal file whose *name* was
+        never made durable can vanish after a power cut even though its
+        content was fsynced.  The first write must therefore fsync the
+        containing directory -- later appends need not."""
+        import repro.resilience.artifacts as artifacts
+        synced = []
+        monkeypatch.setattr(artifacts, "fsync_dir",
+                            lambda p: synced.append(str(p)))
+        ck = Checkpointer(tmp_path / "run.ckpt")
+        ck.write({"n": 0})
+        assert synced == [str(tmp_path)]
+        ck.write({"n": 1})
+        assert synced == [str(tmp_path)]    # appends reuse the durable name
+
+    def test_recreated_journal_is_synced_again(self, tmp_path,
+                                               monkeypatch):
+        import repro.resilience.artifacts as artifacts
+        synced = []
+        monkeypatch.setattr(artifacts, "fsync_dir",
+                            lambda p: synced.append(str(p)))
+        ck = Checkpointer(tmp_path / "run.ckpt")
+        ck.write({"n": 0})
+        ck.path.unlink()                    # simulate lost-name crash
+        ck.write({"n": 1})
+        assert synced == [str(tmp_path)] * 2
+        assert load_checkpoint(ck.path) == {"n": 1}
+
 
 class TestCadence:
     def test_every_segments_paces_writes(self, tmp_path):
@@ -117,6 +146,20 @@ class TestRunPayloadCodec:
         from repro.resilience.checkpoint import decode_run_payload
         payload = self._v2()
         assert decode_run_payload(payload) == payload
+
+    def test_v2_payload_without_quarantine_key_upgrades(self):
+        # v2 payloads written before the quarantine key existed
+        from repro.resilience.checkpoint import decode_run_payload
+        payload = self._v2()
+        del payload["quarantine"]
+        assert decode_run_payload(payload)["quarantine"] is None
+
+    def test_quarantine_snapshot_rides_the_payload(self):
+        from repro.resilience.checkpoint import decode_run_payload
+        snap = {"threshold": 2, "records": [{"key": "k", "failures": 2,
+                                            "quarantined": True}]}
+        payload = self._v2(quarantine=snap)
+        assert decode_run_payload(payload)["quarantine"] == snap
 
     def test_unsupported_codec_raises(self):
         from repro.resilience.checkpoint import decode_run_payload

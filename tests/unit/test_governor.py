@@ -1,0 +1,156 @@
+"""Unit tests for the run governor (budgets, watchdog, signals)."""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience.governor import (RunBudget, RunGovernor, StopRequest,
+                                       TRACE_KIND_FOR_REASON, as_governor,
+                                       current_rss_mb)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestBudget:
+    def test_default_budget_is_unlimited(self):
+        assert RunBudget().unlimited
+
+    def test_any_limit_makes_it_bounded(self):
+        assert not RunBudget(deadline_seconds=1.0).unlimited
+        assert not RunBudget(max_rss_mb=10.0).unlimited
+        assert not RunBudget(max_frontier=5).unlimited
+        assert not RunBudget(max_segments=5).unlimited
+
+
+class TestDeadline:
+    def test_no_stop_before_deadline(self):
+        clock = FakeClock()
+        gov = RunGovernor(RunBudget(deadline_seconds=10.0), clock=clock)
+        gov.start()
+        clock.advance(9.9)
+        assert gov.check() is None
+
+    def test_stop_at_deadline(self):
+        clock = FakeClock()
+        gov = RunGovernor(RunBudget(deadline_seconds=10.0), clock=clock)
+        gov.start()
+        clock.advance(10.0)
+        stop = gov.check()
+        assert stop is not None and stop.reason == "deadline"
+        assert "10.0s" in stop.detail
+
+    def test_epoch_starts_at_first_check_if_not_started(self):
+        clock = FakeClock(t=100.0)
+        gov = RunGovernor(RunBudget(deadline_seconds=5.0), clock=clock)
+        assert gov.check() is None      # t0 pinned here, elapsed == 0
+        clock.advance(5.0)
+        assert gov.check().reason == "deadline"
+
+
+class TestMemoryWatchdog:
+    def test_stop_over_rss_ceiling(self):
+        gov = RunGovernor(RunBudget(max_rss_mb=100.0),
+                          rss_mb=lambda: 150.0)
+        stop = gov.check()
+        assert stop is not None and stop.reason == "memory"
+        assert "150.0" in stop.detail
+
+    def test_no_stop_under_ceiling(self):
+        gov = RunGovernor(RunBudget(max_rss_mb=100.0),
+                          rss_mb=lambda: 50.0)
+        assert gov.check() is None
+
+    def test_real_rss_sampler_is_positive_here(self):
+        # POSIX CI: the process certainly holds > 1 MiB resident
+        assert current_rss_mb() > 1.0
+
+
+class TestCaps:
+    def test_frontier_cap(self):
+        gov = RunGovernor(RunBudget(max_frontier=10))
+        assert gov.check(frontier=10) is None
+        assert gov.check(frontier=11).reason == "frontier"
+
+    def test_segment_cap(self):
+        gov = RunGovernor(RunBudget(max_segments=10))
+        assert gov.check(segments=9) is None
+        assert gov.check(segments=10).reason == "segments"
+
+
+class TestStickiness:
+    def test_first_stop_wins(self):
+        gov = RunGovernor(RunBudget())
+        gov.request_stop("interrupted", "first")
+        gov.request_stop("deadline", "second")
+        assert gov.stop_requested == StopRequest("interrupted", "first")
+
+    def test_check_is_sticky(self):
+        clock = FakeClock()
+        gov = RunGovernor(RunBudget(deadline_seconds=1.0), clock=clock)
+        gov.start()
+        clock.advance(2.0)
+        first = gov.check()
+        clock.advance(100.0)
+        assert gov.check() is first
+
+
+class TestSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_becomes_stop_request(self, signum):
+        gov = RunGovernor()
+        with gov.governed():
+            os.kill(os.getpid(), signum)
+            stop = gov.check()
+        assert stop is not None and stop.reason == "interrupted"
+        assert signal.Signals(signum).name in stop.detail
+
+    def test_previous_handlers_restored(self):
+        calls = []
+        previous = signal.signal(signal.SIGTERM,
+                                 lambda *a: calls.append("outer"))
+        try:
+            gov = RunGovernor()
+            with gov.governed():
+                assert signal.getsignal(signal.SIGTERM) == gov._on_signal
+            assert signal.getsignal(signal.SIGTERM) is not gov._on_signal
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert calls == ["outer"]
+            assert gov.stop_requested is None
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+
+class TestTraceMapping:
+    def test_every_governor_reason_has_a_trace_kind(self):
+        from repro.coanalysis.trace import EVENT_KINDS
+        for reason in ("deadline", "memory", "frontier", "segments",
+                       "interrupted"):
+            assert TRACE_KIND_FOR_REASON[reason] in EVENT_KINDS
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert as_governor(None) is None
+
+    def test_budget_becomes_governor(self):
+        budget = RunBudget(deadline_seconds=1.0)
+        gov = as_governor(budget)
+        assert isinstance(gov, RunGovernor) and gov.budget is budget
+
+    def test_governor_passes_through(self):
+        gov = RunGovernor()
+        assert as_governor(gov) is gov
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_governor(5)

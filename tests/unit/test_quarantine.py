@@ -1,0 +1,103 @@
+"""Unit tests for poison-segment quarantine."""
+
+import pytest
+
+from repro.resilience.quarantine import (Quarantined, QuarantineRegistry,
+                                         as_quarantine, segment_key)
+
+
+class TestSegmentKey:
+    def test_stable_for_same_inputs(self):
+        assert segment_key(b"state", 1) == segment_key(b"state", 1)
+
+    def test_forked_branches_get_distinct_keys(self):
+        assert segment_key(b"state", 0) != segment_key(b"state", 1)
+        assert segment_key(b"state", None) != segment_key(b"state", 0)
+
+    def test_different_states_get_distinct_keys(self):
+        assert segment_key(b"a", None) != segment_key(b"b", None)
+
+    def test_pc_is_cosmetic(self):
+        assert segment_key(b"s", 1, pc=7) == segment_key(b"s", 1, pc=8)
+
+
+class TestThreshold:
+    def test_quarantines_at_threshold(self):
+        reg = QuarantineRegistry(threshold=3)
+        assert not reg.record_failure("k", "crash")
+        assert not reg.record_failure("k", "timeout")
+        assert reg.record_failure("k", "crash")      # crossing returns True
+        assert reg.is_quarantined("k")
+        assert not reg.record_failure("k", "crash")  # already quarantined
+
+    def test_keys_are_independent(self):
+        reg = QuarantineRegistry(threshold=2)
+        reg.record_failure("a", "crash")
+        reg.record_failure("b", "crash")
+        assert not reg.is_quarantined("a")
+        assert not reg.is_quarantined("b")
+        reg.record_failure("a", "crash")
+        assert reg.is_quarantined("a") and not reg.is_quarantined("b")
+
+    def test_record_carries_history(self):
+        reg = QuarantineRegistry(threshold=2)
+        reg.record_failure("k", "timeout", detail="hung", pc=12)
+        reg.record_failure("k", "crash", detail="boom")
+        record = reg.record("k")
+        assert record.failures == 2
+        assert record.kinds == ["timeout", "crash"]
+        assert record.detail == "boom"
+        assert record.pc == 12
+
+    def test_len_and_active_count_only_quarantined(self):
+        reg = QuarantineRegistry(threshold=2)
+        reg.record_failure("a", "crash")
+        assert len(reg) == 0 and not reg.active
+        reg.record_failure("a", "crash")
+        assert len(reg) == 1 and reg.active
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            QuarantineRegistry(threshold=0)
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_verdicts(self):
+        reg = QuarantineRegistry(threshold=2)
+        reg.record_failure("a", "crash", detail="x", pc=3)
+        reg.record_failure("a", "crash", detail="y", pc=3)
+        reg.record_failure("b", "timeout")
+        fresh = QuarantineRegistry(threshold=2)
+        fresh.restore_state(reg.snapshot_state())
+        assert fresh.is_quarantined("a")
+        assert not fresh.is_quarantined("b")
+        assert fresh.record("b").failures == 1
+        assert fresh.summary() == reg.summary()
+
+    def test_summary_lists_only_quarantined(self):
+        reg = QuarantineRegistry(threshold=2)
+        reg.record_failure("a", "crash")
+        assert reg.summary() == []
+        reg.record_failure("a", "crash")
+        (verdict,) = reg.summary()
+        assert verdict["key"] == "a" and verdict["quarantined"]
+
+
+class TestSentinelAndCoercion:
+    def test_sentinel_wraps_record(self):
+        reg = QuarantineRegistry(threshold=1)
+        reg.record_failure("k", "crash", pc=5)
+        sealed = Quarantined(reg.record("k"))
+        assert sealed.record.key == "k"
+        assert "pc=5" in repr(sealed)
+
+    def test_none_passes_through(self):
+        assert as_quarantine(None) is None
+
+    def test_int_becomes_registry(self):
+        reg = as_quarantine(4)
+        assert isinstance(reg, QuarantineRegistry) and reg.threshold == 4
+
+    def test_instance_passes_through(self):
+        reg = QuarantineRegistry()
+        assert as_quarantine(reg) is reg
