@@ -2,19 +2,24 @@
 
 The event-driven kernel reproduces the paper's iverilog architecture;
 the vectorized levelized engine is what makes whole-core co-analysis
-tractable in Python.  This bench quantifies the gap in
-gate-evaluations/second on the largest core (bm32) and on a small
-circuit where the event kernel's sparseness wins back some ground.
+tractable in Python, and the bit-packed batched engine is what makes a
+*forked frontier* tractable: up to 64 lanes share every settle.  This
+bench quantifies the gaps in gate-evaluations/second on the largest
+core (bm32) and on a small circuit where the event kernel's sparseness
+wins back some ground, and records the headline numbers in
+``BENCH_engines.json`` at the repo root so per-PR perf is diffable.
 """
 
 import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.logic import Logic, LVec
 from repro.rtl import Design
-from repro.sim import CompiledNetlist, CycleSim, EventSim, compile_netlist
+from repro.sim import (BatchCycleSim, CompiledNetlist, CycleSim, EventSim,
+                       compile_netlist)
 from repro.workloads import built_core
 
 CYCLES_BIG = 50
@@ -22,6 +27,27 @@ CYCLES_SMALL = 200
 SEGMENT_CYCLES = 8       # <=8-cycle segments: the co-analysis fork cadence
 REPLAY_FORKS = 20
 REPLAY_MIN_SPEEDUP = 3.0
+BATCH_LANES = 32
+BATCH_MIN_SPEEDUP = 5.0  # the ISSUE 7 acceptance bar
+#: perf trajectory at the repo root -- committed, so the diff of this
+#: file in a PR *is* the perf regression report
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+TRAJECTORY_KEEP = 50
+
+
+def _record_trajectory(entry: dict) -> None:
+    """Append ``entry`` to the committed BENCH_engines.json history."""
+    from repro.resilience.artifacts import atomic_write_json
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text()).get("runs", [])
+        except (ValueError, OSError):
+            history = []        # a torn file must not poison the bench
+    history.append(entry)
+    atomic_write_json(TRAJECTORY,
+                      {"bench": "bench_engines",
+                       "runs": history[-TRAJECTORY_KEEP:]})
 
 
 def _counter(width=8):
@@ -167,6 +193,80 @@ def test_segment_replay_fork_heavy(benchmark):
     assert speedup >= REPLAY_MIN_SPEEDUP, (
         f"incremental replay only {speedup:.2f}x faster than full sweep "
         f"(expected >= {REPLAY_MIN_SPEEDUP}x)")
+
+
+def test_batch_engine_replay_speedup(benchmark):
+    """The tentpole claim: one batched settle advances a whole wave.
+
+    Replays the same warmed bm32 snapshot ``BATCH_LANES`` times for
+    ``CYCLES_BIG`` cycles -- the serial engine one state at a time, the
+    batched engine as one lockstep run with one lane per replay -- and
+    requires bit-identical final planes on every lane plus a
+    >= BATCH_MIN_SPEEDUP wall-clock win.  The measured numbers are
+    appended to the BENCH_engines.json trajectory at the repo root.
+    """
+    nl, _ = built_core("bm32")
+    compiled = compile_netlist(nl)
+    serial = _warmed_sim(compiled, incremental=True)
+    snap = serial.snapshot()
+
+    def serial_round():
+        for _ in range(BATCH_LANES):
+            serial.restore(snap)
+            for _ in range(CYCLES_BIG):
+                serial.step()
+
+    def batch_round():
+        batch = BatchCycleSim(compiled, record_activity=False)
+        lanes = []
+        for _ in range(BATCH_LANES):
+            lane = batch.alloc_lane()
+            view = batch.lane_view(lane)
+            view.set_input("rst", Logic.L0)
+            view.set_input("pmem_data", LVec.zeros(32))
+            view.set_input("dmem_rdata", LVec.zeros(32))
+            batch.lane_restore(lane, snap, settle=False)
+            lanes.append(lane)
+        for _ in range(CYCLES_BIG):
+            batch.settle()
+            batch.clock_edge()
+        batch.settle()
+        return batch, lanes
+
+    benchmark.pedantic(batch_round, rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+    t0 = time.perf_counter()
+    batch, lanes = batch_round()
+    t_batch = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    serial_round()
+    t_serial = time.perf_counter() - t0
+
+    # equal results: every lane's final planes match the serial engine's
+    serial.settle()
+    for lane in lanes:
+        val, known = batch.lane_planes(lane)
+        assert (val == serial.val).all()
+        assert (known == serial.known).all()
+
+    speedup = t_serial / t_batch
+    print(f"\n  batched replay ({BATCH_LANES} lanes x {CYCLES_BIG} "
+          f"cycles): serial {t_serial*1000:.1f} ms, "
+          f"batch {t_batch*1000:.1f} ms -> {speedup:.1f}x")
+    _record_trajectory({
+        "date": time.strftime("%Y-%m-%d"),
+        "design": "bm32",
+        "gates": nl.gate_count(),
+        "lanes": BATCH_LANES,
+        "cycles": CYCLES_BIG,
+        "serial_ms": round(t_serial * 1000, 2),
+        "batch_ms": round(t_batch * 1000, 2),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= BATCH_MIN_SPEEDUP, (
+        f"batched replay only {speedup:.2f}x faster than serial "
+        f"(expected >= {BATCH_MIN_SPEEDUP}x)")
 
 
 def test_traced_coanalysis_smoke(benchmark, artifact_dir):

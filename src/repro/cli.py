@@ -344,10 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="uber",
                        help="conservative-state-manager merge strategy")
         p.add_argument("--engine",
-                       choices=["serial", "event", "parallel"],
+                       choices=["serial", "event", "parallel", "batch"],
                        default=None,
                        help="simulation backend (default: serial, or "
-                            "parallel when --workers > 1)")
+                            "parallel when --workers > 1; batch runs "
+                            "the whole frontier in lockstep, up to 64 "
+                            "paths per settle)")
         p.add_argument("--no-constraints", action="store_true",
                        help="ignore the workload's CSM constraint file")
         p.add_argument("--json", action="store_true")

@@ -1,0 +1,263 @@
+"""The batched frontier backend: one settle advances a whole wave.
+
+:class:`BatchSegmentExecutor` plugs the bit-packed lane-parallel
+:class:`~repro.sim.batch_sim.BatchCycleSim` into the exploration kernel
+through the same :class:`~repro.coanalysis.kernel.SegmentExecutor`
+protocol the serial and pool backends implement -- the kernel, CSM,
+frontier strategies, budgets, checkpointing, governor and trace layers
+run unchanged.
+
+Like the pool backend it asks the kernel for the *whole frontier* per
+batch (``batch_limit=None``); unlike the pool it simulates every
+pending path in **lockstep inside one process**: each path gets a lane,
+all lanes share every ``settle()``/``clock_edge()``, and a lane that
+reaches its segment boundary (done / halt / budget) retires
+mid-flight while the rest keep running.  Frontiers larger than the
+64-lane word are processed in consecutive sub-waves.
+
+Per-cycle semantics mirror ``SerialExecutor._simulate`` exactly --
+drive-to-fixpoint, boundary checks before the budget check, activity
+recorded after the checks, the first-cycle branch force released after
+the first edge -- so the exercisable-gate dichotomy is identical across
+engines (pinned by the equivalence matrix).  One intentional
+divergence: the total-cycle budget is decremented per *sub-wave*, not
+per segment, because lockstep lanes finish together; strict runs raise
+on any budget exhaustion either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..logic.value import Logic
+from ..sim.batch_sim import LANE_CAPACITY, BatchCycleSim, LaneView
+from ..sim.state import SimState
+from .kernel import BatchContext, PendingPath, SegmentExecutor, SegmentResult
+from .results import CoAnalysisResult
+from .target import SymbolicTarget
+
+
+@dataclass
+class BatchRunStats:
+    """Lane accounting for one batched run (the ``/trace`` batch data)."""
+
+    #: sub-waves simulated (one per <= 64 lanes of a frontier batch)
+    waves: int = 0
+    #: segments completed across all waves
+    segments: int = 0
+    #: most lanes ever live at once (packing high-water mark)
+    peak_lanes: int = 0
+    #: sum over segments of their cycle counts (lane-cycles simulated)
+    lane_cycles: int = 0
+    #: lockstep iterations actually stepped (shared settles); the ratio
+    #: ``lane_cycles / lockstep_cycles`` is the realized parallelism
+    lockstep_cycles: int = 0
+    #: per-wave lane counts, in run order
+    wave_lanes: List[int] = field(default_factory=list)
+
+    def realized_parallelism(self) -> float:
+        if not self.lockstep_cycles:
+            return 0.0
+        return self.lane_cycles / self.lockstep_cycles
+
+
+class BatchSegmentExecutor(SegmentExecutor):
+    """Lane-parallel in-process backend (``--engine batch``)."""
+
+    kind = "batch"
+    batch_limit = None      # give us the whole frontier; we sub-wave it
+
+    def __init__(self, target: SymbolicTarget,
+                 cycle_observer=None,
+                 record_per_path_activity: bool = False,
+                 max_lanes: int = LANE_CAPACITY,
+                 stats: Optional[BatchRunStats] = None):
+        if not 1 <= max_lanes <= LANE_CAPACITY:
+            raise ValueError(
+                f"max_lanes must be in [1, {LANE_CAPACITY}]")
+        self.target = target
+        self.netlist = target.netlist
+        self.design = target.name
+        self.cycle_observer = cycle_observer
+        self.record_per_path_activity = record_per_path_activity
+        self.max_lanes = max_lanes
+        self.stats = stats or BatchRunStats()
+        self.sim: Optional[BatchCycleSim] = None
+        self._result: Optional[CoAnalysisResult] = None
+        self._last_batch: Dict[str, int] = {}
+
+    # -- protocol -----------------------------------------------------------
+    def bind(self, result: CoAnalysisResult) -> None:
+        self._result = result
+
+    def prepare(self) -> SimState:
+        target = self.target
+        self.sim = BatchCycleSim(target.compiled)
+        lane = self.sim.alloc_lane()
+        view = self.sim.lane_view(lane)
+        target.prepare_sim(view)
+        target.reset(view)
+        target.apply_symbolic_inputs(view)
+        target.drive_all(view)
+        state = self.sim.lane_snapshot(lane, pc=target.current_pc(view))
+        self.sim.drop_lane(lane)
+        return state
+
+    def run_batch(self, batch: List[PendingPath],
+                  ctx: BatchContext) -> List[SegmentResult]:
+        out: List[SegmentResult] = []
+        remaining = ctx.total_cycles_remaining
+        waves = 0
+        peak = 0
+        for start in range(0, len(batch), self.max_lanes):
+            wave = batch[start:start + self.max_lanes]
+            segments = self._run_wave(wave, ctx.first_path_id + start,
+                                      ctx.max_cycles_per_path, remaining)
+            if remaining is not None:
+                remaining = max(0, remaining - sum(s.cycles
+                                                   for s in segments))
+            out.extend(segments)
+            waves += 1
+            peak = max(peak, len(wave))
+        self._last_batch = {"lanes": peak, "waves": waves}
+        return out
+
+    def activity_snapshot(self) -> dict:
+        profile = self._result.profile
+        return {"repr": "profile",
+                "toggled": profile.toggled.copy(),
+                "ever_x": profile.ever_x.copy(),
+                "val": profile.const_val.copy(),
+                "known": profile.const_known.copy()}
+
+    def activity_restore(self, planes: dict) -> None:
+        profile = self._result.profile
+        profile.toggled[:] = planes["toggled"]
+        profile.ever_x[:] = planes["ever_x"]
+        profile.const_val[:] = planes["val"]
+        profile.const_known[:] = planes["known"]
+
+    def batch_stats(self) -> Dict[str, int]:
+        """Lane accounting the kernel folds into each batch trace event."""
+        return dict(self._last_batch)
+
+    def finalize(self, result: CoAnalysisResult) -> None:
+        # per-segment activity was absorbed at lane retirement (the pool
+        # backend's contract); nothing left to fold in here
+        result.batch_stats = self.stats
+
+    # -- one lockstep wave --------------------------------------------------
+    def _run_wave(self, paths: List[PendingPath], first_path_id: int,
+                  per_path: int,
+                  remaining: Optional[int]) -> List[SegmentResult]:
+        target, sim = self.target, self.sim
+        allowance = per_path if remaining is None \
+            else min(per_path, remaining)
+
+        lanes: List[int] = []
+        views: List[LaneView] = []
+        for path in paths:
+            lane = sim.alloc_lane()
+            view = sim.lane_view(lane)
+            target.prepare_sim(view)
+            sim.lane_restore(lane, path.state, settle=False)
+            lanes.append(lane)
+            views.append(view)
+        sim.settle()        # one shared settle re-derives every lane
+        first_forced = []
+        for path, lane in zip(paths, lanes):
+            sim.lane_arm_activity(lane)
+            forced = path.forced_decision is not None
+            if forced:
+                sim.lane_force(lane, target.branch_force_net,
+                               Logic.L1 if path.forced_decision
+                               else Logic.L0)
+            first_forced.append(forced)
+
+        stats = self.stats
+        stats.waves += 1
+        stats.wave_lanes.append(len(paths))
+        stats.peak_lanes = max(stats.peak_lanes, sim.n_lanes)
+
+        finished: Dict[int, SegmentResult] = {}
+        live = list(range(len(paths)))
+        cycles = 0
+        while live:
+            # drive_all in lockstep: shared settles, per-lane services
+            sim.settle()
+            for _ in range(target.drive_rounds):
+                for i in live:
+                    target.drive(views[i])
+                sim.settle()
+
+            still: List[int] = []
+            for i in live:
+                view = views[i]
+                if not first_forced[i]:
+                    if target.is_done(view):
+                        sim.record_activity_now(1 << lanes[i])
+                        finished[i] = self._retire(
+                            i, lanes[i], "done",
+                            target.current_pc(view), cycles)
+                        continue
+                    bp = target.at_branch_point(view)
+                    if bp is not Logic.L0 and \
+                            (not bp.is_known
+                             or target.monitored_has_x(view)):
+                        sim.record_activity_now(1 << lanes[i])
+                        pc = target.current_pc(view)
+                        state = sim.lane_snapshot(lanes[i], pc=pc) \
+                            if pc is not None else None
+                        finished[i] = self._retire(
+                            i, lanes[i], "halt", pc, cycles, state)
+                        continue
+                still.append(i)
+            live = still
+            if not live:
+                break
+
+            if cycles >= allowance:
+                # abandoned paths: drop the branch force, skip the
+                # activity record (mirrors the serial budget path)
+                for i in live:
+                    sim.lane_release(lanes[i])
+                    finished[i] = self._retire(
+                        i, lanes[i], "budget",
+                        target.current_pc(views[i]), cycles)
+                live = []
+                break
+
+            sim.record_activity_now()       # all still-armed lanes
+            if self.cycle_observer is not None:
+                for i in live:
+                    self.cycle_observer(views[i], first_path_id + i,
+                                        cycles)
+            for i in live:
+                target.on_edge(views[i])
+            sim.clock_edge()
+            cycles += 1
+            stats.lockstep_cycles += 1
+            for i in live:
+                if first_forced[i]:
+                    sim.lane_release(lanes[i])
+                    first_forced[i] = False
+
+        return [finished[i] for i in range(len(paths))]
+
+    def _retire(self, index: int, lane: int, outcome: str,
+                end_pc: Optional[int], cycles: int,
+                end_state: Optional[SimState] = None) -> SegmentResult:
+        """Fold a finished lane's activity into the profile and free it."""
+        sim = self.sim
+        toggled, ever_x = sim.lane_activity(lane)
+        val, known = sim.lane_planes(lane)
+        self._result.profile.absorb(toggled, ever_x, val & known, known)
+        exercised = (toggled | ever_x) \
+            if self.record_per_path_activity else None
+        sim.lane_reset_activity(lane)
+        sim.drop_lane(lane)
+        self.stats.segments += 1
+        self.stats.lane_cycles += cycles
+        return SegmentResult(outcome, end_pc, cycles, end_state,
+                             exercised)

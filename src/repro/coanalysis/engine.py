@@ -19,7 +19,10 @@ lives in :class:`~repro.coanalysis.kernel.ExplorationKernel`, the
 simulation backend in
 :class:`~repro.coanalysis.executors.SerialExecutor`.  ``backend="event"``
 swaps the vectorized cycle engine for the event-driven kernel behind the
-same harness -- same kernel, same CSM, same result type.
+same harness -- same kernel, same CSM, same result type -- and
+``backend="batch"`` simulates the whole frontier in lockstep on the
+bit-packed lane-parallel engine
+(:class:`~repro.coanalysis.batch_executor.BatchSegmentExecutor`).
 """
 
 from __future__ import annotations
@@ -91,10 +94,16 @@ class CoAnalysisEngine:
         self.quarantine = quarantine
 
     def run(self) -> CoAnalysisResult:
-        executor = SerialExecutor(
-            self.target, cycle_observer=self.cycle_observer,
-            record_per_path_activity=self.record_per_path_activity,
-            backend=self.backend)
+        if self.backend == "batch":
+            from .batch_executor import BatchSegmentExecutor
+            executor = BatchSegmentExecutor(
+                self.target, cycle_observer=self.cycle_observer,
+                record_per_path_activity=self.record_per_path_activity)
+        else:
+            executor = SerialExecutor(
+                self.target, cycle_observer=self.cycle_observer,
+                record_per_path_activity=self.record_per_path_activity,
+                backend=self.backend)
         kernel = ExplorationKernel(
             executor, csm=self.csm, frontier=self.frontier,
             max_cycles_per_path=self.max_cycles_per_path,

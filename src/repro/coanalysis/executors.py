@@ -326,11 +326,15 @@ class EventSimBridge:
             raise ValueError("snapshot does not match this netlist")
         es = self.es
         if es._forced:
+            # release (not _forced.clear()) so the forced nets' own
+            # drivers get re-scheduled, and release BEFORE warning so
+            # warnings-as-errors cannot abort with the pins still set
+            n_forced = len(es._forced)
+            es.release()
             warnings.warn(
-                f"restore() with {len(es._forced)} active force(s): "
+                f"restore() with {n_forced} active force(s): "
                 f"forces do not survive a restore; re-apply them after "
                 f"restoring", ForcedRestoreWarning, stacklevel=2)
-            es._forced.clear()
         values = es.values
         for pos, net in enumerate(sn):
             if state.net_known[pos]:

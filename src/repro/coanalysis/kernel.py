@@ -87,7 +87,8 @@ class SegmentExecutor:
     ----------
     kind : str
         Checkpoint engine tag (``"serial"`` / ``"event"`` /
-        ``"parallel"``); resuming across kinds is a mismatch.
+        ``"parallel"`` / ``"batch"``); resuming across kinds is a
+        mismatch.
     design : str
         The design name stamped on the result.
     netlist : Netlist
@@ -301,8 +302,15 @@ class ExplorationKernel:
                     tracer.emit("degraded", detail=event.detail)
             for path, segment in zip(batch, segments):
                 self._absorb(path, segment, result)
+            batch_data = {"size": len(batch)}
+            # lane accounting: executors that pack several paths into
+            # one simulation (the batched backend) report how the
+            # batch was laned so the trace shows realized parallelism
+            stats_hook = getattr(executor, "batch_stats", None)
+            if stats_hook is not None:
+                batch_data.update(stats_hook())
             tracer.emit("batch", frontier=len(self.frontier),
-                        data={"size": len(batch)})
+                        data=batch_data)
 
     # -- governed stop / quarantine -----------------------------------------
     def _governed_stop(self, stop, result: CoAnalysisResult) -> None:

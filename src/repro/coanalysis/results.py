@@ -83,6 +83,10 @@ class CoAnalysisResult:
     #: machine-readable verdicts for every quarantined segment key
     #: (:meth:`~repro.resilience.quarantine.QuarantineRegistry.summary`)
     quarantine_verdicts: List[Dict] = field(default_factory=list)
+    #: lane accounting from the batched backend
+    #: (:class:`~repro.coanalysis.batch_executor.BatchRunStats`; None
+    #: for the other engines)
+    batch_stats: Optional[object] = None
 
     @property
     def complete(self) -> bool:

@@ -26,7 +26,7 @@ DESIGN_ORDER = ["bm32", "omsp430", "dr5"]     # paper table column order
 
 _GRID_VERSION = 6   # bump to invalidate caches when semantics change
 
-ENGINES = ("serial", "event", "parallel")
+ENGINES = ("serial", "event", "parallel", "batch")
 
 
 def _make_tracer(trace, progress: bool) -> Optional[Tracer]:
@@ -56,9 +56,12 @@ def run_one(design: str, benchmark: str,
 
     ``strategy`` is the CSM merge strategy; ``frontier`` schedules the
     path frontier (``dfs``/``bfs``/``novelty``).  ``engine`` picks the
-    simulation backend (``serial``, ``event`` or ``parallel``; default:
-    serial, or parallel when ``workers > 1``) -- all three run through
-    the same :class:`~repro.coanalysis.kernel.ExplorationKernel`.
+    simulation backend (``serial``, ``event``, ``parallel`` or
+    ``batch``; default: serial, or parallel when ``workers > 1``) -- all
+    of them run through the same
+    :class:`~repro.coanalysis.kernel.ExplorationKernel`.  ``batch``
+    simulates the whole frontier in lockstep on the bit-packed
+    lane-parallel engine (up to 64 paths per settle, one process).
     ``checkpoint``/``resume`` journal the run to disk and continue an
     interrupted one (see :mod:`repro.resilience`); ``trace`` writes the
     structured event stream as JSONL and ``progress`` keeps a live
@@ -101,8 +104,9 @@ def run_one(design: str, benchmark: str,
                               application=benchmark,
                               checkpoint=checkpoint, resume=resume,
                               frontier=frontier, tracer=tracer,
-                              backend="cycle" if engine == "serial"
-                              else "event",
+                              backend={"serial": "cycle",
+                                       "event": "event",
+                                       "batch": "batch"}[engine],
                               budget=budget, quarantine=quarantine)
     return runner.run()
 

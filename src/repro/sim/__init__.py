@@ -1,6 +1,9 @@
 """Simulation engines, state management, memories, and system tasks."""
 
 from .activity import ToggleProfile
+from .batch_kernels import BatchKernels, batch_kernels_for
+from .batch_sim import (LANE_CAPACITY, BatchCycleSim, LaneCapacityError,
+                        LaneView)
 from .cycle_sim import (CompiledNetlist, CycleSim, ForcedRestoreWarning,
                         compile_netlist)
 from .events import EventScheduler, HaltSimulation, Region
@@ -13,6 +16,8 @@ from .tasks import (InitializeState, MonitorX, load_state_file,
 
 __all__ = [
     "ToggleProfile",
+    "BatchKernels", "batch_kernels_for",
+    "LANE_CAPACITY", "BatchCycleSim", "LaneCapacityError", "LaneView",
     "CompiledNetlist", "CycleSim", "ForcedRestoreWarning",
     "compile_netlist",
     "EventScheduler", "HaltSimulation", "Region",

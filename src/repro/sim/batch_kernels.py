@@ -1,0 +1,170 @@
+"""Fused numpy kernels compiled from a :class:`CompiledNetlist` schedule.
+
+The serial engine interprets the levelized schedule: one Python-level
+dispatch per ``(level, kind)`` group, with the gate semantics chosen by
+a chain of ``if kind == ...`` tests on every settle.  For the batched
+engine that per-group interpretation overhead is the bottleneck -- the
+arrays themselves are small (one word per net) and the work per numpy
+op is tiny, so the Python dispatch around each op dominates.
+
+This module removes the interpreter: it *generates Python source* for
+the whole schedule once per compiled netlist and ``exec``\\ s it with the
+group index arrays bound in the namespace, yielding
+
+* ``sweep(val, known)`` -- the entire combinational schedule as one
+  fused function (the no-forces full-settle fast path);
+* ``levels`` -- ``[(level, fn), ...]`` with one fused function per
+  topological level (the full-settle path when forces must be
+  re-asserted between levels);
+* ``groups`` -- one function per schedule group returning fresh
+  ``(val, known)`` planes for its outputs without storing (the
+  incremental dirty-cone path needs the old planes for change
+  detection).
+
+Every generated expression is *pure bitwise algebra* -- ``& | ^ ~`` only,
+never ``==`` or boolean ``where`` -- so the same kernels evaluate both
+the serial engine's bool planes and the batched engine's bit-packed
+``uint64`` planes (one bit per lane, 64 independent simulations per
+word).  Equivalence with the interpreted evaluators is pinned by the
+batch/serial parity tests.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, List, Tuple
+
+from .cycle_sim import CompiledNetlist
+
+#: gate kinds the generator knows; kept in sync with
+#: CycleSim._compute_group (the interpreted reference semantics)
+SUPPORTED_KINDS = ("BUF", "NOT", "AND", "NAND", "OR", "NOR",
+                   "XOR", "XNOR", "MUX2")
+
+
+def _group_lines(gid: int, kind: str) -> List[str]:
+    """Emit the bitwise body computing ``vv``/``kk`` for one group.
+
+    Reads ``val``/``known`` through the index arrays ``i{gid}_{port}``
+    bound in the exec namespace.  Kleene X encoding: a bit is X when
+    its ``known`` bit is clear; ``vv`` is always masked by ``kk``.
+    """
+    a = f"i{gid}_0"
+    b = f"i{gid}_1"
+    s = f"i{gid}_2"
+    if kind == "BUF":
+        return [f"vv = val[{a}]",
+                f"kk = known[{a}]"]
+    if kind == "NOT":
+        return [f"kk = known[{a}]",
+                f"vv = ~val[{a}] & kk"]
+    if kind in ("AND", "NAND"):
+        return [f"va = val[{a}]; ka = known[{a}]",
+                f"vb = val[{b}]; kb = known[{b}]",
+                "one = va & ka & vb & kb",
+                "zero = (ka & ~va) | (kb & ~vb)",
+                "kk = one | zero",
+                "vv = one" if kind == "AND" else "vv = zero"]
+    if kind in ("OR", "NOR"):
+        return [f"va = val[{a}]; ka = known[{a}]",
+                f"vb = val[{b}]; kb = known[{b}]",
+                "one = (va & ka) | (vb & kb)",
+                "zero = (ka & ~va) & (kb & ~vb)",
+                "kk = one | zero",
+                "vv = one" if kind == "OR" else "vv = zero"]
+    if kind in ("XOR", "XNOR"):
+        inv = "" if kind == "XOR" else "~"
+        return [f"kk = known[{a}] & known[{b}]",
+                f"vv = {inv}(val[{a}] ^ val[{b}]) & kk"]
+    if kind == "MUX2":
+        # ins = (d0, d1, sel); an X select with agreeing known data
+        # legs still yields that value (the Kleene mux)
+        return [f"vs = val[{s}]; ks = known[{s}]",
+                f"v0 = val[{a}]; k0 = known[{a}]",
+                f"v1 = val[{b}]; k1 = known[{b}]",
+                "s1 = ks & vs",
+                "s0 = ks & ~vs",
+                "agree = k0 & k1 & ~(v0 ^ v1)",
+                "kk = (s0 & k0) | (s1 & k1) | (~ks & agree)",
+                "vv = ((s0 & v0) | (s1 & v1) | (~ks & agree & v0)) & kk"]
+    raise KeyError(f"no batch kernel generator for gate kind {kind!r}")
+
+
+def _stored_lines(gid: int, kind: str) -> List[str]:
+    return _group_lines(gid, kind) + [f"val[o{gid}] = vv",
+                                      f"known[o{gid}] = kk"]
+
+
+class BatchKernels:
+    """The compiled kernel set for one :class:`CompiledNetlist`."""
+
+    __slots__ = ("sweep", "levels", "groups", "source")
+
+    def __init__(self, sweep: Callable, levels: List[Tuple[int, Callable]],
+                 groups: List[Callable], source: str):
+        #: fused function evaluating the whole comb schedule in order
+        self.sweep = sweep
+        #: ``(level, fn)`` pairs, one fused function per topological level
+        self.levels = levels
+        #: per-group functions returning ``(vv, kk)`` without storing,
+        #: aligned with ``compiled.schedule``
+        self.groups = groups
+        #: the generated source, kept for debuggability
+        self.source = source
+
+
+def build_kernels(compiled: CompiledNetlist) -> BatchKernels:
+    """Generate and compile the fused kernel set for ``compiled``."""
+    ns: dict = {}
+    for gi, grp in enumerate(compiled.schedule):
+        for port, arr in enumerate(grp.ins):
+            ns[f"i{gi}_{port}"] = arr
+        ns[f"o{gi}"] = grp.out
+
+    lines: List[str] = []
+
+    def emit(header: str, body: List[str]) -> None:
+        lines.append(header)
+        for stmt in (body or ["pass"]):
+            lines.append("    " + stmt)
+
+    for gi, grp in enumerate(compiled.schedule):
+        emit(f"def group{gi}(val, known):",
+             _group_lines(gi, grp.kind) + ["return vv, kk"])
+
+    by_level: dict = {}
+    for gi, grp in enumerate(compiled.schedule):
+        by_level.setdefault(grp.level, []).append(gi)
+    for lvl in sorted(by_level):
+        body: List[str] = []
+        for gi in by_level[lvl]:
+            body.extend(_stored_lines(gi, compiled.schedule[gi].kind))
+        emit(f"def level{lvl}(val, known):", body)
+
+    sweep_body: List[str] = []
+    for gi, grp in enumerate(compiled.schedule):
+        sweep_body.extend(_stored_lines(gi, grp.kind))
+    emit("def sweep(val, known):", sweep_body)
+
+    source = "\n".join(lines)
+    exec(compile(source, "<batch-kernels>", "exec"), ns)
+    return BatchKernels(
+        sweep=ns["sweep"],
+        levels=[(lvl, ns[f"level{lvl}"]) for lvl in sorted(by_level)],
+        groups=[ns[f"group{gi}"] for gi in range(len(compiled.schedule))],
+        source=source)
+
+
+#: per-process kernel cache keyed by compiled-netlist identity; a
+#: CompiledNetlist is immutable, so identity is a sound cache key
+_KERNEL_CACHE: "weakref.WeakKeyDictionary[CompiledNetlist, BatchKernels]" \
+    = weakref.WeakKeyDictionary()
+
+
+def batch_kernels_for(compiled: CompiledNetlist) -> BatchKernels:
+    """Kernel set for ``compiled``, generated once and cached."""
+    kernels = _KERNEL_CACHE.get(compiled)
+    if kernels is None:
+        kernels = build_kernels(compiled)
+        _KERNEL_CACHE[compiled] = kernels
+    return kernels

@@ -1,0 +1,718 @@
+"""Lane-parallel cycle simulation: many forked states per settle.
+
+The co-analysis frontier is full of *near-identical* states -- every
+fork copies its parent and diverges by one branch decision.  The serial
+engine settles them one at a time, paying the full numpy dispatch cost
+per state.  :class:`BatchCycleSim` packs up to 64 independent
+simulations into the same arrays the serial engine uses: every net's
+``(val, known)`` pair becomes one ``uint64`` word per plane, **one bit
+per lane**.  A single fused settle (see
+:mod:`repro.sim.batch_kernels`) then advances every lane at once --
+bitwise ``& | ^ ~`` on uint64 words is lane-parallel for free, the
+GSIM-style batched-kernel trick.
+
+Lane lifecycle maps onto Algorithm 1 directly:
+
+* **fork** -- :meth:`BatchCycleSim.fork_lane` copies one bit column
+  (plus memories) into a free lane;
+* **merge / prune** -- :meth:`BatchCycleSim.drop_lane` releases the
+  lane; its bits become garbage that every consumer masks out;
+* **explore** -- all live lanes advance in lockstep through
+  ``settle()`` / ``clock_edge()``.
+
+Incremental settling reuses the compiled fanout-cone CSR index with
+*per-lane dirty masks*: each dirty net remembers **which lanes**
+changed it (a 64-bit mask), the union over lanes picks the schedule
+groups to re-evaluate (evaluating a group costs the same for 1 or 64
+lanes -- that is the whole point), and change propagation is detected
+per lane with packed XORs masked to the live lanes.
+
+Per-lane state that cannot live in the bit planes -- cycle counters,
+attached :class:`~repro.sim.memory.XMemory` instances, forces,
+activity arming -- is kept in small per-lane tables.
+:class:`LaneView` wraps ``(sim, lane)`` as a CycleSim-compatible
+facade so targets, harnesses and tests drive one lane without knowing
+about the packing.  Parity with the serial engine is pinned by the
+batch/serial equivalence tests.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..logic.value import Logic
+from ..logic.vector import LVec
+from .batch_kernels import batch_kernels_for
+from .cycle_sim import CompiledNetlist, ForcedRestoreWarning
+from .memory import XMemory
+from .state import SimState
+
+#: all 64 lane bits
+M64 = (1 << 64) - 1
+#: lanes per BatchCycleSim (one bit per lane in a uint64 word)
+LANE_CAPACITY = 64
+
+
+class LaneCapacityError(RuntimeError):
+    """All 64 lanes of a :class:`BatchCycleSim` are in use."""
+
+
+def _clone_memory(mem: XMemory) -> XMemory:
+    clone = XMemory(mem.words, mem.width, name=mem.name)
+    clone.restore(mem.snapshot())
+    return clone
+
+
+class BatchCycleSim:
+    """Bit-packed lane-parallel four-valued simulator.
+
+    The planes are ``(n_nets,)`` uint64 arrays; bit ``L`` of word ``i``
+    is net ``i``'s value in lane ``L``.  All lane-global operations
+    (:meth:`settle`, :meth:`clock_edge`, :meth:`record_activity_now`)
+    advance every live lane in lockstep; per-lane mutation and
+    observation go through the ``lane_*`` methods or a
+    :class:`LaneView`.
+
+    Args mirror :class:`~repro.sim.cycle_sim.CycleSim`.
+    """
+
+    capacity = LANE_CAPACITY
+
+    def __init__(self, compiled: CompiledNetlist,
+                 record_activity: bool = True,
+                 incremental: bool = True,
+                 incremental_threshold: float = 0.25):
+        self.c = compiled
+        self.kernels = batch_kernels_for(compiled)
+        n = compiled.n_nets
+        self.val = np.zeros(n, dtype=np.uint64)
+        self.known = np.zeros(n, dtype=np.uint64)
+        #: bitmask of live lanes (python int)
+        self.active_mask = 0
+        self.lane_cycle: List[int] = [0] * LANE_CAPACITY
+        self.lane_memories: Dict[int, Dict[str, XMemory]] = {}
+        self.record_activity = record_activity
+        self.toggled = np.zeros(n, dtype=np.uint64)
+        self.ever_x = np.zeros(n, dtype=np.uint64)
+        self._armed_mask = 0
+        self._prev_val = np.zeros(n, dtype=np.uint64)
+        self._prev_known = np.zeros(n, dtype=np.uint64)
+        #: force store: net -> [lane_mask, val_bits, known_bits]
+        #: (``val_bits``/``known_bits`` are subsets of ``lane_mask``)
+        self._forces: Dict[int, List[int]] = {}
+        self._force_cache: Optional[Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray, np.ndarray]] = None
+        self.incremental = incremental
+        self._dirty_limit = max(1, int(incremental_threshold * n))
+        #: per-lane dirty masks: net -> bitmask of lanes that changed it
+        self._dirty: Dict[int, int] = {}
+        self._dirty_groups: set = set()
+        self._needs_full = True
+        self.full_settles = 0
+        self.incremental_settles = 0
+        self.noop_settles = 0
+
+    # -- lane lifecycle -----------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return bin(self.active_mask).count("1")
+
+    def active_lanes(self) -> Iterator[int]:
+        """Live lane indices, lowest first."""
+        mask = self.active_mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def _free_lane(self) -> int:
+        free = ~self.active_mask & M64
+        if not free:
+            raise LaneCapacityError(
+                f"all {LANE_CAPACITY} lanes in use; drop or merge a "
+                f"lane before forking")
+        return (free & -free).bit_length() - 1
+
+    def alloc_lane(self) -> int:
+        """Claim a fresh lane: everything X except tie cells, cycle 0."""
+        lane = self._free_lane()
+        bit = 1 << lane
+        self.active_mask |= bit
+        inv = np.uint64(~bit & M64)
+        for arr in (self.val, self.known, self.toggled, self.ever_x,
+                    self._prev_val, self._prev_known):
+            arr &= inv
+        m = np.uint64(bit)
+        for kind, out in self.c.ties:
+            if kind == "TIE1":
+                self.val[out] |= m
+            self.known[out] |= m
+        self.lane_cycle[lane] = 0
+        self.lane_memories[lane] = {}
+        self._armed_mask &= ~bit
+        # the lane's comb bits are garbage from a previous occupant;
+        # one full sweep re-derives them (cheap amortized over a wave)
+        self._needs_full = True
+        return lane
+
+    def fork_lane(self, src: int) -> int:
+        """Copy lane ``src`` -- planes, memories, cycle, forces, arming --
+        into a free lane and return it (Algorithm 1's path fork)."""
+        self._check_lane(src)
+        lane = self._free_lane()
+        bit = 1 << lane
+        self.active_mask |= bit
+        sh_src, sh_dst = np.uint64(src), np.uint64(lane)
+        inv = np.uint64(~bit & M64)
+        one = np.uint64(1)
+        for arr in (self.val, self.known, self.toggled, self.ever_x,
+                    self._prev_val, self._prev_known):
+            column = (arr >> sh_src) & one
+            arr &= inv
+            arr |= column << sh_dst
+        self.lane_cycle[lane] = self.lane_cycle[src]
+        self.lane_memories[lane] = {
+            name: _clone_memory(mem)
+            for name, mem in self.lane_memories[src].items()}
+        src_bit = 1 << src
+        if self._armed_mask & src_bit:
+            self._armed_mask |= bit
+        else:
+            self._armed_mask &= ~bit
+        for entry in self._forces.values():
+            if entry[0] & src_bit:
+                entry[0] |= bit
+                if entry[1] & src_bit:
+                    entry[1] |= bit
+                if entry[2] & src_bit:
+                    entry[2] |= bit
+                self._force_cache = None
+        # the clone inherits any pending (unsettled) dirt of its source
+        for net, lanes in self._dirty.items():
+            if lanes & src_bit:
+                self._dirty[net] = lanes | bit
+        return lane
+
+    def drop_lane(self, lane: int) -> None:
+        """Release a lane (merge/prune): its bits become masked garbage."""
+        self._check_lane(lane)
+        bit = 1 << lane
+        self.active_mask &= ~bit
+        self._armed_mask &= ~bit
+        self.lane_memories.pop(lane, None)
+        self._strip_forces(bit, reassert=False)
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < LANE_CAPACITY or \
+                not (self.active_mask >> lane) & 1:
+            raise ValueError(f"lane {lane} is not active")
+
+    def lane_view(self, lane: int) -> "LaneView":
+        self._check_lane(lane)
+        return LaneView(self, lane)
+
+    # -- per-lane net access --------------------------------------------------
+    def lane_set_net(self, lane: int, net: int, value: Logic) -> None:
+        bit = 1 << lane
+        entry = self._forces.get(net)
+        if entry is not None and entry[0] & bit:
+            return   # the force owns this lane's bit until release()
+        if value.is_known:
+            v, k = value is Logic.L1, True
+        else:
+            v, k = False, False
+        word_v = int(self.val[net])
+        word_k = int(self.known[net])
+        if bool(word_v & bit) != v or bool(word_k & bit) != k:
+            self.val[net] = np.uint64((word_v | bit) if v
+                                      else (word_v & ~bit))
+            self.known[net] = np.uint64((word_k | bit) if k
+                                        else (word_k & ~bit))
+            self._mark_dirty(net, bit)
+
+    def lane_get_net(self, lane: int, net: int) -> Logic:
+        bit = 1 << lane
+        if not int(self.known[net]) & bit:
+            return Logic.X
+        return Logic.L1 if int(self.val[net]) & bit else Logic.L0
+
+    def lane_get_bus(self, lane: int, nets: Sequence[int]) -> LVec:
+        idx = np.asarray(nets, dtype=np.int64)
+        sh, one = np.uint64(lane), np.uint64(1)
+        vals = ((self.val[idx] >> sh) & one).tolist()
+        knowns = ((self.known[idx] >> sh) & one).tolist()
+        return LVec([(Logic.L1 if v else Logic.L0) if k else Logic.X
+                     for v, k in zip(vals, knowns)])
+
+    # -- dirty tracking -------------------------------------------------------
+    def _mark_dirty(self, net: int, lane_bits: int) -> None:
+        self._dirty[net] = self._dirty.get(net, 0) | lane_bits
+        drv = self.c.driver[net]
+        if drv >= 0:
+            grp = self.c.gate_group[drv]
+            if grp >= 0:
+                self._dirty_groups.add(int(grp))
+
+    def mark_all_dirty(self) -> None:
+        """Invalidate incremental state: the next settle is a full sweep."""
+        self._needs_full = True
+
+    # -- forcing ------------------------------------------------------------
+    def lane_force(self, lane: int, net: int, value: Logic) -> None:
+        """Pin ``net`` to ``value`` in one lane only (path steering)."""
+        bit = 1 << lane
+        v = value is Logic.L1
+        k = value.is_known
+        entry = self._forces.setdefault(net, [0, 0, 0])
+        entry[0] |= bit
+        entry[1] = (entry[1] | bit) if v else (entry[1] & ~bit)
+        entry[2] = (entry[2] | bit) if k else (entry[2] & ~bit)
+        self._force_cache = None
+        word_v = int(self.val[net])
+        word_k = int(self.known[net])
+        if bool(word_v & bit) != v or bool(word_k & bit) != k:
+            self._dirty[net] = self._dirty.get(net, 0) | bit
+
+    def lane_release(self, lane: int, net: Optional[int] = None) -> None:
+        """Remove one lane's force on ``net``, or all its forces."""
+        bit = 1 << lane
+        if net is None:
+            self._strip_forces(bit, reassert=True)
+            return
+        entry = self._forces.get(net)
+        if entry is None or not entry[0] & bit:
+            return
+        entry[0] &= ~bit
+        entry[1] &= ~bit
+        entry[2] &= ~bit
+        if not entry[0]:
+            del self._forces[net]
+        self._force_cache = None
+        self._reassert_driver(net, bit)
+
+    def lane_forced_nets(self, lane: int) -> List[int]:
+        bit = 1 << lane
+        return [net for net, entry in self._forces.items()
+                if entry[0] & bit]
+
+    def _strip_forces(self, lane_bit: int, reassert: bool) -> None:
+        released = []
+        for net, entry in list(self._forces.items()):
+            if not entry[0] & lane_bit:
+                continue
+            entry[0] &= ~lane_bit
+            entry[1] &= ~lane_bit
+            entry[2] &= ~lane_bit
+            if not entry[0]:
+                del self._forces[net]
+            released.append(net)
+        if released:
+            self._force_cache = None
+            if reassert:
+                for net in released:
+                    self._reassert_driver(net, lane_bit)
+
+    def _reassert_driver(self, net: int, lane_bit: int) -> None:
+        """After a release the net's driver owns the lane's bit again."""
+        drv = self.c.driver[net]
+        if drv < 0:
+            return
+        grp = self.c.gate_group[drv]
+        if grp >= 0:
+            self._dirty_groups.add(int(grp))
+            return
+        kind = self.c.netlist.gates[drv].kind
+        if kind in ("TIE0", "TIE1"):
+            want = kind == "TIE1"
+            word_v = int(self.val[net])
+            word_k = int(self.known[net])
+            if bool(word_v & lane_bit) != want or not word_k & lane_bit:
+                self.val[net] = np.uint64((word_v | lane_bit) if want
+                                          else (word_v & ~lane_bit))
+                self.known[net] = np.uint64(word_k | lane_bit)
+                self._dirty[net] = self._dirty.get(net, 0) | lane_bit
+
+    def _force_arrays(self):
+        if self._force_cache is None:
+            n = len(self._forces)
+            nets = np.fromiter(self._forces.keys(), dtype=np.int64,
+                               count=n)
+            masks = np.fromiter((e[0] for e in self._forces.values()),
+                                dtype=np.uint64, count=n)
+            vbits = np.fromiter((e[1] for e in self._forces.values()),
+                                dtype=np.uint64, count=n)
+            kbits = np.fromiter((e[2] for e in self._forces.values()),
+                                dtype=np.uint64, count=n)
+            self._force_cache = (nets, masks, vbits, kbits)
+        return self._force_cache
+
+    def _apply_forces(self) -> None:
+        if self._forces:
+            nets, masks, vbits, kbits = self._force_arrays()
+            self.val[nets] = (self.val[nets] & ~masks) | vbits
+            self.known[nets] = (self.known[nets] & ~masks) | kbits
+
+    def _force_levels(self):
+        if not self._forces:
+            return ()
+        levels = {int(self.c.net_comb_level[n]) for n in self._forces}
+        levels.discard(-1)
+        return levels
+
+    # -- settling ------------------------------------------------------------
+    def settle(self) -> None:
+        """Re-settle combinational logic across all lanes at once."""
+        if not self.incremental or self._needs_full or \
+                len(self._dirty) > self._dirty_limit:
+            self._settle_full()
+            return
+        if not self._dirty and not self._dirty_groups:
+            self.noop_settles += 1
+            return
+        self._settle_incremental()
+
+    def _settle_full(self) -> None:
+        self._apply_forces()
+        if self._forces:
+            force_levels = self._force_levels()
+            for level, kernel in self.kernels.levels:
+                kernel(self.val, self.known)
+                if level in force_levels:
+                    self._apply_forces()
+        else:
+            # the fused whole-schedule kernel: no per-level dispatch
+            self.kernels.sweep(self.val, self.known)
+        self._dirty.clear()
+        self._dirty_groups.clear()
+        self._needs_full = False
+        self.full_settles += 1
+
+    def _settle_incremental(self) -> None:
+        c = self.c
+        val, known = self.val, self.known
+        active = np.uint64(self.active_mask & M64)
+        affected = np.zeros(c.n_groups, dtype=bool)
+        ptr, fanout = c.fanout_ptr, c.fanout_groups
+        # the union over per-lane dirty masks picks the groups: one
+        # packed evaluation covers every lane, so a group is either
+        # re-run for all lanes or for none
+        for net in self._dirty:
+            start, end = ptr[net], ptr[net + 1]
+            if start != end:
+                affected[fanout[start:end]] = True
+        for grp in self._dirty_groups:
+            affected[grp] = True
+        self._apply_forces()
+        force_levels = self._force_levels()
+        group_kernels = self.kernels.groups
+        for gi, grp in enumerate(c.schedule):
+            if not affected[gi]:
+                continue
+            out = grp.out
+            old_v, old_k = val[out], known[out]   # fancy index == copy
+            new_v, new_k = group_kernels[gi](val, known)
+            val[out] = new_v
+            known[out] = new_k
+            if grp.level in force_levels:
+                self._apply_forces()
+                new_v, new_k = val[out], known[out]
+            # per-lane change detection: only live lanes propagate
+            changed = ((new_v ^ old_v) | (new_k ^ old_k)) & active
+            if changed.any():
+                for pos in np.nonzero(changed)[0]:
+                    net = int(out[pos])
+                    start, end = ptr[net], ptr[net + 1]
+                    if start != end:
+                        affected[fanout[start:end]] = True
+        self._dirty.clear()
+        self._dirty_groups.clear()
+        self.incremental_settles += 1
+
+    def clock_edge(self) -> None:
+        """One positive edge for every live lane (staged NBA commit)."""
+        val, known = self.val, self.known
+        active = np.uint64(self.active_mask & M64)
+        staged: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for grp in self.c.flops:
+            kind = grp.kind
+            out = grp.out
+            d = grp.ins[0]
+            vd, kd = val[d], known[d]
+            if kind in ("DFFE", "DFFER"):
+                vq, kq = val[out], known[out]
+                e = grp.ins[1]
+                ve, ke = val[e], known[e]
+                agree = kd & kq & ~(vd ^ vq)
+                nv = (ke & ((ve & vd) | (~ve & vq))) | (~ke & agree & vd)
+                nk = (ke & ((ve & kd) | (~ve & kq))) | (~ke & agree)
+            else:
+                nv, nk = vd, kd
+            if kind in ("DFFR", "DFFER"):
+                r = grp.ins[-1]
+                vr, kr = val[r], known[r]
+                r_on = kr & vr
+                r_off = kr & ~vr
+                known_zero = nk & ~nv        # X reset: keep only known-0
+                nk = r_on | (r_off & nk) | (~kr & known_zero)
+                nv = r_off & nv
+            staged.append((out, nv, nk))
+        for out, nv, nk in staged:
+            changed = ((nv ^ val[out]) | (nk ^ known[out])) & active
+            val[out] = nv
+            known[out] = nk
+            if changed.any():
+                dirty = self._dirty
+                for pos in np.nonzero(changed)[0]:
+                    net = int(out[pos])
+                    dirty[net] = dirty.get(net, 0) | int(changed[pos])
+        for lane in self.active_lanes():
+            self.lane_cycle[lane] += 1
+
+    # -- activity ---------------------------------------------------------------
+    def lane_arm_activity(self, lane: int) -> None:
+        bit = 1 << lane
+        self._armed_mask |= bit
+        self._blend_prev(np.uint64(bit))
+
+    def _blend_prev(self, mask: np.ndarray) -> None:
+        inv = ~mask
+        self._prev_val &= inv
+        self._prev_val |= self.val & mask
+        self._prev_known &= inv
+        self._prev_known |= self.known & mask
+
+    def record_activity_now(self, lane_bits: Optional[int] = None) -> None:
+        """Record toggles/Xs for all armed lanes (or a subset)."""
+        if not self.record_activity:
+            return
+        mask_int = self._armed_mask if lane_bits is None \
+            else self._armed_mask & lane_bits
+        if not mask_int:
+            return
+        mask = np.uint64(mask_int)
+        self.ever_x |= ~self.known & mask
+        self.toggled |= ((self.val ^ self._prev_val)
+                         | (self.known ^ self._prev_known)) & mask
+        self._blend_prev(mask)
+
+    def lane_reset_activity(self, lane: int) -> None:
+        bit = 1 << lane
+        inv = np.uint64(~bit & M64)
+        self.toggled &= inv
+        self.ever_x &= inv
+        self._armed_mask &= ~bit
+
+    def lane_planes(self, lane: int) -> Tuple[np.ndarray, np.ndarray]:
+        """This lane's ``(val, known)`` as bool arrays."""
+        sh, one = np.uint64(lane), np.uint64(1)
+        return (((self.val >> sh) & one).astype(bool),
+                ((self.known >> sh) & one).astype(bool))
+
+    def lane_activity(self, lane: int) -> Tuple[np.ndarray, np.ndarray]:
+        """This lane's ``(toggled, ever_x)`` as bool arrays."""
+        sh, one = np.uint64(lane), np.uint64(1)
+        return (((self.toggled >> sh) & one).astype(bool),
+                ((self.ever_x >> sh) & one).astype(bool))
+
+    def lane_exercised(self, lane: int) -> np.ndarray:
+        sh, one = np.uint64(lane), np.uint64(1)
+        return ((((self.toggled | self.ever_x) >> sh) & one)
+                .astype(bool))
+
+    # -- snapshots -----------------------------------------------------------
+    def lane_snapshot(self, lane: int,
+                      pc: Optional[int] = None) -> SimState:
+        """One lane's state in the exact serial SimState layout."""
+        sn = self.c.state_nets
+        sh, one = np.uint64(lane), np.uint64(1)
+        val = ((self.val[sn] >> sh) & one).astype(bool)
+        known = ((self.known[sn] >> sh) & one).astype(bool)
+        return SimState(
+            net_val=val & known,
+            net_known=known,
+            memories={name: mem.snapshot()
+                      for name, mem in self.lane_memories[lane].items()},
+            cycle=self.lane_cycle[lane],
+            pc=pc,
+        )
+
+    def lane_restore(self, lane: int, state: SimState,
+                     settle: bool = True) -> None:
+        """Restore a (serial-compatible) snapshot into one lane.
+
+        Active forces on the lane are dropped *before* the
+        :class:`ForcedRestoreWarning` is issued, so even a
+        warnings-as-errors escalation cannot leave stale pins behind.
+        With ``settle=False`` the caller batches the re-settle across
+        several lane restores (the wave-setup fast path).
+        """
+        sn = self.c.state_nets
+        if state.net_val.shape != sn.shape:
+            raise ValueError("snapshot does not match this netlist")
+        bit = 1 << lane
+        forced = self.lane_forced_nets(lane)
+        if forced:
+            self.lane_release(lane)
+            warnings.warn(
+                f"restore() with {len(forced)} active force(s) on lane "
+                f"{lane}: forces do not survive a restore; re-apply "
+                f"them after restoring", ForcedRestoreWarning,
+                stacklevel=2)
+        sh, one = np.uint64(lane), np.uint64(1)
+        cur_v = (self.val[sn] >> sh) & one
+        cur_k = (self.known[sn] >> sh) & one
+        new_v = state.net_val.astype(np.uint64)
+        new_k = state.net_known.astype(np.uint64)
+        changed = ((cur_v ^ new_v) | (cur_k ^ new_k)).astype(bool)
+        if changed.any():
+            idx = sn[changed]
+            mask = np.uint64(bit)
+            inv = ~mask
+            self.val[idx] = (self.val[idx] & inv) | (new_v[changed] << sh)
+            self.known[idx] = (self.known[idx] & inv) \
+                | (new_k[changed] << sh)
+            dirty = self._dirty
+            for net in idx.tolist():
+                dirty[net] = dirty.get(net, 0) | bit
+        memories = self.lane_memories[lane]
+        for name, snap in state.memories.items():
+            memories[name].restore(snap)
+        self.lane_cycle[lane] = state.cycle
+        if settle:
+            self.settle()
+        if self._armed_mask & bit:
+            self._blend_prev(np.uint64(bit))
+
+
+class LaneView:
+    """CycleSim-compatible facade over one lane of a BatchCycleSim.
+
+    Harnesses and targets drive a lane through this view exactly as
+    they would a serial :class:`~repro.sim.cycle_sim.CycleSim`.  Note
+    that :meth:`settle` and :meth:`clock_edge` are *lane-global* -- all
+    live lanes advance in lockstep (which is the point); per-lane reads,
+    writes, forces, activity and snapshots touch only this lane.
+    """
+
+    __slots__ = ("b", "lane")
+
+    def __init__(self, batch: BatchCycleSim, lane: int):
+        self.b = batch
+        self.lane = lane
+
+    # -- shared structure ---------------------------------------------------
+    @property
+    def c(self) -> CompiledNetlist:
+        return self.b.c
+
+    @property
+    def cycle(self) -> int:
+        return self.b.lane_cycle[self.lane]
+
+    @property
+    def memories(self) -> Dict[str, XMemory]:
+        return self.b.lane_memories[self.lane]
+
+    def attach_memory(self, memory: XMemory) -> XMemory:
+        memories = self.b.lane_memories[self.lane]
+        if memory.name in memories:
+            raise ValueError(f"memory {memory.name!r} already attached")
+        memories[memory.name] = memory
+        return memory
+
+    # -- net access -----------------------------------------------------------
+    def set_net(self, net: int, value: Logic) -> None:
+        self.b.lane_set_net(self.lane, net, value)
+
+    def get_net(self, net: int) -> Logic:
+        return self.b.lane_get_net(self.lane, net)
+
+    def set_bus(self, nets: Sequence[int], value: LVec) -> None:
+        if len(nets) != value.width:
+            raise ValueError("bus width mismatch")
+        for net, bitval in zip(nets, value.bits):
+            self.b.lane_set_net(self.lane, net, bitval)
+
+    def get_bus(self, nets: Sequence[int]) -> LVec:
+        return self.b.lane_get_bus(self.lane, nets)
+
+    def set_input(self, name: str, value) -> None:
+        nl = self.b.c.netlist
+        if isinstance(value, LVec):
+            self.set_bus(nl.bus(name, value.width), value)
+        else:
+            level = value if isinstance(value, Logic) else \
+                (Logic.L1 if value else Logic.L0)
+            self.set_net(nl.net_index(name), level)
+
+    # -- value planes (per-lane bool views) ---------------------------------
+    @property
+    def val(self) -> np.ndarray:
+        return self.b.lane_planes(self.lane)[0]
+
+    @property
+    def known(self) -> np.ndarray:
+        return self.b.lane_planes(self.lane)[1]
+
+    @property
+    def toggled(self) -> np.ndarray:
+        return self.b.lane_activity(self.lane)[0]
+
+    @property
+    def ever_x(self) -> np.ndarray:
+        return self.b.lane_activity(self.lane)[1]
+
+    # -- lockstep stepping ----------------------------------------------------
+    def settle(self) -> None:
+        self.b.settle()
+
+    def clock_edge(self) -> None:
+        self.b.clock_edge()
+
+    def mark_all_dirty(self) -> None:
+        self.b.mark_all_dirty()
+
+    def step(self, drive: Optional[Callable[["LaneView"], None]] = None,
+             on_edge: Optional[Callable[["LaneView"], None]] = None
+             ) -> None:
+        """One clock cycle (lane-global settle/edge; see class docs)."""
+        batch = self.b
+        batch.settle()
+        if drive is not None:
+            batch.record_activity_now(1 << self.lane)
+            drive(self)
+            batch.settle()
+        batch.record_activity_now(1 << self.lane)
+        if on_edge is not None:
+            on_edge(self)
+        batch.clock_edge()
+
+    # -- forcing --------------------------------------------------------------
+    def force(self, net: int, value: Logic) -> None:
+        self.b.lane_force(self.lane, net, value)
+
+    def release(self, net: Optional[int] = None) -> None:
+        self.b.lane_release(self.lane, net)
+
+    # -- activity -------------------------------------------------------------
+    def arm_activity(self) -> None:
+        self.b.lane_arm_activity(self.lane)
+
+    def record_activity_now(self) -> None:
+        self.b.record_activity_now(1 << self.lane)
+
+    def exercised_nets(self) -> np.ndarray:
+        return self.b.lane_exercised(self.lane)
+
+    def reset_activity(self) -> None:
+        self.b.lane_reset_activity(self.lane)
+
+    # -- snapshots ------------------------------------------------------------
+    def snapshot(self, pc: Optional[int] = None) -> SimState:
+        return self.b.lane_snapshot(self.lane, pc=pc)
+
+    def restore(self, state: SimState) -> None:
+        self.b.lane_restore(self.lane, state)

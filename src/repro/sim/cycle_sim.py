@@ -191,7 +191,13 @@ def compile_netlist(netlist: Netlist) -> CompiledNetlist:
     initializers, per-segment replays, the reporting grid) hits the
     cache instead of re-levelizing and re-bucketing the whole design.
     """
-    version = getattr(netlist, "_mutation_version", -1)
+    version = getattr(netlist, "_mutation_version", None)
+    if version is None:
+        # no mutation counter means edits are invisible to the cache
+        # key: a -1 sentinel would match itself forever and serve a
+        # stale schedule after the first in-place edit, so treat such
+        # netlists as uncacheable and compile fresh every time
+        return CompiledNetlist(netlist)
     entry = _COMPILE_CACHE.get(netlist)
     if entry is not None and entry[0] == version:
         return entry[1]
@@ -656,11 +662,16 @@ class CycleSim:
         if state.net_val.shape != sn.shape:
             raise ValueError("snapshot does not match this netlist")
         if self._forces:
+            # drop the forces (and the _force_cache built from them)
+            # BEFORE warning: under warnings-as-errors the warn raises,
+            # and releasing first guarantees no stale pin or cached
+            # force array survives into the next settle either way
+            n_forces = len(self._forces)
+            self.release()
             warnings.warn(
-                f"restore() with {len(self._forces)} active force(s): "
+                f"restore() with {n_forces} active force(s): "
                 f"forces do not survive a restore; re-apply them after "
                 f"restoring", ForcedRestoreWarning, stacklevel=2)
-            self.release()
         cur_v, cur_k = self.val[sn], self.known[sn]
         changed = (state.net_val != cur_v) | (state.net_known != cur_k)
         if changed.any():

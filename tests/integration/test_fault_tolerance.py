@@ -58,6 +58,13 @@ def make_serial(**kw):
                             application=BENCH, **kw)
 
 
+def make_batch(**kw):
+    kw.setdefault("frontier", FRONTIER)
+    target = build_target(DESIGN, WORKLOADS[BENCH])
+    return CoAnalysisEngine(target, csm=ConservativeStateManager(),
+                            application=BENCH, backend="batch", **kw)
+
+
 class TestFaultInjection:
     def test_worker_death_and_corruption_recover(self, fault_free):
         """A worker hard-killed mid-wave and one corrupted state
@@ -205,6 +212,43 @@ class TestInterruptResume:
             baseline.profile.exercisable_gates()
         assert resumed.paths_created == baseline.paths_created
         assert resumed.simulated_cycles == baseline.simulated_cycles
+
+    def test_batch_interrupt_and_resume_matches_uninterrupted(
+            self, tmp_path, fault_free):
+        """The lane-parallel batched engine honors the same checkpoint
+        contract: a ^C mid-wave flushes a final checkpoint, and the
+        resumed run converges to the fault-free serial dichotomy."""
+        ckpt = tmp_path / "batch.ckpt"
+        seen = [0]
+        budget = fault_free.simulated_cycles // 2
+
+        def killer(sim, path_id, cycle):
+            seen[0] += 1
+            if seen[0] > budget:
+                raise KeyboardInterrupt
+
+        interrupted = make_batch(checkpoint=str(ckpt),
+                                 cycle_observer=killer)
+        interrupted.checkpoint.every_segments = 4
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run()
+        assert ckpt.exists()
+
+        resumed = make_batch(checkpoint=str(ckpt), resume=True).run()
+        assert resumed.resumed
+        assert any(e.kind == "resume" for e in resumed.journal)
+        assert resumed.profile.exercisable_gates() == \
+            fault_free.profile.exercisable_gates()
+        assert resumed.paths_created == fault_free.paths_created
+        assert resumed.paths_skipped == fault_free.paths_skipped
+
+    def test_batch_checkpoint_rejected_by_other_engines(self, tmp_path):
+        """Engine kinds are part of the checkpoint identity: a batch
+        checkpoint must not silently resume on the serial engine."""
+        ckpt = tmp_path / "batch_only.ckpt"
+        make_batch(checkpoint=str(ckpt)).run()
+        with pytest.raises(ResumeMismatch):
+            make_serial(checkpoint=str(ckpt), resume=True).run()
 
     def test_resume_from_finished_run_is_instant(self, tmp_path):
         ckpt = tmp_path / "done.ckpt"

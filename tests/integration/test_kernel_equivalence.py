@@ -5,8 +5,9 @@ Algorithm 1's soundness argument does not depend on the order paths are
 simulated or on which simulation backend runs each segment.  This test
 drives the same tiny bm32 workload -- one symbolic input, one
 data-dependent branch -- through the serial cycle executor, the
-event-driven executor and the wave-parallel pool, under every frontier
-strategy, and requires the dichotomy to come out identical.
+event-driven executor, the wave-parallel pool and the lane-parallel
+batched engine, under every frontier strategy, and requires the
+dichotomy to come out identical.
 """
 
 import pytest
@@ -56,7 +57,8 @@ def run_engine(engine_name: str, frontier: str, **kw):
         return ParallelCoAnalysis(TinyTargetFactory(), workers=2,
                                   application="tiny",
                                   frontier=frontier, **kw).run()
-    backend = "cycle" if engine_name == "serial" else "event"
+    backend = {"serial": "cycle", "event": "event",
+               "batch": "batch"}[engine_name]
     return CoAnalysisEngine(tiny_target(), application="tiny",
                             frontier=frontier, backend=backend,
                             **kw).run()
@@ -74,7 +76,7 @@ def test_serial_explores_the_branch(serial_dfs):
     assert 0 < len(gates) < serial_dfs.total_gates
 
 
-@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel"])
+@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel", "batch"])
 @pytest.mark.parametrize("frontier", sorted(FRONTIER_STRATEGIES))
 def test_dichotomy_engine_and_order_invariant(engine_name, frontier,
                                               serial_dfs):
@@ -88,7 +90,7 @@ def test_dichotomy_engine_and_order_invariant(engine_name, frontier,
     assert result.paths_skipped <= result.paths_created
 
 
-@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel"])
+@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel", "batch"])
 @pytest.mark.parametrize("frontier", sorted(FRONTIER_STRATEGIES))
 def test_governed_stop_then_resume_is_equivalent(engine_name, frontier,
                                                  serial_dfs, tmp_path):

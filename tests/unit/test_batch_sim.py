@@ -1,0 +1,504 @@
+"""Unit tests for the bit-packed lane-parallel simulator.
+
+The contract under test: every lane of a :class:`BatchCycleSim`
+behaves exactly like a fresh serial :class:`CycleSim` fed the same
+stimulus -- values, X propagation, forces, activity planes, snapshots.
+The serial engine is the oracle throughout.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.logic import Logic, LVec
+from repro.logic.value import coerce
+from repro.netlist import Netlist
+from repro.rtl import Design
+from repro.sim import (LANE_CAPACITY, BatchCycleSim, CompiledNetlist,
+                       CycleSim, ForcedRestoreWarning, LaneCapacityError,
+                       XMemory, batch_kernels_for)
+
+LOGICS = (Logic.L0, Logic.L1, Logic.X)
+
+
+def all_kinds_netlist():
+    """One gate of every supported comb kind, shared inputs."""
+    nl = Netlist("k")
+    a, b, s = (nl.add_net(n) for n in ("a", "b", "s"))
+    for n in (a, b, s):
+        nl.mark_input(n)
+    for kind in ("AND", "OR", "XOR", "NAND", "NOR", "XNOR"):
+        nl.add_gate(f"g_{kind}", kind, [a, b], nl.add_net(f"y_{kind}"))
+    nl.add_gate("g_NOT", "NOT", [a], nl.add_net("y_NOT"))
+    nl.add_gate("g_BUF", "BUF", [b], nl.add_net("y_BUF"))
+    nl.add_gate("g_MUX2", "MUX2", [a, b, s], nl.add_net("y_MUX2"))
+    nl.add_gate("g_T0", "TIE0", [], nl.add_net("y_T0"))
+    nl.add_gate("g_T1", "TIE1", [], nl.add_net("y_T1"))
+    return nl
+
+
+def counter_netlist():
+    d = Design("cnt")
+    r = d.reg(4, "cnt", reset=True)
+    s, _ = r.q.add(d.const(1, 4))
+    r.drive(s)
+    d.output("y", r.q)
+    return d.finalize()
+
+
+class TestKernelParity:
+    def test_fused_kernels_match_serial_on_every_kind(self):
+        """The generated bitwise kernels and the serial evaluators are
+        the same four-valued function, for every input combination."""
+        nl = all_kinds_netlist()
+        compiled = CompiledNetlist(nl)
+        serial = CycleSim(compiled)
+        batch = BatchCycleSim(compiled)
+        lane = batch.alloc_lane()
+        a, b, s = (nl.net_index(n) for n in ("a", "b", "s"))
+        outs = [nl.net_index(f"y_{k}") for k in
+                ("AND", "OR", "XOR", "NAND", "NOR", "XNOR",
+                 "NOT", "BUF", "MUX2", "T0", "T1")]
+        for va in LOGICS:
+            for vb in LOGICS:
+                for vs in LOGICS:
+                    for net, v in ((a, va), (b, vb), (s, vs)):
+                        serial.set_net(net, v)
+                        batch.lane_set_net(lane, net, v)
+                    serial.settle()
+                    batch.settle()
+                    for out in outs:
+                        assert batch.lane_get_net(lane, out) is \
+                            serial.get_net(out), \
+                            (nl.net_name(out), va, vb, vs)
+
+    def test_kernel_cache_keyed_by_compiled_identity(self):
+        nl = all_kinds_netlist()
+        c1 = CompiledNetlist(nl)
+        assert batch_kernels_for(c1) is batch_kernels_for(c1)
+        assert batch_kernels_for(CompiledNetlist(nl)) is not \
+            batch_kernels_for(c1)
+
+    def test_divergent_lanes_settle_independently(self):
+        """27 lanes, one input combination each, one shared settle."""
+        nl = all_kinds_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        a, b, s = (nl.net_index(n) for n in ("a", "b", "s"))
+        combos = [(va, vb, vs) for va in LOGICS for vb in LOGICS
+                  for vs in LOGICS]
+        lanes = []
+        for va, vb, vs in combos:
+            lane = batch.alloc_lane()
+            batch.lane_set_net(lane, a, va)
+            batch.lane_set_net(lane, b, vb)
+            batch.lane_set_net(lane, s, vs)
+            lanes.append(lane)
+        batch.settle()
+        serial = CycleSim(compiled)
+        for lane, (va, vb, vs) in zip(lanes, combos):
+            serial.set_net(a, va)
+            serial.set_net(b, vb)
+            serial.set_net(s, vs)
+            serial.settle()
+            for name in ("y_AND", "y_XOR", "y_MUX2", "y_NOT"):
+                net = nl.net_index(name)
+                assert batch.lane_get_net(lane, net) is \
+                    serial.get_net(net), (name, va, vb, vs)
+
+
+class TestLaneLifecycle:
+    def test_fork_at_capacity_raises(self):
+        nl = counter_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        first = batch.alloc_lane()
+        for _ in range(LANE_CAPACITY - 1):
+            batch.fork_lane(first)
+        assert batch.n_lanes == LANE_CAPACITY
+        with pytest.raises(LaneCapacityError):
+            batch.fork_lane(first)
+        with pytest.raises(LaneCapacityError):
+            batch.alloc_lane()
+        # dropping one lane frees capacity again
+        batch.drop_lane(first)
+        assert batch.alloc_lane() is not None
+
+    def test_merge_down_to_one_lane_keeps_state(self):
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        rst = nl.net_index("rst")
+        y = nl.bus("y", 4)
+        lanes = [batch.alloc_lane() for _ in range(8)]
+        for lane in lanes:
+            batch.lane_set_net(lane, rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        for lane in lanes:
+            batch.lane_set_net(lane, rst, Logic.L0)
+        # advance lane i by i extra cycles (drop the others as we go)
+        survivor = lanes[3]
+        for step in range(5):
+            batch.settle()
+            batch.clock_edge()
+        for lane in lanes:
+            if lane != survivor:
+                batch.drop_lane(lane)
+        assert batch.n_lanes == 1
+        batch.settle()
+        assert batch.lane_get_bus(survivor, y).to_int() == 5
+        assert batch.lane_cycle[survivor] == 6
+
+    def test_dropped_lane_slot_is_recycled_clean(self):
+        """A recycled lane must not inherit its previous occupant's
+        values, forces, memories, or activity."""
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        rst = nl.net_index("rst")
+        y = nl.bus("y", 4)
+        lane = batch.alloc_lane()
+        view = batch.lane_view(lane)
+        view.attach_memory(XMemory(4, 8, name="m"))
+        batch.lane_arm_activity(lane)
+        batch.lane_set_net(lane, rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        batch.lane_set_net(lane, rst, Logic.L0)
+        batch.lane_force(lane, rst, Logic.L0)
+        for _ in range(3):
+            batch.settle()
+            batch.record_activity_now()
+            batch.clock_edge()
+        batch.drop_lane(lane)
+        lane2 = batch.alloc_lane()
+        assert lane2 == lane                    # lowest slot reused
+        assert batch.lane_memories[lane2] == {}
+        assert batch.lane_forced_nets(lane2) == []
+        assert batch.lane_cycle[lane2] == 0
+        toggled, ever_x = batch.lane_activity(lane2)
+        assert not toggled.any() and not ever_x.any()
+        # fresh lane is all-X (bar ties): the counter output is unknown
+        assert batch.lane_get_net(lane2, y[0]) is Logic.X
+
+    def test_fork_copies_state_and_diverges(self):
+        nl = counter_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        rst = nl.net_index("rst")
+        y = nl.bus("y", 4)
+        src = batch.alloc_lane()
+        batch.lane_view(src).attach_memory(XMemory(4, 8, name="m"))
+        batch.lane_memories[src]["m"].load_word(1, 0x5A)
+        batch.lane_set_net(src, rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        batch.lane_set_net(src, rst, Logic.L0)
+        batch.settle()
+        batch.clock_edge()          # counter: 1
+        child = batch.fork_lane(src)
+        assert batch.lane_cycle[child] == batch.lane_cycle[src]
+        assert batch.lane_memories[child]["m"].read_concrete(1) \
+            .to_int() == 0x5A
+        # memories are clones, not aliases
+        batch.lane_memories[child]["m"].load_word(1, 0x11)
+        assert batch.lane_memories[src]["m"].read_concrete(1) \
+            .to_int() == 0x5A
+        # hold the child in reset; the parent keeps counting
+        batch.lane_set_net(child, rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        batch.settle()
+        assert batch.lane_get_bus(src, y).to_int() == 2
+        assert batch.lane_get_bus(child, y).to_int() == 0
+
+
+class TestSerialParity:
+    def test_lockstep_counter_matches_serial_per_lane(self):
+        """Four lanes with divergent reset timing, each checked against
+        a fresh serial CycleSim fed the identical stimulus."""
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        rst = nl.net_index("rst")
+        # lane i holds reset for i+1 cycles, then runs free
+        release_at = [1, 2, 3, 5]
+        lanes = [batch.alloc_lane() for _ in release_at]
+        serials = [CycleSim(compiled) for _ in release_at]
+        for lane, serial in zip(lanes, serials):
+            batch.lane_set_net(lane, rst, Logic.L1)
+            serial.set_net(rst, Logic.L1)
+        for cycle in range(8):
+            for lane, serial, rel in zip(lanes, serials, release_at):
+                if cycle == rel:
+                    batch.lane_set_net(lane, rst, Logic.L0)
+                    serial.set_net(rst, Logic.L0)
+            batch.settle()
+            batch.clock_edge()
+            for serial in serials:
+                serial.settle()
+                serial.clock_edge()
+        batch.settle()
+        for lane, serial in zip(lanes, serials):
+            serial.settle()
+            val, known = batch.lane_planes(lane)
+            assert (val == serial.val).all()
+            assert (known == serial.known).all()
+
+    def test_x_propagation_parity_per_lane(self):
+        """An X-reset lane must reproduce serial X propagation exactly
+        while a concrete sibling lane stays fully known."""
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        rst = nl.net_index("rst")
+        lane_x = batch.alloc_lane()
+        lane_c = batch.alloc_lane()
+        batch.lane_set_net(lane_x, rst, Logic.X)
+        batch.lane_set_net(lane_c, rst, Logic.L1)
+        serial_x = CycleSim(compiled)
+        serial_x.set_net(rst, Logic.X)
+        for _ in range(3):
+            batch.settle()
+            batch.clock_edge()
+            serial_x.settle()
+            serial_x.clock_edge()
+        batch.settle()
+        serial_x.settle()
+        val_x, known_x = batch.lane_planes(lane_x)
+        assert (known_x == serial_x.known).all()
+        assert (val_x == serial_x.val).all()
+        # the concrete lane is unpolluted by its sibling's Xs
+        y = nl.bus("y", 4)
+        assert batch.lane_get_bus(lane_c, y).to_int() == 0
+
+    def test_activity_planes_match_serial(self):
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        serial = CycleSim(compiled)
+        rst = nl.net_index("rst")
+        lane = batch.alloc_lane()
+        batch.lane_set_net(lane, rst, Logic.L1)
+        serial.set_net(rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        serial.settle()
+        serial.clock_edge()
+        batch.lane_set_net(lane, rst, Logic.L0)
+        serial.set_net(rst, Logic.L0)
+        batch.settle()
+        serial.settle()
+        batch.lane_arm_activity(lane)
+        serial.arm_activity()
+        for _ in range(3):
+            batch.settle()
+            batch.record_activity_now()
+            batch.clock_edge()
+            serial.settle()
+            serial.record_activity_now()
+            serial.clock_edge()
+        batch.settle()
+        batch.record_activity_now()
+        serial.settle()
+        serial.record_activity_now()
+        toggled, ever_x = batch.lane_activity(lane)
+        assert (toggled == serial.toggled).all()
+        assert (ever_x == serial.ever_x).all()
+        assert (batch.lane_exercised(lane) ==
+                serial.exercised_nets()).all()
+
+    def test_per_lane_forces_are_isolated(self):
+        nl = all_kinds_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        a, b = nl.net_index("a"), nl.net_index("b")
+        y = nl.net_index("y_AND")
+        l0, l1 = batch.alloc_lane(), batch.alloc_lane()
+        for lane in (l0, l1):
+            batch.lane_set_net(lane, a, Logic.L1)
+            batch.lane_set_net(lane, b, Logic.L1)
+        batch.lane_force(l0, y, Logic.L0)
+        batch.settle()
+        assert batch.lane_get_net(l0, y) is Logic.L0    # pinned
+        assert batch.lane_get_net(l1, y) is Logic.L1    # driven
+        # release: the driver owns lane 0's bit again
+        batch.lane_release(l0, y)
+        batch.settle()
+        assert batch.lane_get_net(l0, y) is Logic.L1
+        assert batch.lane_forced_nets(l0) == []
+
+
+class TestSnapshotRestore:
+    def _run_serial(self, compiled, nl, cycles):
+        serial = CycleSim(compiled)
+        serial.attach_memory(XMemory(4, 8, name="m"))
+        rst = nl.net_index("rst")
+        serial.set_net(rst, Logic.L1)
+        serial.step()
+        serial.set_net(rst, Logic.L0)
+        for _ in range(cycles):
+            serial.step()
+        return serial
+
+    def test_serial_snapshot_restores_into_a_lane(self):
+        """The interop the batched executor depends on: a snapshot
+        taken by the *serial* engine restores into a batch lane and the
+        lane continues exactly where the serial sim would have."""
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        serial = self._run_serial(compiled, nl, 3)
+        serial.memories["m"].load_word(2, 0xAB)
+        snap = serial.snapshot(pc=7)
+
+        batch = BatchCycleSim(compiled)
+        lane = batch.alloc_lane()
+        batch.lane_view(lane).attach_memory(XMemory(4, 8, name="m"))
+        batch.lane_restore(lane, snap)
+        assert batch.lane_cycle[lane] == snap.cycle
+        assert batch.lane_memories[lane]["m"].read_concrete(2) \
+            .to_int() == 0xAB
+        # both continue for two cycles and agree on every net
+        for _ in range(2):
+            batch.settle()
+            batch.clock_edge()
+            serial.settle()
+            serial.clock_edge()
+        batch.settle()
+        serial.settle()
+        val, known = batch.lane_planes(lane)
+        assert (val == serial.val).all()
+        assert (known == serial.known).all()
+
+    def test_lane_snapshot_restores_into_serial(self):
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        lane = batch.alloc_lane()
+        view = batch.lane_view(lane)
+        view.attach_memory(XMemory(4, 8, name="m"))
+        rst = nl.net_index("rst")
+        view.set_net(rst, Logic.L1)
+        view.step()
+        view.set_net(rst, Logic.L0)
+        for _ in range(4):
+            view.step()
+        snap = view.snapshot(pc=3)
+        serial = CycleSim(compiled)
+        serial.attach_memory(XMemory(4, 8, name="m"))
+        serial.restore(snap)
+        serial.settle()
+        batch.settle()
+        val, known = batch.lane_planes(lane)
+        assert (val == serial.val).all()
+        assert (known == serial.known).all()
+        assert serial.cycle == batch.lane_cycle[lane]
+
+    def test_restore_mismatched_shape_rejected(self):
+        nl = counter_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        lane = batch.alloc_lane()
+        other = all_kinds_netlist()
+        other_sim = CycleSim(CompiledNetlist(other))
+        with pytest.raises(ValueError):
+            batch.lane_restore(lane, other_sim.snapshot())
+
+    def test_lane_restore_drops_forces_before_warning(self):
+        """Batch twin of the serial regression: under -W error the
+        raise must not leave the lane's pins (or force cache) live."""
+        nl = all_kinds_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        lane = batch.alloc_lane()
+        a, b = nl.net_index("a"), nl.net_index("b")
+        y = nl.net_index("y_AND")
+        batch.lane_set_net(lane, a, Logic.L1)
+        batch.lane_set_net(lane, b, Logic.L1)
+        batch.settle()
+        snap = batch.lane_snapshot(lane)
+        batch.lane_force(lane, y, Logic.L0)
+        batch.settle()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ForcedRestoreWarning):
+                batch.lane_restore(lane, snap)
+        assert batch.lane_forced_nets(lane) == []
+        batch.settle()
+        assert batch.lane_get_net(lane, y) is Logic.L1   # no phantom pin
+
+    def test_restore_into_mid_run_batch_leaves_siblings_alone(self):
+        """lane_restore touches exactly one bit column: a sibling lane
+        mid-count must be unaffected by the restore's dirty cone."""
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        rst = nl.net_index("rst")
+        y = nl.bus("y", 4)
+        a_lane, b_lane = batch.alloc_lane(), batch.alloc_lane()
+        for lane in (a_lane, b_lane):
+            batch.lane_set_net(lane, rst, Logic.L1)
+        batch.settle()
+        batch.clock_edge()
+        for lane in (a_lane, b_lane):
+            batch.lane_set_net(lane, rst, Logic.L0)
+        for _ in range(4):
+            batch.settle()
+            batch.clock_edge()
+        batch.settle()
+        snap = batch.lane_snapshot(a_lane)        # counter == 4
+        for _ in range(2):
+            batch.settle()
+            batch.clock_edge()
+        batch.settle()
+        assert batch.lane_get_bus(a_lane, y).to_int() == 6
+        batch.lane_restore(a_lane, snap)
+        assert batch.lane_get_bus(a_lane, y).to_int() == 4
+        assert batch.lane_get_bus(b_lane, y).to_int() == 6
+
+
+class TestLaneView:
+    def test_view_step_matches_serial_step(self):
+        nl = counter_netlist()
+        compiled = CompiledNetlist(nl)
+        batch = BatchCycleSim(compiled)
+        view = batch.lane_view(batch.alloc_lane())
+        serial = CycleSim(compiled)
+        for sim in (view, serial):
+            sim.set_input("rst", Logic.L1)
+            sim.step()
+            sim.set_input("rst", Logic.L0)
+            sim.arm_activity()
+            for _ in range(3):
+                sim.step()
+            sim.settle()
+        assert view.get_bus(nl.bus("y", 4)).to_int() == \
+            serial.get_bus(nl.bus("y", 4)).to_int() == 3
+        assert (view.val == serial.val).all()
+        assert (view.known == serial.known).all()
+        assert (view.toggled == serial.toggled).all()
+        assert (view.exercised_nets() == serial.exercised_nets()).all()
+
+    def test_view_rejects_duplicate_memory(self):
+        nl = counter_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        view = batch.lane_view(batch.alloc_lane())
+        view.attach_memory(XMemory(4, 8, name="m"))
+        with pytest.raises(ValueError):
+            view.attach_memory(XMemory(4, 8, name="m"))
+
+    def test_view_of_inactive_lane_rejected(self):
+        nl = counter_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        lane = batch.alloc_lane()
+        batch.drop_lane(lane)
+        with pytest.raises(ValueError):
+            batch.lane_view(lane)
+
+    def test_set_bus_and_get_bus_roundtrip(self):
+        nl = all_kinds_netlist()
+        batch = BatchCycleSim(CompiledNetlist(nl))
+        view = batch.lane_view(batch.alloc_lane())
+        nets = [nl.net_index("a"), nl.net_index("b"), nl.net_index("s")]
+        vec = LVec([Logic.L1, Logic.X, Logic.L0])
+        view.set_bus(nets, vec)
+        got = view.get_bus(nets)
+        assert [g is v for g, v in zip(got.bits, vec.bits)] == [True] * 3

@@ -286,6 +286,37 @@ class TestSnapshotRestore:
             sim.restore(snap)
         assert sim._force_nets.size == 0
 
+    def test_restore_drops_forces_even_under_warnings_as_errors(self):
+        """Regression: restore() used to warn *before* dropping the
+        forces, so under ``-W error`` the raise left the pins (and the
+        cached force arrays) live -- the next settle re-asserted a
+        phantom force that no longer belonged to any path."""
+        import warnings
+
+        d = Design("ph")
+        c = d.input("cond")
+        d.output("taken", ~c)
+        nl = d.finalize()
+        sim = CycleSim(CompiledNetlist(nl))
+        cond, taken = nl.net_index("cond"), nl.net_index("taken")
+        sim.set_net(cond, Logic.L0)
+        sim.settle()
+        snap = sim.snapshot()
+        sim.force(cond, Logic.L1)
+        sim.settle()
+        assert sim.get_net(taken) is Logic.L0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ForcedRestoreWarning):
+                sim.restore(snap)
+        # the raise aborted the restore, but the force must be gone
+        assert not sim._forces
+        assert sim._force_nets.size == 0
+        sim.set_net(cond, Logic.L0)
+        sim.settle()
+        assert sim.get_net(cond) is Logic.L0      # no phantom pin
+        assert sim.get_net(taken) is Logic.L1
+
     def test_restore_then_force_ordering(self):
         """Pin the fork/replay ordering used by
         ``CoAnalysisEngine._simulate_segment``: restore a snapshot
@@ -431,3 +462,22 @@ class TestIncrementalSettle:
         c2 = compile_netlist(nl)
         assert c2 is not c1
         assert compile_netlist(nl) is c2
+
+    def test_compile_netlist_versionless_is_uncacheable(self):
+        """Regression: a netlist without ``_mutation_version`` used to
+        fall back to a ``-1`` sentinel, which matched itself forever --
+        after the first compile, in-place edits silently served the
+        stale schedule.  Version-less netlists must compile fresh."""
+        nl = comb_xor_netlist()
+        del nl._mutation_version
+        c1 = compile_netlist(nl)
+        # mutate in place: retarget the gate without bumping a version
+        nl.gates[0].kind = "AND"
+        c2 = compile_netlist(nl)
+        assert c2 is not c1                 # no stale cache hit
+        sim = CycleSim(c2)
+        a, b, y = (nl.net_index(n) for n in ("a", "b", "y"))
+        sim.set_net(a, Logic.L1)
+        sim.set_net(b, Logic.L1)
+        sim.settle()
+        assert sim.get_net(y) is Logic.L1   # AND semantics, not XOR

@@ -309,3 +309,38 @@ class TestLabeledDomain:
         sim.poke(nl.net_index("b"), SymBit.const(1))
         sim.settle()
         assert "secret" in sim.get(nl.net_index("y")).taint
+
+
+class TestBridgeForcedRestore:
+    def test_bridge_restore_releases_forces_before_warning(self):
+        """Regression: ``EventSimBridge.restore`` used to warn *first*
+        and then ``_forced.clear()`` -- under warnings-as-errors the
+        pins stayed live, and even on the normal path the bare clear
+        skipped ``release()``'s driver re-scheduling, leaving the forced
+        value latched until something else touched the net."""
+        import warnings
+
+        from repro.coanalysis.executors import EventSimBridge
+        from repro.sim import ForcedRestoreWarning
+
+        nl = nand_latch_free_netlist()
+        bridge = EventSimBridge(nl)
+        a, b = nl.net_index("a"), nl.net_index("b")
+        n1, y = nl.net_index("n1"), nl.net_index("y")
+        bridge.set_net(a, Logic.L1)
+        bridge.set_net(b, Logic.L1)
+        bridge.settle()
+        assert bridge.get_net(y) is Logic.L1
+        snap = bridge.snapshot()
+        bridge.force(n1, Logic.L1)      # override the NAND output
+        bridge.settle()
+        assert bridge.get_net(y) is Logic.L0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ForcedRestoreWarning):
+                bridge.restore(snap)
+        assert not bridge.es._forced
+        bridge.settle()
+        # the NAND owns n1 again: 1 NAND 1 = 0, so y re-derives to 1
+        assert bridge.get_net(n1) is Logic.L0
+        assert bridge.get_net(y) is Logic.L1
