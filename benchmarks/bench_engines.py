@@ -35,15 +35,39 @@ TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
 TRAJECTORY_KEEP = 50
 
 
+def _git_commit() -> str:
+    """Short commit hash of the working tree, "unknown" outside git."""
+    import subprocess
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10, check=True).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
 def _record_trajectory(entry: dict) -> None:
-    """Append ``entry`` to the committed BENCH_engines.json history."""
+    """Record ``entry`` in the committed BENCH_engines.json history.
+
+    Entries are stamped with the current commit; re-running the bench
+    on the same commit *replaces* that commit's measurement for the
+    same (design, lanes, cycles) configuration instead of blind-
+    appending, so local re-runs don't flood the trajectory.
+    """
     from repro.resilience.artifacts import atomic_write_json
+    entry = dict(entry, commit=_git_commit())
     history = []
     if TRAJECTORY.exists():
         try:
             history = json.loads(TRAJECTORY.read_text()).get("runs", [])
         except (ValueError, OSError):
             history = []        # a torn file must not poison the bench
+    key = ("commit", "design", "lanes", "cycles")
+    history = [run for run in history
+               if run.get("commit") == "unknown"
+               or tuple(run.get(k) for k in key)
+               != tuple(entry.get(k) for k in key)]
     history.append(entry)
     atomic_write_json(TRAJECTORY,
                       {"bench": "bench_engines",

@@ -79,10 +79,15 @@ def cmd_analyze(args) -> int:
                      frontier=args.strategy, engine=args.engine,
                      trace=args.trace, progress=args.progress,
                      budget=_run_budget(args),
-                     quarantine=args.quarantine_after)
+                     quarantine=args.quarantine_after,
+                     cache=args.cache)
     summary = result.summary()
     if result.resumed:
         print(f"# resumed from checkpoint {args.checkpoint}",
+              file=sys.stderr)
+    if args.cache:
+        print(f"# segment cache: {result.segment_cache_hits} hits, "
+              f"{result.segment_cache_misses} misses ({args.cache})",
               file=sys.stderr)
     if args.trace:
         print(f"# trace written to {args.trace}", file=sys.stderr)
@@ -275,6 +280,72 @@ def cmd_coverage(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from .store import ContentStore
+    store = ContentStore(Path(args.cache))
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            for key, value in stats.items():
+                print(f"{key:>15}: {value}")
+        return 0
+    if args.action == "ls":
+        rows = []
+        for name, manifest in sorted(store.manifests()):
+            if manifest is None:
+                rows.append({"name": name, "kind": "?",
+                             "error": "unreadable"})
+                continue
+            row = {"name": name,
+                   "kind": manifest.get("kind", "?")}
+            components = manifest.get("components")
+            if isinstance(components, dict):
+                row["design"] = components.get("design")
+                row["application"] = components.get("application")
+            if manifest.get("kind") == "segments":
+                segments = manifest.get("segments")
+                row["segments"] = len(segments) \
+                    if isinstance(segments, dict) else 0
+            rows.append(row)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            for row in rows:
+                extra = " ".join(f"{k}={v}" for k, v in row.items()
+                                 if k not in ("name", "kind")
+                                 and v is not None)
+                print(f"{row['kind']:>8}  {row['name']}"
+                      + (f"  {extra}" if extra else ""))
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"kept {report['kept']} objects, removed "
+                  f"{report['removed']} "
+                  f"({report['freed_bytes']} bytes freed)")
+        return 0
+    # verify
+    report = store.verify()
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"objects: {report['objects']} "
+              f"({len(report['corrupt_objects'])} corrupt), "
+              f"manifests: {report['manifests']} "
+              f"({len(report['unreadable_manifests'])} unreadable), "
+              f"missing blobs: {len(report['missing_blobs'])}")
+        for item in (report["corrupt_objects"]
+                     + report["unreadable_manifests"]
+                     + report["missing_blobs"]):
+            print(f"  !! {item}")
+        print("OK" if report["ok"] else "CORRUPT")
+    return 0 if report["ok"] else 1
+
+
 def cmd_asm(args) -> int:
     assembler = ASSEMBLERS[args.design]()
     source = Path(args.source).read_text()
@@ -388,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarantine a segment whose (pc, state) key "
                             "kills workers K times instead of degrading "
                             "the pool (parallel engine)")
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="content-addressed artifact store: memoize "
+                            "settled segments under the run's "
+                            "fingerprint so an identical re-run replays "
+                            "them instead of re-simulating")
         p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("bespoke", help="generate + validate a bespoke core")
@@ -441,6 +517,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pair_args(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_coverage)
+
+    p = sub.add_parser("store",
+                       help="inspect/maintain a content-addressed "
+                            "artifact store (run/segment/grid caches)")
+    p.add_argument("action", choices=["ls", "stats", "gc", "verify"],
+                   help="ls: list manifests; stats: object/manifest "
+                        "counts; gc: drop unreferenced blobs; verify: "
+                        "re-hash every blob")
+    p.add_argument("--cache", metavar="DIR", default=".repro_cache",
+                   help="store root (default: .repro_cache)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("asm", help="assemble a program")
     p.add_argument("design", choices=["omsp430", "bm32", "dr5"])

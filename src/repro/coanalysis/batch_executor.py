@@ -252,7 +252,15 @@ class BatchSegmentExecutor(SegmentExecutor):
         sim = self.sim
         toggled, ever_x = sim.lane_activity(lane)
         val, known = sim.lane_planes(lane)
-        self._result.profile.absorb(toggled, ever_x, val & known, known)
+        activity = None
+        if self.capture_activity:
+            # the kernel absorbs in batch order (cache replay contract);
+            # copy -- the lane arrays are views reused after drop_lane
+            activity = (toggled.copy(), ever_x.copy(),
+                        (val & known).copy(), known.copy())
+        else:
+            self._result.profile.absorb(toggled, ever_x,
+                                        val & known, known)
         exercised = (toggled | ever_x) \
             if self.record_per_path_activity else None
         sim.lane_reset_activity(lane)
@@ -260,4 +268,4 @@ class BatchSegmentExecutor(SegmentExecutor):
         self.stats.segments += 1
         self.stats.lane_cycles += cycles
         return SegmentResult(outcome, end_pc, cycles, end_state,
-                             exercised)
+                             exercised, activity)

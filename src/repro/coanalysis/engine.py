@@ -54,7 +54,8 @@ class CoAnalysisEngine:
                  tracer=None,
                  backend: str = "cycle",
                  budget=None,
-                 quarantine=None):
+                 quarantine=None,
+                 segment_cache=None):
         self.target = target
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
@@ -92,6 +93,10 @@ class CoAnalysisEngine:
         self.budget = budget
         #: optional quarantine threshold / registry for poison segments
         self.quarantine = quarantine
+        #: optional :class:`~repro.store.segments.SegmentResultCache`:
+        #: settled segments whose (run, state, decision) fingerprints
+        #: match a prior run are replayed instead of re-simulated
+        self.segment_cache = segment_cache
 
     def run(self) -> CoAnalysisResult:
         if self.backend == "batch":
@@ -111,5 +116,6 @@ class CoAnalysisEngine:
             max_paths=self.max_paths, strict=self.strict,
             application=self.application, checkpoint=self.checkpoint,
             resume=self.resume, tracer=self.tracer,
-            budget=self.budget, quarantine=self.quarantine)
+            budget=self.budget, quarantine=self.quarantine,
+            segment_cache=self.segment_cache)
         return kernel.run()

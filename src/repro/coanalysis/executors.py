@@ -108,9 +108,13 @@ class SerialExecutor(SegmentExecutor):
 
     def finalize(self, result) -> None:
         sim = self.sim
-        val = np.asarray(sim.val)
-        known = np.asarray(sim.known)
-        result.profile.absorb(sim.toggled, sim.ever_x, val & known, known)
+        if not self.capture_activity:
+            # under a segment cache the kernel absorbs per-segment
+            # activity itself, in batch order (see SegmentResult.activity)
+            val = np.asarray(sim.val)
+            known = np.asarray(sim.known)
+            result.profile.absorb(sim.toggled, sim.ever_x,
+                                  val & known, known)
         if isinstance(sim, EventSimBridge):
             result.events_executed = sim.es.scheduler.events_executed
 
@@ -120,7 +124,7 @@ class SerialExecutor(SegmentExecutor):
                      total_remaining: Optional[int]) -> SegmentResult:
         sim = self.sim
         parked = None
-        if self.record_per_path_activity:
+        if self.record_per_path_activity or self.capture_activity:
             # true per-segment sets: park the global union, collect this
             # segment in cleared arrays, then re-merge
             parked = (sim.toggled.copy(), sim.ever_x.copy())
@@ -129,8 +133,13 @@ class SerialExecutor(SegmentExecutor):
         try:
             segment = self._simulate(path, path_id, per_path,
                                      total_remaining)
-            if parked is not None:
+            if parked is not None and self.record_per_path_activity:
                 segment.exercised = sim.exercised_nets()
+            if self.capture_activity:
+                val = np.asarray(sim.val)
+                known = np.asarray(sim.known)
+                segment.activity = (sim.toggled.copy(), sim.ever_x.copy(),
+                                    val & known, np.array(known, copy=True))
             return segment
         finally:
             if parked is not None:

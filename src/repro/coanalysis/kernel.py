@@ -67,6 +67,12 @@ class SegmentResult:
     cycles: int
     end_state: Optional[SimState] = None    # snapshot at a halt
     exercised: Optional[object] = None      # per-segment exercised nets
+    #: per-segment activity planes ``(toggled, ever_x, val&known,
+    #: known)``, attached when the executor runs in capture mode (the
+    #: segment cache is on).  The kernel then owns profile absorption,
+    #: in batch order, so a cached replay folds the exact same planes in
+    #: the exact same order as the run that recorded them.
+    activity: Optional[tuple] = None
 
 
 @dataclass
@@ -103,6 +109,10 @@ class SegmentExecutor:
     design = "?"
     netlist = None
     batch_limit: Optional[int] = 1
+    #: set by the kernel when a segment cache is active: the executor
+    #: must attach per-segment planes to ``SegmentResult.activity``
+    #: instead of absorbing them into the profile itself
+    capture_activity: bool = False
 
     def bind(self, result: CoAnalysisResult) -> None:
         """Give the executor the live result (journal, profile)."""
@@ -147,7 +157,8 @@ class ExplorationKernel:
                  stop_after_batches: Optional[int] = None,
                  tracer=None,
                  budget=None,
-                 quarantine=None):
+                 quarantine=None,
+                 segment_cache=None):
         from ..csm.manager import ConservativeStateManager
         from .frontier import make_frontier
         from .trace import Tracer
@@ -165,6 +176,13 @@ class ExplorationKernel:
         self.tracer = tracer if tracer is not None else Tracer()
         self.governor = as_governor(budget)
         self.quarantine = as_quarantine(quarantine)
+        #: optional :class:`~repro.store.segments.SegmentResultCache`:
+        #: settled segments are replayed instead of re-simulated.  The
+        #: executor switches to capture mode so the kernel owns profile
+        #: absorption (cached and live segments fold in identically).
+        self.segment_cache = segment_cache
+        if segment_cache is not None:
+            executor.capture_activity = True
         self.batches_done = 0
         self._stop = None               # StopRequest once governed-stopped
 
@@ -206,6 +224,8 @@ class ExplorationKernel:
                 result.paths_created = 1
 
             self._explore(result)
+            if self.segment_cache is not None:
+                self.segment_cache.flush()
 
             if self.checkpoint is not None:
                 # final record: resuming a finished run returns
@@ -234,6 +254,11 @@ class ExplorationKernel:
             result.metrics = tracer.metrics
             return result
         finally:
+            if self.segment_cache is not None:
+                try:        # best effort on error paths; atomic either way
+                    self.segment_cache.flush()
+                except Exception:
+                    pass
             executor.close()
             tracer.close()
 
@@ -267,6 +292,14 @@ class ExplorationKernel:
                 batch = self._skip_quarantined(batch, result)
                 if not batch:
                     continue
+            cache = self.segment_cache
+            keys = hits = None
+            pending = batch
+            if cache is not None:
+                keys = [cache.key(p.state, p.forced_decision)
+                        for p in batch]
+                hits = [cache.lookup(key) for key in keys]
+                pending = [p for p, hit in zip(batch, hits) if hit is None]
             ctx = BatchContext(
                 first_path_id=len(result.path_records),
                 max_cycles_per_path=self.max_cycles_per_path,
@@ -280,7 +313,8 @@ class ExplorationKernel:
                             pc=path.state.pc)
             journal_mark = len(result.journal)
             try:
-                segments = executor.run_batch(batch, ctx)
+                segments = executor.run_batch(pending, ctx) \
+                    if pending else []
             except KeyboardInterrupt:
                 self.frontier.requeue(batch)
                 if self.checkpoint is not None:
@@ -300,6 +334,28 @@ class ExplorationKernel:
                     tracer.emit("retry", detail=event.detail)
                 elif event.kind == "degraded":
                     tracer.emit("degraded", detail=event.detail)
+            if cache is not None:
+                # splice memoized segments back into batch order, store
+                # the freshly simulated ones, and account hits/misses --
+                # absorption below then runs in the same order a fully
+                # live run would use, so the profile is bit-identical
+                live = iter(segments)
+                segments = []
+                for offset, (path, hit, key) in enumerate(
+                        zip(batch, hits, keys)):
+                    path_id = ctx.first_path_id + offset
+                    if hit is not None:
+                        result.segment_cache_hits += 1
+                        tracer.emit("cache_hit", path_id=path_id,
+                                    pc=path.state.pc)
+                        segments.append(hit)
+                    else:
+                        segment = next(live)
+                        result.segment_cache_misses += 1
+                        tracer.emit("cache_miss", path_id=path_id,
+                                    pc=path.state.pc)
+                        cache.store(key, segment)
+                        segments.append(segment)
             for path, segment in zip(batch, segments):
                 self._absorb(path, segment, result)
             batch_data = {"size": len(batch)}
@@ -352,6 +408,9 @@ class ExplorationKernel:
         tracer = self.tracer
         path_id = len(result.path_records)
         result.simulated_cycles += segment.cycles
+        if segment.activity is not None:
+            # capture mode: the executor left absorption to the kernel
+            result.profile.absorb(*segment.activity)
         outcome = segment.outcome
         if outcome == "budget":
             result.truncated_paths += 1
@@ -427,6 +486,9 @@ class ExplorationKernel:
                       "simulated_cycles": result.simulated_cycles,
                       "truncated_paths": result.truncated_paths,
                       "quarantined_paths": result.quarantined_paths,
+                      "segment_cache_hits": result.segment_cache_hits,
+                      "segment_cache_misses":
+                      result.segment_cache_misses,
                       "batches_done": self.batches_done},
             path_records=list(result.path_records),
             per_path_exercised=list(result.per_path_exercised),
@@ -434,6 +496,10 @@ class ExplorationKernel:
             quarantine=(None if self.quarantine is None
                         else self.quarantine.snapshot_state()))
         self.checkpoint.write(payload, progress=self.batches_done)
+        if self.segment_cache is not None:
+            # flush the memo index at the same cadence as the journal,
+            # so a crash loses at most one checkpoint interval of memos
+            self.segment_cache.flush()
         hook = getattr(self.executor, "on_checkpoint", None)
         if hook is not None:
             hook()
@@ -493,4 +559,6 @@ class ExplorationKernel:
                   "splits": result.splits,
                   "merges_covered": result.paths_skipped,
                   "simulated_cycles": result.simulated_cycles,
+                  "cache_hits": result.segment_cache_hits,
+                  "cache_misses": result.segment_cache_misses,
                   "batches": self.batches_done})

@@ -262,10 +262,17 @@ class PoolExecutor(SegmentExecutor):
             return SegmentResult("quarantined", None, 0)
         (outcome, end_pc, cycles, state_bytes, toggled, ever_x, cval,
          cknown) = output
-        self._result.profile.absorb(toggled, ever_x, cval, cknown)
+        activity = None
+        if self.capture_activity:
+            # kernel absorbs in batch order (cache replay contract);
+            # the arrays arrived over pickle so they are already ours
+            activity = (toggled, ever_x, cval, cknown)
+        else:
+            self._result.profile.absorb(toggled, ever_x, cval, cknown)
         end_state = SimState.from_bytes(state_bytes) \
             if state_bytes is not None else None
-        return SegmentResult(outcome, end_pc, cycles, end_state)
+        return SegmentResult(outcome, end_pc, cycles, end_state,
+                             activity=activity)
 
     # -- serial degradation -------------------------------------------------
     def _degrade(self, reason: PoolExhausted) -> None:
@@ -331,7 +338,8 @@ class ParallelCoAnalysis:
                  frontier=None,
                  tracer=None,
                  budget=None,
-                 quarantine=None):
+                 quarantine=None,
+                 segment_cache=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.target_factory = target_factory
@@ -350,6 +358,7 @@ class ParallelCoAnalysis:
         #: one registry shared by the supervisor (failure counting) and
         #: the kernel (pre-dispatch skip + checkpoint round-trip)
         self.quarantine = as_quarantine(quarantine)
+        self.segment_cache = segment_cache
         self.stats = ParallelRunStats(workers=workers)
 
     def run(self) -> CoAnalysisResult:
@@ -367,7 +376,8 @@ class ParallelCoAnalysis:
             application=self.application, checkpoint=self.checkpoint,
             resume=self.resume, stop_after_batches=self.stop_after_waves,
             tracer=self.tracer, budget=self.budget,
-            quarantine=self.quarantine)
+            quarantine=self.quarantine,
+            segment_cache=self.segment_cache)
         try:
             result = kernel.run()
         finally:

@@ -87,6 +87,11 @@ class CoAnalysisResult:
     #: (:class:`~repro.coanalysis.batch_executor.BatchRunStats`; None
     #: for the other engines)
     batch_stats: Optional[object] = None
+    #: segments replayed from / recorded into a
+    #: :class:`~repro.store.segments.SegmentResultCache` (both 0 when
+    #: the run had no segment cache)
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
 
     @property
     def complete(self) -> bool:
@@ -128,6 +133,9 @@ class CoAnalysisResult:
         }
         if self.quarantined_paths:
             out["quarantined_paths"] = self.quarantined_paths
+        if self.segment_cache_hits or self.segment_cache_misses:
+            out["segment_cache_hits"] = self.segment_cache_hits
+            out["segment_cache_misses"] = self.segment_cache_misses
         return out
 
 

@@ -43,6 +43,8 @@ EVENT_KINDS = (
     "mem_pressure",   # governor: RSS ceiling or frontier cap reached
     "interrupted",    # governor: SIGINT/SIGTERM turned into a stop
     "quarantined",    # a poison segment was quarantined and skipped
+    "cache_hit",      # a settled segment was replayed from the store
+    "cache_miss",     # a segment was simulated and memoized
     "batch",          # one frontier batch (wave) completed
     "phase",          # wall-time accounting for one run phase
     "run_end",        # exploration finished (summary counters)
@@ -156,6 +158,8 @@ class RunMetrics:
     resumes: int = 0
     retries: int = 0
     quarantined: int = 0                # quarantined events
+    cache_hits: int = 0                 # cache_hit events (replayed)
+    cache_misses: int = 0               # cache_miss events (memoized)
     #: why a governed run stopped early (None = ran to completion)
     stop_reason: Optional[str] = None
     outcomes: Dict[str, int] = field(default_factory=dict)
@@ -177,6 +181,8 @@ class RunMetrics:
             "resumes": self.resumes,
             "retries": self.retries,
             "quarantined": self.quarantined,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "stop_reason": self.stop_reason,
             "outcomes": dict(self.outcomes),
             "equiv_checks": self.equiv_checks,
@@ -221,13 +227,18 @@ class MetricsAggregator(TraceSink):
             # interruption, so the stream stays consistent with the
             # engine's totals
             for key in ("paths_explored", "splits", "merges_covered",
-                        "simulated_cycles", "batches"):
+                        "simulated_cycles", "batches", "cache_hits",
+                        "cache_misses"):
                 if key in event.data:
                     setattr(m, key, event.data[key])
         elif event.kind == "retry":
             m.retries += 1
         elif event.kind == "quarantined":
             m.quarantined += 1
+        elif event.kind == "cache_hit":
+            m.cache_hits += 1
+        elif event.kind == "cache_miss":
+            m.cache_misses += 1
         elif event.kind in ("deadline", "mem_pressure", "interrupted"):
             m.stop_reason = str(event.data.get("reason", event.kind))
         elif event.kind == "equiv_outcome":

@@ -109,6 +109,14 @@ class ConstraintSet:
     def __len__(self) -> int:
         return len(self._net_fixes) + len(self._mem_fixes)
 
+    def canonical_lines(self) -> List[str]:
+        """Sorted canonical form (feeds the CSM config fingerprint)."""
+        lines = [f"net:{pos}={value}"
+                 for pos, value in sorted(self._net_fixes)]
+        lines += sorted(f"mem:{c.memory}[{c.address}].{c.bit}={c.value}"
+                        for c in self._mem_fixes)
+        return lines
+
     def apply(self, state: SimState) -> SimState:
         """Pin constrained bits in ``state`` (in place) and return it."""
         for pos, value in self._net_fixes:

@@ -263,6 +263,28 @@ class Netlist:
                         f"net {net.name!r} is used but has no driver and is "
                         f"not a primary input")
 
+    # -- canonical structure -------------------------------------------------
+    def structural_lines(self) -> List[str]:
+        """Canonical name-based description of the circuit's structure.
+
+        One sorted line per primary input, primary output, and gate
+        (``kind(in_names)->out_name``).  Net and gate *indices*, net
+        declaration order, gate instance names, and internal dict
+        insertion order do not appear, so two netlists describing the
+        same circuit -- built in a different order, re-parsed from
+        Verilog, or cloned -- produce identical lines, while any cell or
+        connection change produces different ones.  This is the input to
+        :func:`repro.store.fingerprint.fingerprint_netlist`.
+        """
+        lines = sorted(f"input {self.net_name(i)}" for i in set(self.inputs))
+        lines += sorted(f"output {self.net_name(i)}"
+                        for i in set(self.outputs))
+        lines += sorted(
+            f"{g.kind}({','.join(self.net_name(i) for i in g.inputs)})"
+            f"->{self.net_name(g.output)}"
+            for g in self.gates)
+        return lines
+
     # -- rebuilding ----------------------------------------------------------
     def clone(self) -> "Netlist":
         """Deep structural copy."""

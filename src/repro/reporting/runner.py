@@ -5,10 +5,20 @@ grid of co-analysis runs (3 designs x 6 benchmarks).  This module runs
 that grid once and caches results on disk, so the per-table benchmark
 harnesses in ``benchmarks/`` can each render their artifact without
 re-simulating.
+
+Caching is content-addressed (:mod:`repro.store`): every grid entry is
+keyed by the :func:`~repro.store.fingerprint.run_fingerprint` of its
+configuration -- netlist structure, CSM config, assembled binary,
+engine, frontier, budgets -- so entries self-invalidate the moment any
+ingredient changes, with no version constant to bump.  ``run_one`` can
+additionally memoize *segment results* through the same store
+(``cache=``): a re-run of an identical configuration replays settled
+segments instead of re-simulating them.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from pathlib import Path
@@ -20,11 +30,11 @@ from ..coanalysis.trace import JsonlTraceSink, ProgressLine, Tracer
 from ..csm.constraints import ConstraintSet, parse_constraints
 from ..csm.manager import ConservativeStateManager
 from ..csm.strategies import MergeStrategy, UberConservative
+from ..store import ContentStore, RunFingerprint, SegmentResultCache, \
+    run_fingerprint
 from ..workloads import WORKLOAD_ORDER, WORKLOADS, build_target
 
 DESIGN_ORDER = ["bm32", "omsp430", "dr5"]     # paper table column order
-
-_GRID_VERSION = 6   # bump to invalidate caches when semantics change
 
 ENGINES = ("serial", "event", "parallel", "batch")
 
@@ -36,6 +46,47 @@ def _make_tracer(trace, progress: bool) -> Optional[Tracer]:
     if progress:
         sinks.append(ProgressLine())
     return Tracer(sinks) if sinks else None
+
+
+def _pair_fingerprint(design: str, benchmark: str,
+                      strategy: Optional[MergeStrategy],
+                      target, constraints,
+                      engine: str = "serial", frontier: str = "dfs",
+                      max_cycles_per_path: int = 20000,
+                      max_total_cycles: Optional[int] = 2_000_000,
+                      ) -> RunFingerprint:
+    """Fingerprint one (design, benchmark) configuration."""
+    return run_fingerprint(
+        netlist=target.netlist, strategy=strategy,
+        constraints=constraints, design=design, application=benchmark,
+        program=target.program, data_init=target.data_init,
+        symbolic_ranges=target.symbolic_ranges,
+        engine=engine, frontier=frontier,
+        max_cycles_per_path=max_cycles_per_path,
+        max_total_cycles=max_total_cycles)
+
+
+def _register_run(store: ContentStore, fp: RunFingerprint,
+                  result: CoAnalysisResult, checkpoint, trace) -> None:
+    """Write the ``run-<digest>`` manifest, registering the run's
+    on-disk artifacts (checkpoint journal, JSONL trace) as blobs."""
+    artifacts: Dict[str, str] = {}
+    for label, source in (("checkpoint", checkpoint), ("trace", trace)):
+        path = getattr(source, "path", source)
+        try:
+            if path is not None and Path(path).is_file():
+                artifacts[label] = store.put_bytes(
+                    Path(path).read_bytes())
+        except OSError:
+            continue                    # unreadable artifact: skip it
+    store.put_manifest(f"run-{fp.digest}", {
+        "kind": "run",
+        "fingerprint": fp.digest,
+        "components": fp.components,
+        "summary": result.summary(),
+        "segments_manifest": f"segments-{fp.digest}",
+        "artifacts": artifacts,
+    })
 
 
 def run_one(design: str, benchmark: str,
@@ -51,8 +102,9 @@ def run_one(design: str, benchmark: str,
             trace=None,
             progress: bool = False,
             budget=None,
-            quarantine=None) -> CoAnalysisResult:
-    """One symbolic co-analysis run (no caching).
+            quarantine=None,
+            cache=None) -> CoAnalysisResult:
+    """One symbolic co-analysis run.
 
     ``strategy`` is the CSM merge strategy; ``frontier`` schedules the
     path frontier (``dfs``/``bfs``/``novelty``).  ``engine`` picks the
@@ -71,6 +123,13 @@ def run_one(design: str, benchmark: str,
     limit returns a :class:`~repro.coanalysis.results.PartialResult`);
     ``quarantine`` is a poison-segment threshold (int) or
     :class:`~repro.resilience.quarantine.QuarantineRegistry`.
+
+    ``cache`` is a directory (or :class:`~repro.store.ContentStore`)
+    holding a content-addressed artifact store: settled segment results
+    are memoized under the run's fingerprint, so re-running an identical
+    (binary, netlist, CSM, engine, strategy) configuration replays
+    segments instead of re-simulating them, and a ``run-<digest>``
+    manifest records the run and its artifacts.
     """
     if engine is None:
         engine = "parallel" if workers > 1 else "serial"
@@ -84,9 +143,23 @@ def run_one(design: str, benchmark: str,
     if text:
         constraints = ConstraintSet(parse_constraints(text),
                                     target.state_net_positions())
-    csm = ConservativeStateManager(strategy or UberConservative(),
-                                   constraints=constraints)
+    strategy = strategy or UberConservative()
+    csm = ConservativeStateManager(strategy, constraints=constraints)
     tracer = _make_tracer(trace, progress)
+
+    store = fp = segment_cache = None
+    if cache is not None:
+        store = cache if isinstance(cache, ContentStore) \
+            else ContentStore(Path(cache))
+        fp = _pair_fingerprint(
+            design, benchmark, strategy, target, constraints,
+            engine=engine, frontier=frontier,
+            max_cycles_per_path=max_cycles_per_path,
+            # the parallel engine runs without a total-cycle budget
+            max_total_cycles=(None if engine == "parallel"
+                              else max_total_cycles))
+        segment_cache = SegmentResultCache(store, fp.digest)
+
     if engine == "parallel":
         from ..coanalysis.parallel import (ParallelCoAnalysis,
                                            WorkloadTargetFactory)
@@ -96,24 +169,39 @@ def run_one(design: str, benchmark: str,
                                     application=benchmark,
                                     checkpoint=checkpoint, resume=resume,
                                     frontier=frontier, tracer=tracer,
-                                    budget=budget, quarantine=quarantine)
-        return runner.run()
-    runner = CoAnalysisEngine(target, csm=csm,
-                              max_cycles_per_path=max_cycles_per_path,
-                              max_total_cycles=max_total_cycles,
-                              application=benchmark,
-                              checkpoint=checkpoint, resume=resume,
-                              frontier=frontier, tracer=tracer,
-                              backend={"serial": "cycle",
-                                       "event": "event",
-                                       "batch": "batch"}[engine],
-                              budget=budget, quarantine=quarantine)
-    return runner.run()
+                                    budget=budget, quarantine=quarantine,
+                                    segment_cache=segment_cache)
+    else:
+        runner = CoAnalysisEngine(target, csm=csm,
+                                  max_cycles_per_path=max_cycles_per_path,
+                                  max_total_cycles=max_total_cycles,
+                                  application=benchmark,
+                                  checkpoint=checkpoint, resume=resume,
+                                  frontier=frontier, tracer=tracer,
+                                  backend={"serial": "cycle",
+                                           "event": "event",
+                                           "batch": "batch"}[engine],
+                                  budget=budget, quarantine=quarantine,
+                                  segment_cache=segment_cache)
+    result = runner.run()
+    if store is not None:
+        _register_run(store, fp, result, checkpoint, trace)
+    return result
 
 
-def _cache_path(cache_dir: Path, design: str, benchmark: str,
-                tag: str) -> Path:
-    return cache_dir / f"grid_v{_GRID_VERSION}_{design}_{benchmark}_{tag}.pkl"
+def _load_grid_entry(store: ContentStore,
+                     name: str) -> Optional[CoAnalysisResult]:
+    """Load one cached grid result; any corruption -- truncated blob,
+    bad pickle, missing manifest key, wrong type -- falls through to a
+    fresh run instead of crashing the whole grid."""
+    try:
+        manifest = store.get_manifest(name)
+        if not manifest:
+            return None
+        result = pickle.loads(store.get_bytes(manifest["result"]))
+        return result if isinstance(result, CoAnalysisResult) else None
+    except Exception:
+        return None
 
 
 def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
@@ -125,29 +213,40 @@ def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
              ) -> Dict[str, Dict[str, CoAnalysisResult]]:
     """Run (or load) the full co-analysis grid.
 
-    Returns ``results[design][benchmark]``.  When ``cache_dir`` is given,
-    completed runs are pickled there and reused; the cache key includes
-    the strategy name, so ablations get distinct entries.
+    Returns ``results[design][benchmark]``.  When ``cache_dir`` is
+    given, completed runs are stored in a content-addressed
+    :class:`~repro.store.ContentStore` there and reused.  Entries are
+    keyed by each pair's full run fingerprint -- netlist structure, CSM
+    strategy and constraints, assembled binary, budgets -- so *any*
+    change to those inputs gets a fresh run automatically, and ablation
+    strategies get distinct entries for free.
     """
-    tag = strategy_factory().name
+    store = ContentStore(Path(cache_dir)) if cache_dir is not None \
+        else None
     results: Dict[str, Dict[str, CoAnalysisResult]] = {}
     for design in designs:
         results[design] = {}
         for benchmark in benchmarks:
-            cached = None
-            path = None
-            if cache_dir is not None:
-                cache_dir.mkdir(parents=True, exist_ok=True)
-                path = _cache_path(cache_dir, design, benchmark, tag)
-                if path.exists():
-                    with path.open("rb") as fh:
-                        cached = pickle.load(fh)
-            if cached is not None:
-                results[design][benchmark] = cached
-                continue
+            strategy = strategy_factory()
+            name = None
+            if store is not None:
+                workload = WORKLOADS[benchmark]
+                target = build_target(design, workload)
+                constraints = None
+                text = workload.constraints.get(design)
+                if text:
+                    constraints = ConstraintSet(
+                        parse_constraints(text),
+                        target.state_net_positions())
+                fp = _pair_fingerprint(design, benchmark, strategy,
+                                       target, constraints)
+                name = f"grid-{fp.digest}"
+                cached = _load_grid_entry(store, name)
+                if cached is not None:
+                    results[design][benchmark] = cached
+                    continue
             t0 = time.perf_counter()
-            result = run_one(design, benchmark,
-                             strategy=strategy_factory())
+            result = run_one(design, benchmark, strategy=strategy)
             if verbose:
                 m = result.metrics
                 print(f"  {design:>8} / {benchmark:<10}"
@@ -158,15 +257,36 @@ def run_grid(designs: Sequence[str] = tuple(DESIGN_ORDER),
                       f" exercisable={result.exercisable_gate_count}"
                       f" ({time.perf_counter() - t0:.1f}s)")
             results[design][benchmark] = result
-            if path is not None:
-                # atomic: a run killed mid-dump must not leave a torn
-                # pickle that poisons every later grid invocation
-                from ..resilience.artifacts import atomic_write_bytes
-                atomic_write_bytes(
-                    path, pickle.dumps(result,
-                                       protocol=pickle.HIGHEST_PROTOCOL))
+            if store is not None:
+                # the blob write and the manifest write are each atomic,
+                # and the manifest goes last: a run killed mid-store
+                # leaves no entry, never a torn one
+                digest = store.put_bytes(
+                    pickle.dumps(result,
+                                 protocol=pickle.HIGHEST_PROTOCOL))
+                store.put_manifest(name, {
+                    "kind": "grid",
+                    "design": design,
+                    "benchmark": benchmark,
+                    "strategy": strategy.name,
+                    "fingerprint": fp.digest,
+                    "components": fp.components,
+                    "result": digest,
+                })
     return results
 
 
 def default_cache_dir() -> Path:
-    return Path(__file__).resolve().parents[3] / ".repro_cache"
+    """Where grid results cache by default.
+
+    ``REPRO_CACHE_DIR`` wins when set; otherwise the platform user
+    cache (``$XDG_CACHE_HOME``/``~/.cache``) -- never the installed
+    package tree, which may be read-only and is shared between
+    projects.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"

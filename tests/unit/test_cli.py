@@ -221,3 +221,56 @@ class TestErrorHandling:
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
         assert data["program_words"] > 0
+
+
+class TestStoreCommand:
+    def test_parser_accepts_store_actions(self):
+        for action in ("ls", "stats", "gc", "verify"):
+            args = build_parser().parse_args(
+                ["store", action, "--cache", "x", "--json"])
+            assert args.action == action
+            assert args.json
+
+    def test_store_lifecycle(self, tmp_path, capsys):
+        cache = str(tmp_path / "store")
+        rc = main(["run", "dr5", "mult", "--cache", cache, "--json"])
+        assert rc == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["segment_cache_misses"] > 0
+
+        rc = main(["run", "dr5", "mult", "--cache", cache, "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        warm = json.loads(captured.out)
+        assert warm["segment_cache_hits"] > 0
+        assert warm["segment_cache_misses"] == 0
+        assert "segment cache" in captured.err
+
+        rc = main(["store", "stats", "--cache", cache, "--json"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["objects"] > 0
+        assert stats["manifest_kinds"].get("run") == 1
+
+        rc = main(["store", "ls", "--cache", cache])
+        assert rc == 0
+        assert "run-" in capsys.readouterr().out
+
+        rc = main(["store", "gc", "--cache", cache, "--json"])
+        assert rc == 0
+        gc = json.loads(capsys.readouterr().out)
+        assert gc["removed"] == 0           # everything registered is live
+
+        rc = main(["store", "verify", "--cache", cache, "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["ok"]
+
+    def test_store_verify_flags_corruption(self, tmp_path, capsys):
+        from repro.store import ContentStore
+        store = ContentStore(tmp_path / "s")
+        digest = store.put_bytes(b"payload")
+        store.object_path(digest).write_bytes(b"tampered")
+        store.put_manifest("m", {"blob": digest})
+        rc = main(["store", "verify", "--cache", str(tmp_path / "s")])
+        assert rc == 1
+        assert "!!" in capsys.readouterr().out

@@ -146,3 +146,77 @@ class TestRunnerCache:
         runner.run_grid(designs=["bm32"], benchmarks=["Div"],
                         cache_dir=None)
         assert len(calls) == 2
+
+    def test_corrupt_grid_entry_falls_through_to_fresh_run(
+            self, tmp_path, monkeypatch):
+        """Satellite regression: a truncated / garbage cache entry must
+        be treated as a miss, never crash or return junk."""
+        from repro.reporting import runner
+        from repro.store import ContentStore
+
+        calls = []
+        monkeypatch.setattr(
+            runner, "run_one",
+            lambda d, b, strategy=None, **kw: (
+                calls.append(1), fake_result(d, b, 2, 3, 1, 10))[1])
+        runner.run_grid(designs=["bm32"], benchmarks=["Div"],
+                        cache_dir=tmp_path)
+        assert len(calls) == 1
+
+        store = ContentStore(tmp_path)
+        (name,) = [n for n in store.manifest_names()
+                   if n.startswith("grid-")]
+        # truncate the pickled result blob behind the manifest's back
+        digest = store.get_manifest(name)["result"]
+        store.object_path(digest).write_bytes(b"\x80garbage")
+
+        grid = runner.run_grid(designs=["bm32"], benchmarks=["Div"],
+                               cache_dir=tmp_path)
+        assert len(calls) == 2              # re-ran instead of crashing
+        assert grid["bm32"]["Div"].paths_created == 3
+
+        # same story for a torn manifest file
+        store.manifest_path(name).write_text("{not json")
+        runner.run_grid(designs=["bm32"], benchmarks=["Div"],
+                        cache_dir=tmp_path)
+        assert len(calls) == 3
+
+    def test_mutated_strategy_misses_grid_cache(self, tmp_path,
+                                                monkeypatch):
+        """No version constant: changing the CSM strategy changes the
+        fingerprint, so the cache never serves a stale entry."""
+        from repro.csm.strategies import Clustered
+        from repro.reporting import runner
+
+        calls = []
+        monkeypatch.setattr(
+            runner, "run_one",
+            lambda d, b, strategy=None, **kw: (
+                calls.append(1), fake_result(d, b, 1, 1, 0, 1))[1])
+        runner.run_grid(designs=["bm32"], benchmarks=["Div"],
+                        cache_dir=tmp_path)
+        runner.run_grid(designs=["bm32"], benchmarks=["Div"],
+                        cache_dir=tmp_path,
+                        strategy_factory=lambda: Clustered(k=2))
+        assert len(calls) == 2
+
+
+class TestDefaultCacheDir:
+    def test_env_var_wins(self, tmp_path, monkeypatch):
+        from repro.reporting.runner import default_cache_dir
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_not_inside_the_package_tree(self, monkeypatch):
+        import repro
+        from repro.reporting.runner import default_cache_dir
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        pkg = Path(repro.__file__).resolve().parent
+        resolved = default_cache_dir().resolve()
+        assert pkg not in resolved.parents and resolved != pkg
+
+    def test_xdg_cache_home_honored(self, tmp_path, monkeypatch):
+        from repro.reporting.runner import default_cache_dir
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro"
