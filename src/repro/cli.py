@@ -71,6 +71,13 @@ def _run_budget(args) -> Optional[RunBudget]:
 
 
 def cmd_analyze(args) -> int:
+    if args.lanes is not None and args.engine != "batch":
+        print("error: --lanes requires --engine batch", file=sys.stderr)
+        return 2
+    if args.lanes is not None and (args.lanes <= 0 or args.lanes % 64):
+        print(f"error: --lanes must be a positive multiple of 64, "
+              f"got {args.lanes}", file=sys.stderr)
+        return 2
     result = run_one(args.design, args.benchmark,
                      strategy=CSM_STRATEGIES[args.csm](),
                      use_constraints=not args.no_constraints,
@@ -80,7 +87,7 @@ def cmd_analyze(args) -> int:
                      trace=args.trace, progress=args.progress,
                      budget=_run_budget(args),
                      quarantine=args.quarantine_after,
-                     cache=args.cache)
+                     cache=args.cache, lanes=args.lanes)
     summary = result.summary()
     if result.resumed:
         print(f"# resumed from checkpoint {args.checkpoint}",
@@ -419,8 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="simulation backend (default: serial, or "
                             "parallel when --workers > 1; batch runs "
-                            "the whole frontier in lockstep, up to 64 "
+                            "the whole frontier in lockstep, --lanes "
                             "paths per settle)")
+        p.add_argument("--lanes", type=int, default=None, metavar="N",
+                       help="lane-plane width for --engine batch: paths "
+                            "simulated per lockstep settle (a multiple "
+                            "of 64; default 64).  Freed lanes are "
+                            "refilled from the frontier by compaction.")
         p.add_argument("--no-constraints", action="store_true",
                        help="ignore the workload's CSM constraint file")
         p.add_argument("--json", action="store_true")

@@ -2,11 +2,14 @@
 
 The exploration loop lives in :class:`ExplorationKernel`; simulation
 backends (serial cycle engine, event-driven engine, supervised worker
-pool) plug in as :class:`SegmentExecutor` implementations, frontier
-ordering as :class:`FrontierStrategy` instances, and observability as
-trace sinks on a :class:`Tracer`.
+pool, lane-parallel batch) plug in as :class:`SimBackend`
+implementations (``SegmentExecutor`` is the compatibility alias),
+frontier ordering as :class:`FrontierStrategy` instances, and
+observability as trace sinks on a :class:`Tracer`.
 """
 
+from .backend import (SimBackend, boundary_outcome, prepare_initial_state,
+                      simulate_segment)
 from .engine import CoAnalysisEngine
 from .event_engine import EventCoAnalysis
 from .executors import EventSimBridge, SerialExecutor
@@ -25,8 +28,9 @@ from .trace import (JsonlTraceSink, MetricsAggregator, ProgressLine,
                     aggregate_trace, read_trace)
 
 __all__ = [
-    "ExplorationKernel", "SegmentExecutor", "SegmentResult",
+    "ExplorationKernel", "SimBackend", "SegmentExecutor", "SegmentResult",
     "BatchContext", "PendingPath",
+    "boundary_outcome", "prepare_initial_state", "simulate_segment",
     "CoAnalysisEngine", "EventCoAnalysis",
     "SerialExecutor", "EventSimBridge",
     "FrontierStrategy", "DepthFirstFrontier", "BreadthFirstFrontier",

@@ -55,7 +55,8 @@ class CoAnalysisEngine:
                  backend: str = "cycle",
                  budget=None,
                  quarantine=None,
-                 segment_cache=None):
+                 segment_cache=None,
+                 lanes: Optional[int] = None):
         self.target = target
         self.csm = csm or ConservativeStateManager()
         self.max_cycles_per_path = max_cycles_per_path
@@ -97,13 +98,19 @@ class CoAnalysisEngine:
         #: settled segments whose (run, state, decision) fingerprints
         #: match a prior run are replayed instead of re-simulated
         self.segment_cache = segment_cache
+        #: lane-plane width for ``backend="batch"`` (any multiple of
+        #: 64; None = the 64-lane default); ignored by other backends
+        self.lanes = lanes
 
     def run(self) -> CoAnalysisResult:
         if self.backend == "batch":
+            from ..sim.batch_sim import LANE_CAPACITY
             from .batch_executor import BatchSegmentExecutor
             executor = BatchSegmentExecutor(
                 self.target, cycle_observer=self.cycle_observer,
-                record_per_path_activity=self.record_per_path_activity)
+                record_per_path_activity=self.record_per_path_activity,
+                lanes=self.lanes if self.lanes is not None
+                else LANE_CAPACITY)
         else:
             executor = SerialExecutor(
                 self.target, cycle_observer=self.cycle_observer,

@@ -25,7 +25,7 @@ close (measured in ``benchmarks/bench_engines.py``).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -36,12 +36,12 @@ from ..sim.event_sim import EventSim
 from ..sim.events import HaltSimulation
 from ..sim.state import SimState
 from ..sim.tasks import MonitorX
-from .kernel import (BatchContext, ExplorationKernel, PendingPath,
-                     SegmentExecutor, SegmentResult)
+from .backend import PendingPath, SegmentResult, SimBackend
+from .kernel import ExplorationKernel
 from .results import CoAnalysisResult
 
 
-class _CallbackEventExecutor(SegmentExecutor):
+class _CallbackEventExecutor(SimBackend):
     """One fresh event simulator per segment, driven by callbacks."""
 
     kind = "event"
@@ -86,13 +86,13 @@ class _CallbackEventExecutor(SegmentExecutor):
         base.settle()
         return self._to_simstate(base, a.pc_of(base))
 
-    def run_batch(self, batch: List[PendingPath],
-                  ctx: BatchContext) -> List[SegmentResult]:
-        return [self._run_segment(path, ctx.max_cycles_per_path)
-                for path in batch]
+    # run_batch: inherited default (per-segment dispatch via run_segment)
 
-    def _run_segment(self, path: PendingPath,
-                     per_path: int) -> SegmentResult:
+    def run_segment(self, path: PendingPath, path_id: int, per_path: int,
+                    total_remaining: Optional[int]) -> SegmentResult:
+        # total_remaining is unused: this front runs without a
+        # total-cycle budget (max_total_cycles=None), matching the
+        # paper's per-path-only cap
         a = self.analysis
         sim = EventSim(a.netlist)            # a fresh simulator process
         sim.add_symbolic_task(MonitorX(a.monitored))

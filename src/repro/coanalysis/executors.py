@@ -21,7 +21,7 @@ merging, forking, budgets and checkpoints all live in the kernel.
 from __future__ import annotations
 
 import warnings
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -29,11 +29,12 @@ from ..logic.value import Logic
 from ..logic.vector import LVec
 from ..sim.cycle_sim import ForcedRestoreWarning, compile_netlist
 from ..sim.state import SimState
-from .kernel import BatchContext, PendingPath, SegmentExecutor, SegmentResult
+from .backend import (PendingPath, SegmentResult, SimBackend,
+                      prepare_initial_state, simulate_segment)
 from .target import SymbolicTarget
 
 
-class SerialExecutor(SegmentExecutor):
+class SerialExecutor(SimBackend):
     """One simulator, one segment at a time (Algorithm 1's inner loop)."""
 
     batch_limit = 1
@@ -60,6 +61,8 @@ class SerialExecutor(SegmentExecutor):
         self.sim = None
 
     # -- protocol -----------------------------------------------------------
+    # run_batch: inherited default (per-segment dispatch via run_segment)
+
     def prepare(self) -> SimState:
         target = self.target
         if self.backend == "event":
@@ -68,23 +71,9 @@ class SerialExecutor(SegmentExecutor):
         else:
             sim = target.make_sim()
         self.sim = sim
-        target.reset(sim)
-        target.apply_symbolic_inputs(sim)
-        target.drive_all(sim)
+        state = prepare_initial_state(target, sim)
         sim.arm_activity()
-        return sim.snapshot(pc=target.current_pc(sim))
-
-    def run_batch(self, batch: List[PendingPath],
-                  ctx: BatchContext) -> List[SegmentResult]:
-        out: List[SegmentResult] = []
-        remaining = ctx.total_cycles_remaining
-        for offset, path in enumerate(batch):
-            segment = self._run_segment(path, ctx.first_path_id + offset,
-                                        ctx.max_cycles_per_path, remaining)
-            if remaining is not None:
-                remaining -= segment.cycles
-            out.append(segment)
-        return out
+        return state
 
     def activity_snapshot(self) -> dict:
         sim = self.sim
@@ -119,9 +108,9 @@ class SerialExecutor(SegmentExecutor):
             result.events_executed = sim.es.scheduler.events_executed
 
     # -- one execution path -------------------------------------------------
-    def _run_segment(self, path: PendingPath, path_id: int,
-                     per_path: int,
-                     total_remaining: Optional[int]) -> SegmentResult:
+    def run_segment(self, path: PendingPath, path_id: int,
+                    per_path: int,
+                    total_remaining: Optional[int]) -> SegmentResult:
         sim = self.sim
         parked = None
         if self.record_per_path_activity or self.capture_activity:
@@ -131,8 +120,9 @@ class SerialExecutor(SegmentExecutor):
             sim.toggled[:] = False
             sim.ever_x[:] = False
         try:
-            segment = self._simulate(path, path_id, per_path,
-                                     total_remaining)
+            segment = simulate_segment(self.target, sim, path, path_id,
+                                       per_path, total_remaining,
+                                       self.cycle_observer)
             if parked is not None and self.record_per_path_activity:
                 segment.exercised = sim.exercised_nets()
             if self.capture_activity:
@@ -145,50 +135,6 @@ class SerialExecutor(SegmentExecutor):
             if parked is not None:
                 sim.toggled |= parked[0]
                 sim.ever_x |= parked[1]
-
-    def _simulate(self, path: PendingPath, path_id: int, per_path: int,
-                  total_remaining: Optional[int]) -> SegmentResult:
-        target, sim = self.target, self.sim
-        sim.restore(path.state)
-
-        first_cycle_forced = path.forced_decision is not None
-        if first_cycle_forced:
-            sim.force(target.branch_force_net,
-                      Logic.L1 if path.forced_decision else Logic.L0)
-
-        cycles = 0
-        while True:
-            target.drive_all(sim)
-
-            if not first_cycle_forced:
-                if target.is_done(sim):
-                    sim.record_activity_now()
-                    return SegmentResult("done", target.current_pc(sim),
-                                         cycles)
-                bp = target.at_branch_point(sim)
-                if bp is not Logic.L0 and (not bp.is_known or
-                                           target.monitored_has_x(sim)):
-                    sim.record_activity_now()
-                    pc = target.current_pc(sim)
-                    state = sim.snapshot(pc=pc) if pc is not None else None
-                    return SegmentResult("halt", pc, cycles, state)
-
-            if cycles >= per_path or (total_remaining is not None
-                                      and cycles >= total_remaining):
-                sim.release()   # abandoned path: don't leak the branch
-                                # force into the next segment's restore
-                return SegmentResult("budget", target.current_pc(sim),
-                                     cycles)
-
-            sim.record_activity_now()
-            if self.cycle_observer is not None:
-                self.cycle_observer(sim, path_id, cycles)
-            target.on_edge(sim)
-            sim.clock_edge()
-            cycles += 1
-            if first_cycle_forced:
-                sim.release()
-                first_cycle_forced = False
 
 
 class EventSimBridge:

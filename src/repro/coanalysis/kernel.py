@@ -21,18 +21,20 @@ differs.  :class:`ExplorationKernel` owns everything else:
   pending paths whose segment key is quarantined are skipped with a
   recorded verdict instead of being re-dispatched forever.
 
-Backends plug in through :class:`SegmentExecutor`: ``prepare()`` builds
-the reset+symbolic initial state, ``run_batch()`` simulates pending
-paths up to their halt/done/budget boundary, and the activity hooks
-round-trip toggle planes for checkpointing.  An executor never touches
-the CSM or the frontier -- that is the point of the extraction: every
-scaling or resilience feature lands in this file once, not three times.
+Backends plug in through the :class:`~repro.coanalysis.backend.SimBackend`
+protocol (``SegmentExecutor`` is its compatibility alias): ``prepare()``
+builds the reset+symbolic initial state, ``run_batch()`` simulates
+pending paths up to their halt/done/budget boundary, and the activity
+hooks round-trip toggle planes for checkpointing.  A backend never
+touches the CSM or the frontier -- that is the point of the extraction:
+every scaling or resilience feature lands in this file once, not four
+times.  The shared segment loop backends build on lives in
+:mod:`repro.coanalysis.backend`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..resilience.checkpoint import (as_checkpointer, decode_run_payload,
@@ -41,108 +43,20 @@ from ..resilience.governor import TRACE_KIND_FOR_REASON, as_governor
 from ..resilience.quarantine import as_quarantine, segment_key
 from ..sim.activity import ToggleProfile
 from ..sim.state import SimState
+from .backend import (BatchContext, PendingPath, SegmentExecutor,
+                      SegmentResult, SimBackend)
 from .results import (CheckpointError, CoAnalysisError, CoAnalysisResult,
                       PartialResult, PathRecord, ResumeMismatch, RunEvent,
                       RunInterrupted)
 
-
-@dataclass
-class PendingPath:
-    """An unprocessed execution path (an entry of Algorithm 1's stack U)."""
-
-    state: SimState
-    forced_decision: Optional[int] = None   # 0 / 1 / None (initial path)
-    depth: int = 0
-    parent: Optional[int] = None            # spawning segment's path_id
-    origin_pc: Optional[int] = None         # halt PC of the fork that
-                                            # spawned this path (novelty)
-
-
-@dataclass
-class SegmentResult:
-    """What one simulated segment reports back to the kernel."""
-
-    outcome: str                            # "done" | "halt" | "budget"
-    end_pc: Optional[int]
-    cycles: int
-    end_state: Optional[SimState] = None    # snapshot at a halt
-    exercised: Optional[object] = None      # per-segment exercised nets
-    #: per-segment activity planes ``(toggled, ever_x, val&known,
-    #: known)``, attached when the executor runs in capture mode (the
-    #: segment cache is on).  The kernel then owns profile absorption,
-    #: in batch order, so a cached replay folds the exact same planes in
-    #: the exact same order as the run that recorded them.
-    activity: Optional[tuple] = None
-
-
-@dataclass
-class BatchContext:
-    """Budget envelope the kernel hands an executor for one batch."""
-
-    first_path_id: int
-    max_cycles_per_path: int
-    #: total-cycle budget left at batch start (``None`` = unlimited).
-    #: Executors decrement it per segment so a batch cannot overshoot.
-    total_cycles_remaining: Optional[int] = None
-
-
-class SegmentExecutor:
-    """Protocol a simulation backend implements to plug into the kernel.
-
-    Attributes
-    ----------
-    kind : str
-        Checkpoint engine tag (``"serial"`` / ``"event"`` /
-        ``"parallel"`` / ``"batch"``); resuming across kinds is a
-        mismatch.
-    design : str
-        The design name stamped on the result.
-    netlist : Netlist
-        The netlist under analysis (sizes the toggle profile).
-    batch_limit : Optional[int]
-        How many paths the kernel should pop per batch: ``1`` for
-        one-sim-at-a-time backends, ``None`` for "the whole frontier"
-        (wave parallelism).
-    """
-
-    kind = "abstract"
-    design = "?"
-    netlist = None
-    batch_limit: Optional[int] = 1
-    #: set by the kernel when a segment cache is active: the executor
-    #: must attach per-segment planes to ``SegmentResult.activity``
-    #: instead of absorbing them into the profile itself
-    capture_activity: bool = False
-
-    def bind(self, result: CoAnalysisResult) -> None:
-        """Give the executor the live result (journal, profile)."""
-
-    def prepare(self) -> SimState:
-        """Reset, load, apply symbolic inputs; return the initial state."""
-        raise NotImplementedError
-
-    def run_batch(self, batch: List[PendingPath],
-                  ctx: BatchContext) -> List[SegmentResult]:
-        """Simulate every path in ``batch`` to its segment boundary."""
-        raise NotImplementedError
-
-    def activity_snapshot(self) -> dict:
-        """Toggle/X planes for the checkpoint payload."""
-        raise NotImplementedError
-
-    def activity_restore(self, planes: dict) -> None:
-        """Apply checkpointed planes (raise ``ValueError`` on misfit)."""
-        raise NotImplementedError
-
-    def finalize(self, result: CoAnalysisResult) -> None:
-        """Fold accumulated activity into ``result.profile``."""
-
-    def close(self) -> None:
-        """Release pools/files; called exactly once, even on error."""
+__all__ = [
+    "BatchContext", "ExplorationKernel", "PendingPath", "SegmentExecutor",
+    "SegmentResult", "SimBackend",
+]
 
 
 class ExplorationKernel:
-    """Runs Algorithm 1 over any :class:`SegmentExecutor`."""
+    """Runs Algorithm 1 over any :class:`SimBackend`."""
 
     def __init__(self, executor: SegmentExecutor,
                  csm=None,

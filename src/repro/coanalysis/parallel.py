@@ -39,7 +39,6 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..csm.manager import ConservativeStateManager
-from ..logic.value import Logic
 from ..resilience.checkpoint import as_checkpointer
 from ..resilience.faults import FaultPlan, execute_fault
 from ..resilience.quarantine import (Quarantined, QuarantineRegistry,
@@ -47,8 +46,10 @@ from ..resilience.quarantine import (Quarantined, QuarantineRegistry,
 from ..resilience.supervisor import (DegradedToSerialWarning, PoolExhausted,
                                      PoolSupervisor, SupervisionPolicy)
 from ..sim.state import SimState
-from .kernel import (BatchContext, ExplorationKernel, PendingPath,
-                     SegmentExecutor, SegmentResult)
+from .backend import (BatchContext, PendingPath, SegmentResult, SimBackend,
+                      prepare_initial_state, profile_activity_restore,
+                      profile_activity_snapshot, simulate_segment)
+from .kernel import ExplorationKernel
 from .results import CoAnalysisResult, RunEvent
 from .target import SymbolicTarget
 
@@ -67,43 +68,21 @@ def _init_worker(factory: Callable[[], SymbolicTarget],
 
 def _segment_impl(target: SymbolicTarget, sim, state_bytes: bytes,
                   forced: Optional[int], budget: int):
-    """Run one pending path until halt/done; return a picklable record."""
-    sim.reset_activity()
-    sim.restore(SimState.from_bytes(state_bytes))
-    sim.arm_activity()
+    """Run one pending path until halt/done; return a picklable record.
 
-    first_forced = forced is not None
-    if first_forced:
-        sim.force(target.branch_force_net,
-                  Logic.L1 if forced else Logic.L0)
-    cycles = 0
-    outcome = "budget"
-    end_state: Optional[bytes] = None
-    end_pc: Optional[int] = None
-    while cycles <= budget:
-        target.drive_all(sim)
-        if not first_forced:
-            if target.is_done(sim):
-                outcome = "done"
-                end_pc = target.current_pc(sim)
-                sim.record_activity_now()
-                break
-            bp = target.at_branch_point(sim)
-            if bp is not Logic.L0 and (not bp.is_known
-                                       or target.monitored_has_x(sim)):
-                outcome = "halt"
-                end_pc = target.current_pc(sim)
-                sim.record_activity_now()
-                end_state = sim.snapshot(pc=end_pc).to_bytes()
-                break
-        sim.record_activity_now()
-        target.on_edge(sim)
-        sim.clock_edge()
-        cycles += 1
-        if first_forced:
-            sim.release()
-            first_forced = False
-    return (outcome, end_pc, cycles, end_state,
+    A thin worker-side wrapper over the shared
+    :func:`~repro.coanalysis.backend.simulate_segment` loop: arm a fresh
+    activity window, run the segment, then flatten the result (plus the
+    segment's activity planes) into a pickle-friendly tuple.
+    """
+    sim.reset_activity()
+    sim.arm_activity()   # restore() re-blends _prev, so arming first is
+                         # equivalent to arming right after the restore
+    path = PendingPath(SimState.from_bytes(state_bytes), forced)
+    segment = simulate_segment(target, sim, path, 0, budget, None)
+    end_state = segment.end_state.to_bytes() \
+        if segment.end_state is not None else None
+    return (segment.outcome, segment.end_pc, segment.cycles, end_state,
             sim.toggled.copy(), sim.ever_x.copy(),
             (sim.val & sim.known).copy(), sim.known.copy())
 
@@ -132,7 +111,7 @@ class ParallelRunStats:
     checkpoints_written: int = 0
 
 
-class PoolExecutor(SegmentExecutor):
+class PoolExecutor(SimBackend):
     """Supervised worker-pool backend: one batch = one wave.
 
     ``batch_limit=None`` asks the kernel for the whole frontier per
@@ -174,12 +153,7 @@ class PoolExecutor(SegmentExecutor):
         self._result = result
 
     def prepare(self) -> SimState:
-        target = self.target
-        sim = target.make_sim()
-        target.reset(sim)
-        target.apply_symbolic_inputs(sim)
-        target.drive_all(sim)
-        return sim.snapshot(pc=target.current_pc(sim))
+        return prepare_initial_state(self.target, self.target.make_sim())
 
     def run_batch(self, batch: List[PendingPath],
                   ctx: BatchContext) -> List[SegmentResult]:
@@ -208,19 +182,10 @@ class PoolExecutor(SegmentExecutor):
         return [self._to_segment(output) for output in outputs]
 
     def activity_snapshot(self) -> dict:
-        profile = self._result.profile
-        return {"repr": "profile",
-                "toggled": profile.toggled.copy(),
-                "ever_x": profile.ever_x.copy(),
-                "val": profile.const_val.copy(),
-                "known": profile.const_known.copy()}
+        return profile_activity_snapshot(self._result)
 
     def activity_restore(self, planes: dict) -> None:
-        profile = self._result.profile
-        profile.toggled[:] = planes["toggled"]
-        profile.ever_x[:] = planes["ever_x"]
-        profile.const_val[:] = planes["val"]
-        profile.const_known[:] = planes["known"]
+        profile_activity_restore(self._result, planes)
 
     def on_checkpoint(self) -> None:
         self.stats.checkpoints_written += 1

@@ -54,6 +54,7 @@ def _pair_fingerprint(design: str, benchmark: str,
                       engine: str = "serial", frontier: str = "dfs",
                       max_cycles_per_path: int = 20000,
                       max_total_cycles: Optional[int] = 2_000_000,
+                      lanes: Optional[int] = None,
                       ) -> RunFingerprint:
     """Fingerprint one (design, benchmark) configuration."""
     return run_fingerprint(
@@ -63,7 +64,7 @@ def _pair_fingerprint(design: str, benchmark: str,
         symbolic_ranges=target.symbolic_ranges,
         engine=engine, frontier=frontier,
         max_cycles_per_path=max_cycles_per_path,
-        max_total_cycles=max_total_cycles)
+        max_total_cycles=max_total_cycles, lanes=lanes)
 
 
 def _register_run(store: ContentStore, fp: RunFingerprint,
@@ -103,7 +104,8 @@ def run_one(design: str, benchmark: str,
             progress: bool = False,
             budget=None,
             quarantine=None,
-            cache=None) -> CoAnalysisResult:
+            cache=None,
+            lanes: Optional[int] = None) -> CoAnalysisResult:
     """One symbolic co-analysis run.
 
     ``strategy`` is the CSM merge strategy; ``frontier`` schedules the
@@ -113,7 +115,9 @@ def run_one(design: str, benchmark: str,
     of them run through the same
     :class:`~repro.coanalysis.kernel.ExplorationKernel`.  ``batch``
     simulates the whole frontier in lockstep on the bit-packed
-    lane-parallel engine (up to 64 paths per settle, one process).
+    lane-parallel engine (``lanes`` paths per settle -- any multiple of
+    64, default 64 -- one process, freed lanes refilled from the
+    frontier by compaction).
     ``checkpoint``/``resume`` journal the run to disk and continue an
     interrupted one (see :mod:`repro.resilience`); ``trace`` writes the
     structured event stream as JSONL and ``progress`` keeps a live
@@ -136,6 +140,8 @@ def run_one(design: str, benchmark: str,
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: "
                          + ", ".join(ENGINES))
+    if lanes is not None and engine != "batch":
+        raise ValueError("--lanes requires --engine batch")
     workload = WORKLOADS[benchmark]
     target = build_target(design, workload)
     constraints = None
@@ -157,7 +163,10 @@ def run_one(design: str, benchmark: str,
             max_cycles_per_path=max_cycles_per_path,
             # the parallel engine runs without a total-cycle budget
             max_total_cycles=(None if engine == "parallel"
-                              else max_total_cycles))
+                              else max_total_cycles),
+            # the lane width is part of the batch engine's identity: a
+            # warm cache at one width misses cleanly at another
+            lanes=((lanes or 64) if engine == "batch" else None))
         segment_cache = SegmentResultCache(store, fp.digest)
 
     if engine == "parallel":
@@ -182,7 +191,8 @@ def run_one(design: str, benchmark: str,
                                            "event": "event",
                                            "batch": "batch"}[engine],
                                   budget=budget, quarantine=quarantine,
-                                  segment_cache=segment_cache)
+                                  segment_cache=segment_cache,
+                                  lanes=lanes)
     result = runner.run()
     if store is not None:
         _register_run(store, fp, result, checkpoint, trace)

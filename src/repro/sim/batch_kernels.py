@@ -113,8 +113,17 @@ class BatchKernels:
         self.source = source
 
 
-def build_kernels(compiled: CompiledNetlist) -> BatchKernels:
-    """Generate and compile the fused kernel set for ``compiled``."""
+def build_kernels(compiled: CompiledNetlist,
+                  n_words: int = 1) -> BatchKernels:
+    """Generate and compile the fused kernel set for ``compiled``.
+
+    ``n_words`` is the batched engine's plane width in uint64 words
+    (lanes / 64); the serial bool planes are ``n_words=1``.  The emitted
+    algebra is width-independent -- nets index axis 0 and the ops
+    broadcast over the word axis -- but each width gets its own compile
+    unit (and cache slot) so a 256-lane run can never alias a 64-lane
+    kernel's code object in tracebacks or profiles.
+    """
     ns: dict = {}
     for gi, grp in enumerate(compiled.schedule):
         for port, arr in enumerate(grp.ins):
@@ -147,7 +156,7 @@ def build_kernels(compiled: CompiledNetlist) -> BatchKernels:
     emit("def sweep(val, known):", sweep_body)
 
     source = "\n".join(lines)
-    exec(compile(source, "<batch-kernels>", "exec"), ns)
+    exec(compile(source, f"<batch-kernels-w{n_words}>", "exec"), ns)
     return BatchKernels(
         sweep=ns["sweep"],
         levels=[(lvl, ns[f"level{lvl}"]) for lvl in sorted(by_level)],
@@ -155,16 +164,20 @@ def build_kernels(compiled: CompiledNetlist) -> BatchKernels:
         source=source)
 
 
-#: per-process kernel cache keyed by compiled-netlist identity; a
-#: CompiledNetlist is immutable, so identity is a sound cache key
-_KERNEL_CACHE: "weakref.WeakKeyDictionary[CompiledNetlist, BatchKernels]" \
+#: per-process kernel cache keyed by compiled-netlist identity and
+#: plane word count; a CompiledNetlist is immutable, so identity is a
+#: sound cache key
+_KERNEL_CACHE: "weakref.WeakKeyDictionary[CompiledNetlist, dict]" \
     = weakref.WeakKeyDictionary()
 
 
-def batch_kernels_for(compiled: CompiledNetlist) -> BatchKernels:
-    """Kernel set for ``compiled``, generated once and cached."""
-    kernels = _KERNEL_CACHE.get(compiled)
+def batch_kernels_for(compiled: CompiledNetlist,
+                      n_words: int = 1) -> BatchKernels:
+    """Kernel set for ``(compiled, n_words)``, generated once and cached."""
+    by_width = _KERNEL_CACHE.get(compiled)
+    if by_width is None:
+        by_width = _KERNEL_CACHE[compiled] = {}
+    kernels = by_width.get(n_words)
     if kernels is None:
-        kernels = build_kernels(compiled)
-        _KERNEL_CACHE[compiled] = kernels
+        kernels = by_width[n_words] = build_kernels(compiled, n_words)
     return kernels

@@ -3,13 +3,15 @@
 The co-analysis frontier is full of *near-identical* states -- every
 fork copies its parent and diverges by one branch decision.  The serial
 engine settles them one at a time, paying the full numpy dispatch cost
-per state.  :class:`BatchCycleSim` packs up to 64 independent
+per state.  :class:`BatchCycleSim` packs up to ``lanes`` independent
 simulations into the same arrays the serial engine uses: every net's
-``(val, known)`` pair becomes one ``uint64`` word per plane, **one bit
-per lane**.  A single fused settle (see
-:mod:`repro.sim.batch_kernels`) then advances every lane at once --
-bitwise ``& | ^ ~`` on uint64 words is lane-parallel for free, the
-GSIM-style batched-kernel trick.
+``(val, known)`` pair becomes ``n_words = lanes / 64`` ``uint64`` words
+per plane (:class:`~repro.sim.planes.LanePlanes`), **one bit per
+lane**.  A single fused settle (see :mod:`repro.sim.batch_kernels`)
+then advances every lane at once -- bitwise ``& | ^ ~`` on uint64 words
+is lane-parallel for free, the GSIM-style batched-kernel trick -- and
+widening the wave from 64 to 128 or 256 lanes only grows the word axis
+the same ops already broadcast over.
 
 Lane lifecycle maps onto Algorithm 1 directly:
 
@@ -22,8 +24,8 @@ Lane lifecycle maps onto Algorithm 1 directly:
 
 Incremental settling reuses the compiled fanout-cone CSR index with
 *per-lane dirty masks*: each dirty net remembers **which lanes**
-changed it (a 64-bit mask), the union over lanes picks the schedule
-groups to re-evaluate (evaluating a group costs the same for 1 or 64
+changed it (a lane-mask int), the union over lanes picks the schedule
+groups to re-evaluate (evaluating a group costs the same for 1 or 256
 lanes -- that is the whole point), and change propagation is detected
 per lane with packed XORs masked to the live lanes.
 
@@ -48,16 +50,17 @@ from ..logic.vector import LVec
 from .batch_kernels import batch_kernels_for
 from .cycle_sim import CompiledNetlist, ForcedRestoreWarning
 from .memory import XMemory
+from .planes import (LANE_WORD, M64, LanePlanes, column_bits, lane_word_bit,
+                     words_to_int)
 from .state import SimState
 
-#: all 64 lane bits
-M64 = (1 << 64) - 1
-#: lanes per BatchCycleSim (one bit per lane in a uint64 word)
+#: default lane capacity (one plane word); pass ``lanes=128/256/...``
+#: to :class:`BatchCycleSim` for wider waves
 LANE_CAPACITY = 64
 
 
 class LaneCapacityError(RuntimeError):
-    """All 64 lanes of a :class:`BatchCycleSim` are in use."""
+    """All lanes of a :class:`BatchCycleSim` are in use."""
 
 
 def _clone_memory(mem: XMemory) -> XMemory:
@@ -69,37 +72,46 @@ def _clone_memory(mem: XMemory) -> XMemory:
 class BatchCycleSim:
     """Bit-packed lane-parallel four-valued simulator.
 
-    The planes are ``(n_nets,)`` uint64 arrays; bit ``L`` of word ``i``
-    is net ``i``'s value in lane ``L``.  All lane-global operations
-    (:meth:`settle`, :meth:`clock_edge`, :meth:`record_activity_now`)
-    advance every live lane in lockstep; per-lane mutation and
-    observation go through the ``lane_*`` methods or a
-    :class:`LaneView`.
+    The planes are ``(n_nets, n_words)`` uint64 arrays; bit ``b`` of
+    word ``w`` in row ``i`` is net ``i``'s value in lane
+    ``w * 64 + b``.  All lane-global operations (:meth:`settle`,
+    :meth:`clock_edge`, :meth:`record_activity_now`) advance every live
+    lane in lockstep; per-lane mutation and observation go through the
+    ``lane_*`` methods or a :class:`LaneView`.
 
-    Args mirror :class:`~repro.sim.cycle_sim.CycleSim`.
+    Args mirror :class:`~repro.sim.cycle_sim.CycleSim`, plus:
+
+    Args:
+        lanes: lane capacity; a positive multiple of 64 (each 64 lanes
+            add one uint64 word to every plane row).
     """
-
-    capacity = LANE_CAPACITY
 
     def __init__(self, compiled: CompiledNetlist,
                  record_activity: bool = True,
                  incremental: bool = True,
-                 incremental_threshold: float = 0.25):
+                 incremental_threshold: float = 0.25,
+                 lanes: int = LANE_CAPACITY):
         self.c = compiled
-        self.kernels = batch_kernels_for(compiled)
+        self.planes = LanePlanes(compiled.n_nets, lanes)
+        #: lane capacity of this instance
+        self.capacity = self.planes.lanes
+        #: plane words per net (capacity / 64)
+        self.n_words = self.planes.n_words
+        self._full = self.planes.full_mask
+        self.kernels = batch_kernels_for(compiled, self.n_words)
         n = compiled.n_nets
-        self.val = np.zeros(n, dtype=np.uint64)
-        self.known = np.zeros(n, dtype=np.uint64)
+        self.val = self.planes.val
+        self.known = self.planes.known
         #: bitmask of live lanes (python int)
         self.active_mask = 0
-        self.lane_cycle: List[int] = [0] * LANE_CAPACITY
+        self.lane_cycle: List[int] = [0] * self.capacity
         self.lane_memories: Dict[int, Dict[str, XMemory]] = {}
         self.record_activity = record_activity
-        self.toggled = np.zeros(n, dtype=np.uint64)
-        self.ever_x = np.zeros(n, dtype=np.uint64)
+        self.toggled = self.planes.toggled
+        self.ever_x = self.planes.ever_x
         self._armed_mask = 0
-        self._prev_val = np.zeros(n, dtype=np.uint64)
-        self._prev_known = np.zeros(n, dtype=np.uint64)
+        self._prev_val = self.planes.prev_val
+        self._prev_known = self.planes.prev_known
         #: force store: net -> [lane_mask, val_bits, known_bits]
         #: (``val_bits``/``known_bits`` are subsets of ``lane_mask``)
         self._forces: Dict[int, List[int]] = {}
@@ -129,10 +141,10 @@ class BatchCycleSim:
             mask ^= low
 
     def _free_lane(self) -> int:
-        free = ~self.active_mask & M64
+        free = ~self.active_mask & self._full
         if not free:
             raise LaneCapacityError(
-                f"all {LANE_CAPACITY} lanes in use; drop or merge a "
+                f"all {self.capacity} lanes in use; drop or merge a "
                 f"lane before forking")
         return (free & -free).bit_length() - 1
 
@@ -141,15 +153,13 @@ class BatchCycleSim:
         lane = self._free_lane()
         bit = 1 << lane
         self.active_mask |= bit
-        inv = np.uint64(~bit & M64)
-        for arr in (self.val, self.known, self.toggled, self.ever_x,
-                    self._prev_val, self._prev_known):
-            arr &= inv
-        m = np.uint64(bit)
+        self.planes.clear_lane(lane)
+        w, b = lane_word_bit(lane)
+        m = np.uint64(1 << b)
         for kind, out in self.c.ties:
             if kind == "TIE1":
-                self.val[out] |= m
-            self.known[out] |= m
+                self.val[out, w] |= m
+            self.known[out, w] |= m
         self.lane_cycle[lane] = 0
         self.lane_memories[lane] = {}
         self._armed_mask &= ~bit
@@ -165,14 +175,7 @@ class BatchCycleSim:
         lane = self._free_lane()
         bit = 1 << lane
         self.active_mask |= bit
-        sh_src, sh_dst = np.uint64(src), np.uint64(lane)
-        inv = np.uint64(~bit & M64)
-        one = np.uint64(1)
-        for arr in (self.val, self.known, self.toggled, self.ever_x,
-                    self._prev_val, self._prev_known):
-            column = (arr >> sh_src) & one
-            arr &= inv
-            arr |= column << sh_dst
+        self.planes.copy_lane(src, lane)
         self.lane_cycle[lane] = self.lane_cycle[src]
         self.lane_memories[lane] = {
             name: _clone_memory(mem)
@@ -206,7 +209,7 @@ class BatchCycleSim:
         self._strip_forces(bit, reassert=False)
 
     def _check_lane(self, lane: int) -> None:
-        if not 0 <= lane < LANE_CAPACITY or \
+        if not 0 <= lane < self.capacity or \
                 not (self.active_mask >> lane) & 1:
             raise ValueError(f"lane {lane} is not active")
 
@@ -224,26 +227,30 @@ class BatchCycleSim:
             v, k = value is Logic.L1, True
         else:
             v, k = False, False
-        word_v = int(self.val[net])
-        word_k = int(self.known[net])
-        if bool(word_v & bit) != v or bool(word_k & bit) != k:
-            self.val[net] = np.uint64((word_v | bit) if v
-                                      else (word_v & ~bit))
-            self.known[net] = np.uint64((word_k | bit) if k
-                                        else (word_k & ~bit))
+        w, wb = lane_word_bit(lane)
+        wbit = 1 << wb
+        word_v = int(self.val[net, w])
+        word_k = int(self.known[net, w])
+        if bool(word_v & wbit) != v or bool(word_k & wbit) != k:
+            self.val[net, w] = np.uint64((word_v | wbit) if v
+                                         else (word_v & ~wbit))
+            self.known[net, w] = np.uint64((word_k | wbit) if k
+                                           else (word_k & ~wbit))
             self._mark_dirty(net, bit)
 
     def lane_get_net(self, lane: int, net: int) -> Logic:
-        bit = 1 << lane
-        if not int(self.known[net]) & bit:
+        w, wb = lane_word_bit(lane)
+        wbit = 1 << wb
+        if not int(self.known[net, w]) & wbit:
             return Logic.X
-        return Logic.L1 if int(self.val[net]) & bit else Logic.L0
+        return Logic.L1 if int(self.val[net, w]) & wbit else Logic.L0
 
     def lane_get_bus(self, lane: int, nets: Sequence[int]) -> LVec:
         idx = np.asarray(nets, dtype=np.int64)
-        sh, one = np.uint64(lane), np.uint64(1)
-        vals = ((self.val[idx] >> sh) & one).tolist()
-        knowns = ((self.known[idx] >> sh) & one).tolist()
+        w, wb = lane_word_bit(lane)
+        sh, one = np.uint64(wb), np.uint64(1)
+        vals = ((self.val[idx, w] >> sh) & one).tolist()
+        knowns = ((self.known[idx, w] >> sh) & one).tolist()
         return LVec([(Logic.L1 if v else Logic.L0) if k else Logic.X
                      for v, k in zip(vals, knowns)])
 
@@ -271,9 +278,11 @@ class BatchCycleSim:
         entry[1] = (entry[1] | bit) if v else (entry[1] & ~bit)
         entry[2] = (entry[2] | bit) if k else (entry[2] & ~bit)
         self._force_cache = None
-        word_v = int(self.val[net])
-        word_k = int(self.known[net])
-        if bool(word_v & bit) != v or bool(word_k & bit) != k:
+        w, wb = lane_word_bit(lane)
+        wbit = 1 << wb
+        word_v = int(self.val[net, w])
+        word_k = int(self.known[net, w])
+        if bool(word_v & wbit) != v or bool(word_k & wbit) != k:
             self._dirty[net] = self._dirty.get(net, 0) | bit
 
     def lane_release(self, lane: int, net: Optional[int] = None) -> None:
@@ -327,25 +336,32 @@ class BatchCycleSim:
         kind = self.c.netlist.gates[drv].kind
         if kind in ("TIE0", "TIE1"):
             want = kind == "TIE1"
-            word_v = int(self.val[net])
-            word_k = int(self.known[net])
-            if bool(word_v & lane_bit) != want or not word_k & lane_bit:
-                self.val[net] = np.uint64((word_v | lane_bit) if want
-                                          else (word_v & ~lane_bit))
-                self.known[net] = np.uint64(word_k | lane_bit)
+            lane = lane_bit.bit_length() - 1
+            w, wb = lane_word_bit(lane)
+            wbit = 1 << wb
+            word_v = int(self.val[net, w])
+            word_k = int(self.known[net, w])
+            if bool(word_v & wbit) != want or not word_k & wbit:
+                self.val[net, w] = np.uint64((word_v | wbit) if want
+                                             else (word_v & ~wbit))
+                self.known[net, w] = np.uint64(word_k | wbit)
                 self._dirty[net] = self._dirty.get(net, 0) | lane_bit
 
     def _force_arrays(self):
         if self._force_cache is None:
             n = len(self._forces)
+            n_words = self.n_words
             nets = np.fromiter(self._forces.keys(), dtype=np.int64,
                                count=n)
-            masks = np.fromiter((e[0] for e in self._forces.values()),
-                                dtype=np.uint64, count=n)
-            vbits = np.fromiter((e[1] for e in self._forces.values()),
-                                dtype=np.uint64, count=n)
-            kbits = np.fromiter((e[2] for e in self._forces.values()),
-                                dtype=np.uint64, count=n)
+            masks = np.zeros((n, n_words), dtype=np.uint64)
+            vbits = np.zeros((n, n_words), dtype=np.uint64)
+            kbits = np.zeros((n, n_words), dtype=np.uint64)
+            for i, entry in enumerate(self._forces.values()):
+                for w in range(n_words):
+                    sh = LANE_WORD * w
+                    masks[i, w] = (entry[0] >> sh) & M64
+                    vbits[i, w] = (entry[1] >> sh) & M64
+                    kbits[i, w] = (entry[2] >> sh) & M64
             self._force_cache = (nets, masks, vbits, kbits)
         return self._force_cache
 
@@ -393,7 +409,7 @@ class BatchCycleSim:
     def _settle_incremental(self) -> None:
         c = self.c
         val, known = self.val, self.known
-        active = np.uint64(self.active_mask & M64)
+        active = self.planes.mask_words(self.active_mask)
         affected = np.zeros(c.n_groups, dtype=bool)
         ptr, fanout = c.fanout_ptr, c.fanout_groups
         # the union over per-lane dirty masks picks the groups: one
@@ -422,7 +438,7 @@ class BatchCycleSim:
             # per-lane change detection: only live lanes propagate
             changed = ((new_v ^ old_v) | (new_k ^ old_k)) & active
             if changed.any():
-                for pos in np.nonzero(changed)[0]:
+                for pos in np.nonzero(changed.any(axis=1))[0]:
                     net = int(out[pos])
                     start, end = ptr[net], ptr[net + 1]
                     if start != end:
@@ -434,7 +450,7 @@ class BatchCycleSim:
     def clock_edge(self) -> None:
         """One positive edge for every live lane (staged NBA commit)."""
         val, known = self.val, self.known
-        active = np.uint64(self.active_mask & M64)
+        active = self.planes.mask_words(self.active_mask)
         staged: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for grp in self.c.flops:
             kind = grp.kind
@@ -465,9 +481,10 @@ class BatchCycleSim:
             known[out] = nk
             if changed.any():
                 dirty = self._dirty
-                for pos in np.nonzero(changed)[0]:
+                for pos in np.nonzero(changed.any(axis=1))[0]:
                     net = int(out[pos])
-                    dirty[net] = dirty.get(net, 0) | int(changed[pos])
+                    dirty[net] = dirty.get(net, 0) \
+                        | words_to_int(changed[pos])
         for lane in self.active_lanes():
             self.lane_cycle[lane] += 1
 
@@ -475,7 +492,7 @@ class BatchCycleSim:
     def lane_arm_activity(self, lane: int) -> None:
         bit = 1 << lane
         self._armed_mask |= bit
-        self._blend_prev(np.uint64(bit))
+        self._blend_prev(self.planes.lane_mask_words(lane))
 
     def _blend_prev(self, mask: np.ndarray) -> None:
         inv = ~mask
@@ -492,7 +509,7 @@ class BatchCycleSim:
             else self._armed_mask & lane_bits
         if not mask_int:
             return
-        mask = np.uint64(mask_int)
+        mask = self.planes.mask_words(mask_int)
         self.ever_x |= ~self.known & mask
         self.toggled |= ((self.val ^ self._prev_val)
                          | (self.known ^ self._prev_known)) & mask
@@ -500,36 +517,34 @@ class BatchCycleSim:
 
     def lane_reset_activity(self, lane: int) -> None:
         bit = 1 << lane
-        inv = np.uint64(~bit & M64)
-        self.toggled &= inv
-        self.ever_x &= inv
+        w, wb = lane_word_bit(lane)
+        inv = np.uint64(~(1 << wb) & M64)
+        self.toggled[:, w] &= inv
+        self.ever_x[:, w] &= inv
         self._armed_mask &= ~bit
 
     def lane_planes(self, lane: int) -> Tuple[np.ndarray, np.ndarray]:
         """This lane's ``(val, known)`` as bool arrays."""
-        sh, one = np.uint64(lane), np.uint64(1)
-        return (((self.val >> sh) & one).astype(bool),
-                ((self.known >> sh) & one).astype(bool))
+        return (column_bits(self.val, lane),
+                column_bits(self.known, lane))
 
     def lane_activity(self, lane: int) -> Tuple[np.ndarray, np.ndarray]:
         """This lane's ``(toggled, ever_x)`` as bool arrays."""
-        sh, one = np.uint64(lane), np.uint64(1)
-        return (((self.toggled >> sh) & one).astype(bool),
-                ((self.ever_x >> sh) & one).astype(bool))
+        return (column_bits(self.toggled, lane),
+                column_bits(self.ever_x, lane))
 
     def lane_exercised(self, lane: int) -> np.ndarray:
-        sh, one = np.uint64(lane), np.uint64(1)
-        return ((((self.toggled | self.ever_x) >> sh) & one)
-                .astype(bool))
+        return column_bits(self.toggled | self.ever_x, lane)
 
     # -- snapshots -----------------------------------------------------------
     def lane_snapshot(self, lane: int,
                       pc: Optional[int] = None) -> SimState:
         """One lane's state in the exact serial SimState layout."""
         sn = self.c.state_nets
-        sh, one = np.uint64(lane), np.uint64(1)
-        val = ((self.val[sn] >> sh) & one).astype(bool)
-        known = ((self.known[sn] >> sh) & one).astype(bool)
+        w, wb = lane_word_bit(lane)
+        sh, one = np.uint64(wb), np.uint64(1)
+        val = ((self.val[sn, w] >> sh) & one).astype(bool)
+        known = ((self.known[sn, w] >> sh) & one).astype(bool)
         return SimState(
             net_val=val & known,
             net_known=known,
@@ -561,18 +576,19 @@ class BatchCycleSim:
                 f"{lane}: forces do not survive a restore; re-apply "
                 f"them after restoring", ForcedRestoreWarning,
                 stacklevel=2)
-        sh, one = np.uint64(lane), np.uint64(1)
-        cur_v = (self.val[sn] >> sh) & one
-        cur_k = (self.known[sn] >> sh) & one
+        w, wb = lane_word_bit(lane)
+        sh, one = np.uint64(wb), np.uint64(1)
+        cur_v = (self.val[sn, w] >> sh) & one
+        cur_k = (self.known[sn, w] >> sh) & one
         new_v = state.net_val.astype(np.uint64)
         new_k = state.net_known.astype(np.uint64)
         changed = ((cur_v ^ new_v) | (cur_k ^ new_k)).astype(bool)
         if changed.any():
             idx = sn[changed]
-            mask = np.uint64(bit)
-            inv = ~mask
-            self.val[idx] = (self.val[idx] & inv) | (new_v[changed] << sh)
-            self.known[idx] = (self.known[idx] & inv) \
+            inv = np.uint64(~(1 << wb) & M64)
+            self.val[idx, w] = (self.val[idx, w] & inv) \
+                | (new_v[changed] << sh)
+            self.known[idx, w] = (self.known[idx, w] & inv) \
                 | (new_k[changed] << sh)
             dirty = self._dirty
             for net in idx.tolist():
@@ -584,7 +600,7 @@ class BatchCycleSim:
         if settle:
             self.settle()
         if self._armed_mask & bit:
-            self._blend_prev(np.uint64(bit))
+            self._blend_prev(self.planes.lane_mask_words(lane))
 
 
 class LaneView:

@@ -48,6 +48,7 @@ from ..logic.value import Logic
 from ..logic.vector import LVec
 from ..netlist.netlist import Netlist
 from .memory import XMemory
+from .planes import BoolPlanes
 from .state import SimState
 
 
@@ -227,16 +228,19 @@ class CycleSim:
                  incremental_threshold: float = 0.25):
         self.c = compiled
         n = compiled.n_nets
-        self.val = np.zeros(n, dtype=bool)
-        self.known = np.zeros(n, dtype=bool)   # everything starts X
+        # the shared six-plane state layout (see repro.sim.planes);
+        # the serial engine is the one-state bool specialization
+        self.planes = BoolPlanes(n)
+        self.val = self.planes.val
+        self.known = self.planes.known         # everything starts X
         self.cycle = 0
         self.memories: Dict[str, XMemory] = {}
         self.record_activity = record_activity
-        self.toggled = np.zeros(n, dtype=bool)
-        self.ever_x = np.zeros(n, dtype=bool)
+        self.toggled = self.planes.toggled
+        self.ever_x = self.planes.ever_x
         self._activity_armed = False
-        self._prev_val = np.zeros(n, dtype=bool)
-        self._prev_known = np.zeros(n, dtype=bool)
+        self._prev_val = self.planes.prev_val
+        self._prev_known = self.planes.prev_known
         #: force store: net -> (val, known); index arrays are
         #: materialized lazily so N forces stay O(N), not O(N^2)
         self._forces: Dict[int, Tuple[bool, bool]] = {}
@@ -583,8 +587,8 @@ class CycleSim:
     def arm_activity(self) -> None:
         """Begin toggle recording (call after reset settles)."""
         self._activity_armed = True
-        self._prev_val = self.val.copy()
-        self._prev_known = self.known.copy()
+        self._prev_val[:] = self.val
+        self._prev_known[:] = self.known
 
     def record_activity_now(self) -> None:
         if not (self.record_activity and self._activity_armed):

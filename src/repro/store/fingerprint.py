@@ -36,7 +36,12 @@ from typing import Dict, Optional
 #: not be replayed into a run with newer ones.  This is the one version
 #: constant left, and it guards semantics -- content changes (netlist,
 #: CSM config, binary) invalidate through their own digests.
-ENGINE_SEMANTICS_VERSION = 1
+#:
+#: v2: the SimBackend unification (one shared segment loop for serial /
+#: event / pool) and streaming lane compaction in the batch engine; the
+#: batch engine's lane capacity became a run parameter (``lanes``), now
+#: part of the fingerprint.
+ENGINE_SEMANTICS_VERSION = 2
 
 
 def digest_parts(*parts) -> str:
@@ -126,6 +131,7 @@ def run_fingerprint(*, netlist, strategy=None, constraints=None,
                     engine: str = "serial", frontier: str = "dfs",
                     max_cycles_per_path: int = 20000,
                     max_total_cycles: Optional[int] = 2_000_000,
+                    lanes: Optional[int] = None,
                     ) -> RunFingerprint:
     """Fingerprint one full co-analysis configuration.
 
@@ -144,6 +150,9 @@ def run_fingerprint(*, netlist, strategy=None, constraints=None,
                                           symbolic_ranges)
                      if program is not None else "none"),
         "engine": engine,
+        # lane-plane width for the batch engine (None elsewhere): a
+        # 64-lane warm cache must miss cleanly at 128 lanes
+        "lanes": lanes,
         "frontier": frontier,
         "max_cycles_per_path": max_cycles_per_path,
         "max_total_cycles": max_total_cycles,

@@ -57,8 +57,13 @@ def run_engine(engine_name: str, frontier: str, **kw):
         return ParallelCoAnalysis(TinyTargetFactory(), workers=2,
                                   application="tiny",
                                   frontier=frontier, **kw).run()
-    backend = {"serial": "cycle", "event": "event",
-               "batch": "batch"}[engine_name]
+    if engine_name.startswith("batch"):
+        # "batch128" / "batch256" are lane-width legs of the batch engine
+        backend = "batch"
+        if engine_name != "batch":
+            kw.setdefault("lanes", int(engine_name[len("batch"):]))
+    else:
+        backend = {"serial": "cycle", "event": "event"}[engine_name]
     return CoAnalysisEngine(tiny_target(), application="tiny",
                             frontier=frontier, backend=backend,
                             **kw).run()
@@ -76,7 +81,8 @@ def test_serial_explores_the_branch(serial_dfs):
     assert 0 < len(gates) < serial_dfs.total_gates
 
 
-@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel", "batch"])
+@pytest.mark.parametrize("engine_name", ["serial", "event", "parallel",
+                                         "batch", "batch128", "batch256"])
 @pytest.mark.parametrize("frontier", sorted(FRONTIER_STRATEGIES))
 def test_dichotomy_engine_and_order_invariant(engine_name, frontier,
                                               serial_dfs):
@@ -117,6 +123,101 @@ def test_governed_stop_then_resume_is_equivalent(engine_name, frontier,
     assert resumed.profile.exercisable_gates() == \
         serial_dfs.profile.exercisable_gates()
     assert resumed.paths_created == 1 + 2 * resumed.splits
+
+
+# two sequential symbolic branches with different-length arms: a BFS
+# frontier batch holds more paths than 2 lanes, and paths inside one
+# batch retire at different lockstep cycles -- the setup that forces
+# mid-wave compaction
+TWO_BRANCH_SOURCE = """
+    addiu r1, r0, 64
+    lw r2, 0(r1)        ; symbolic input a
+    lw r7, 1(r1)        ; symbolic input b
+    addiu r3, r0, 8
+    sltu r4, r2, r3
+    bne r4, r0, small_a
+    addiu r5, r0, 1
+    addiu r5, r5, 1
+    addiu r5, r5, 1
+    j second
+small_a:
+    addiu r5, r0, 2
+second:
+    sltu r4, r7, r3
+    bne r4, r0, small_b
+    addiu r6, r0, 1
+    addiu r6, r6, 1
+    addiu r6, r6, 1
+    j store
+small_b:
+    addiu r6, r0, 2
+store:
+    addiu r8, r0, 96
+    sw r5, 0(r8)
+    sw r6, 1(r8)
+_halt:
+    j _halt
+"""
+
+
+def two_branch_target() -> CoreTarget:
+    netlist, meta = built_core("bm32")
+    program = ASSEMBLERS["bm32"]().assemble(TWO_BRANCH_SOURCE,
+                                            name="twobranch")
+    return CoreTarget(netlist, meta, program,
+                      symbolic_ranges=[(INPUT_BASE, INPUT_BASE + 2)])
+
+
+@pytest.mark.parametrize("lanes", [64, 128, 256])
+def test_batch_compaction_matches_serial(lanes):
+    """Mid-wave lane compaction is result-invisible at every plane
+    width: capping live occupancy at 2 lanes forces retired slots to be
+    refilled from the frontier while other lanes keep running, and the
+    dichotomy, path accounting and profile still match the serial
+    reference bit for bit."""
+    from repro.coanalysis.batch_executor import BatchSegmentExecutor
+    from repro.coanalysis.kernel import ExplorationKernel
+
+    reference = CoAnalysisEngine(two_branch_target(),
+                                 application="twobranch").run()
+    assert reference.splits >= 2        # both branches actually forked
+
+    executor = BatchSegmentExecutor(two_branch_target(), lanes=lanes,
+                                    max_lanes=2)
+    result = ExplorationKernel(executor, application="twobranch",
+                               frontier="bfs").run()
+    assert result.profile.exercisable_gates() == \
+        reference.profile.exercisable_gates()
+    assert (result.profile.toggled == reference.profile.toggled).all()
+    assert (result.profile.ever_x == reference.profile.ever_x).all()
+    assert result.paths_created == 1 + 2 * result.splits
+    stats = result.batch_stats
+    assert stats.segments == len(result.path_records)
+    # a BFS batch carried more paths than the 2 live lanes, and arms
+    # of different length retire at different cycles: compaction fired
+    assert stats.compactions > 0
+    assert stats.refills > 0
+
+
+def test_batch_trace_carries_compaction_stats(tmp_path):
+    """Every "batch" trace event reports lane occupancy plus the
+    compaction counters for that frontier batch."""
+    import json
+
+    trace = tmp_path / "batch.jsonl"
+    from repro.coanalysis.trace import JsonlTraceSink, Tracer
+    result = CoAnalysisEngine(tiny_target(), application="tiny",
+                              backend="batch",
+                              tracer=Tracer([JsonlTraceSink(trace)])).run()
+    assert result.complete
+    events = [json.loads(line)
+              for line in trace.read_text().splitlines() if line]
+    batch_events = [e for e in events if e.get("kind") == "batch"]
+    assert batch_events
+    for event in batch_events:
+        assert "lanes" in event
+        assert "compactions" in event
+        assert "refills" in event
 
 
 def test_metrics_cross_check(serial_dfs):

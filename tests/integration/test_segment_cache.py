@@ -88,6 +88,37 @@ def test_netlist_mutation_invalidates_cache(tmp_path):
     assert warm.key(state, None) != warm_other.key(state, None)
 
 
+def test_lane_width_invalidates_cache(tmp_path):
+    """A 64-lane warm cache must miss cleanly at 128 lanes: the lane
+    width is part of the run fingerprint, so widening the planes gets a
+    fresh run instead of replaying segments recorded under different
+    lane scheduling."""
+    nl, _ = built_core("dr5")
+    at64 = run_fingerprint(netlist=nl, strategy=UberConservative(),
+                           design="dr5", application="mult",
+                           engine="batch", lanes=64)
+    at128 = run_fingerprint(netlist=nl, strategy=UberConservative(),
+                            design="dr5", application="mult",
+                            engine="batch", lanes=128)
+    assert at64.digest != at128.digest
+    assert at64.components["lanes"] == 64
+    assert at128.components["lanes"] == 128
+    # everything else about the two configurations is identical
+    assert at64.components["netlist"] == at128.components["netlist"]
+    assert at64.components["csm"] == at128.components["csm"]
+
+    # end to end: warm the cache at 64 lanes, re-run at 128 -- every
+    # segment misses, and the answer is still bit-identical
+    cache = tmp_path / "store"
+    cold = run_one("dr5", "mult", engine="batch", cache=cache)
+    assert cold.segment_cache_misses > 0
+    widened = run_one("dr5", "mult", engine="batch", lanes=128,
+                      cache=cache)
+    assert widened.segment_cache_hits == 0
+    assert widened.segment_cache_misses > 0
+    assert_identical(cold, widened)
+
+
 def test_csm_mutation_invalidates_cache():
     nl, _ = built_core("dr5")
     a = run_fingerprint(netlist=nl, strategy=UberConservative(),

@@ -75,6 +75,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["analyze", "dr5", "mult", "--resume"])
 
+    def test_lanes_requires_batch_engine(self, capsys):
+        rc = main(["run", "dr5", "mult", "--lanes", "128"])
+        assert rc == 2
+        assert "--engine batch" in capsys.readouterr().err
+
+    def test_lanes_must_be_multiple_of_64(self, capsys):
+        rc = main(["run", "dr5", "mult", "--engine", "batch",
+                   "--lanes", "100"])
+        assert rc == 2
+        assert "multiple of 64" in capsys.readouterr().err
+
+    def test_batch_lanes_accepted(self, capsys):
+        rc = main(["run", "dr5", "mult", "--engine", "batch",
+                   "--lanes", "128", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["paths_created"] > 1
+
 
 class TestCommands:
     def test_analyze_json(self, capsys):

@@ -65,6 +65,35 @@ class TestLockstep:
                 {"rst": Logic.L0, "en": Logic.L1}]
         assert lockstep_compare(nl, stim).equivalent
 
+    def test_batch_leg_by_name(self):
+        """'batch' builds a one-lane BatchCycleSim behind a LaneView."""
+        nl = counter()
+        stim = [{"rst": Logic.L1, "en": Logic.L0},
+                {"rst": Logic.L0, "en": Logic.X}] + \
+               [{"rst": Logic.L0, "en": Logic.L1}] * 4
+        assert lockstep_compare(nl, stim,
+                                engines=("cycle", "batch")).equivalent
+        assert lockstep_compare(nl, stim,
+                                engines=("event", "batch")).equivalent
+
+    def test_batch_leg_as_lane_view_object(self):
+        """A LaneView of a wider sim can be passed in directly."""
+        from repro.sim.batch_sim import BatchCycleSim
+        from repro.sim.cycle_sim import compile_netlist
+        nl = counter()
+        sim = BatchCycleSim(compile_netlist(nl), lanes=128)
+        view = sim.lane_view(sim.alloc_lane())
+        stim = [{"rst": Logic.L1, "en": Logic.L0}] + \
+               [{"rst": Logic.L0, "en": Logic.L1}] * 5
+        result = lockstep_compare(nl, stim, engines=("cycle", view))
+        assert result.equivalent
+        assert result.cycles_run == 6
+
+    def test_unknown_engine_name_rejected(self):
+        nl = counter()
+        with pytest.raises(ValueError, match="unknown engine"):
+            lockstep_compare(nl, [], engines=("cycle", "verilator"))
+
     def test_divergence_reporting_shape(self):
         """Divergence dataclass renders usefully (synthesized case)."""
         from repro.sim.compare import CompareResult, Divergence
