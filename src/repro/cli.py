@@ -33,7 +33,7 @@ from .coanalysis.results import (CoAnalysisError, PartialResult,
                                  RunInterrupted)
 from .resilience.artifacts import atomic_write_text
 from .resilience.governor import RunBudget
-from .csm import Clustered, ExactSet, UberConservative
+from .csm import CSM_STRATEGIES
 from .isa import ASSEMBLERS
 from .netlist import write_verilog
 from .reporting import (DESIGN_ORDER, figure5, figure6, run_grid, table3,
@@ -42,18 +42,12 @@ from .reporting.runner import run_one
 from .sim.vcd import VcdWriter
 from .workloads import WORKLOAD_ORDER, WORKLOADS, build_target
 
-#: CSM merge strategies (``--csm``); frontier scheduling policies live
-#: in :data:`repro.coanalysis.frontier.FRONTIER_STRATEGIES`
-#: (``--strategy``).
-CSM_STRATEGIES = {
-    "uber": UberConservative,
-    "clustered2": lambda: Clustered(k=2),
-    "clustered4": lambda: Clustered(k=4),
-    "exact": ExactSet,
-}
-
-#: historical name: ``--strategy`` selected the CSM before the kernel
-#: extraction gave the frontier its own knob
+#: CSM merge strategies (``--csm``) now live in
+#: :data:`repro.csm.CSM_STRATEGIES` (shared with the job service);
+#: frontier scheduling policies in
+#: :data:`repro.coanalysis.frontier.FRONTIER_STRATEGIES` (``--strategy``).
+#: ``STRATEGIES`` is the historical name from when ``--strategy``
+#: selected the CSM.
 STRATEGIES = CSM_STRATEGIES
 
 
@@ -100,6 +94,11 @@ def cmd_analyze(args) -> int:
         print(f"# trace written to {args.trace}", file=sys.stderr)
     if args.json:
         summary["metrics"] = result.metrics.summary()
+        # always present in machine output, even when zero / complete:
+        # scripts branch on these without probing for the keys first
+        summary["segment_cache_hits"] = result.segment_cache_hits
+        summary["segment_cache_misses"] = result.segment_cache_misses
+        summary["stop_reason"] = getattr(result, "stop_reason", None)
         if result.quarantine_verdicts:
             summary["quarantine_verdicts"] = result.quarantine_verdicts
         print(json.dumps(summary, indent=2))
@@ -353,6 +352,124 @@ def cmd_store(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import (DEFAULT_PORT, Scheduler, SchedulerConfig,
+                          ServiceAPI)
+    if args.port is None:
+        args.port = DEFAULT_PORT
+    config = SchedulerConfig(workers=args.workers,
+                             max_retries=args.max_retries,
+                             shard_segments=args.shard_segments,
+                             quota_jobs=args.quota_jobs)
+    scheduler = Scheduler(Path(args.cache), config).start()
+    api = ServiceAPI(scheduler, host=args.host, port=args.port,
+                     verbose=args.verbose)
+    print(f"# job service on {api.url} (store: {args.cache}, "
+          f"{config.workers} workers)", file=sys.stderr)
+    try:
+        api.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down: draining workers to checkpoints",
+              file=sys.stderr)
+    finally:
+        api.shutdown()
+        scheduler.stop(graceful=True)
+    return 0
+
+
+def _job_row(view: dict) -> str:
+    state = view.get("state", "?")
+    spec = view.get("spec", {})
+    flags = []
+    if view.get("cache_hit"):
+        flags.append("cached")
+    if view.get("coalesced_into") and not view.get("cache_hit"):
+        flags.append(f"=>{view['coalesced_into']}")
+    if view.get("resume_of"):
+        flags.append(f"resumes:{view['resume_of']}")
+    if view.get("shards"):
+        flags.append(f"shards:{view['shards']}")
+    if view.get("stop_reason"):
+        flags.append(f"stop:{view['stop_reason']}")
+    return (f"{view.get('job', '?'):>14}  {state:<9} "
+            f"{spec.get('design', '?')}/{spec.get('benchmark', '?')} "
+            f"csm={spec.get('csm', '?')} engine={spec.get('engine', '?')}"
+            + (f"  [{' '.join(flags)}]" if flags else ""))
+
+
+#: CLI exit code for each terminal job state (mirrors `repro run`)
+_EXIT_FOR_STATE = {"DONE": 0, "FAILED": 2, "CANCELLED": 3, "PARTIAL": 4}
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    spec = {"design": args.design, "benchmark": args.benchmark,
+            "csm": args.csm, "engine": args.engine,
+            "frontier": args.strategy, "lanes": args.lanes,
+            "workers": args.workers,
+            "use_constraints": not args.no_constraints,
+            "deadline_seconds": args.deadline,
+            "max_rss_mb": args.max_rss_mb,
+            "max_frontier": args.max_frontier,
+            "max_segments": args.max_segments,
+            "shard_segments": args.shard_segments,
+            "submitter": args.submitter,
+            "dedup": not args.no_dedup,
+            "resume_from": args.resume_from}
+    try:
+        view = client.submit(spec)
+        if args.wait:
+            view = client.wait(view["job"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(view, indent=2))
+    else:
+        print(_job_row(view))
+    if args.wait:
+        return _EXIT_FOR_STATE.get(view.get("state"), 2)
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    from .service import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.cancel:
+            view = client.cancel(args.cancel)
+            print(json.dumps(view, indent=2) if args.json
+                  else _job_row(view))
+            return 0
+        if args.trace:
+            for event in client.trace_lines(args.trace):
+                print(json.dumps(event, separators=(",", ":")))
+            return 0
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2))
+            return 0
+        if args.job_id:
+            view = client.artifacts(args.job_id) if args.artifacts \
+                else client.job(args.job_id)
+            print(json.dumps(view, indent=2) if args.json
+                  else _job_row(view) if not args.artifacts
+                  else json.dumps(view, indent=2))
+            return 0
+        views = client.jobs()
+        if args.json:
+            print(json.dumps(views, indent=2))
+        else:
+            for view in views:
+                print(_job_row(view))
+            if not views:
+                print("# no jobs", file=sys.stderr)
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_asm(args) -> int:
     assembler = ASSEMBLERS[args.design]()
     source = Path(args.source).read_text()
@@ -541,6 +658,93 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store root (default: .repro_cache)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_store)
+
+    p = sub.add_parser("serve",
+                       help="run the job service: an HTTP API over a "
+                            "deduplicating scheduler and worker pool")
+    p.add_argument("--cache", metavar="DIR", default=".repro_cache",
+                   help="content-addressed store backing the queue, the "
+                        "segment cache and every job artifact "
+                        "(default: .repro_cache)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default: 8351)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker processes running jobs (default: 2)")
+    p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                   help="re-dispatches after a worker dies without a "
+                        "verdict (default: 1)")
+    p.add_argument("--shard-segments", type=int, default=None,
+                   metavar="N",
+                   help="default work-stealing shard size: slice every "
+                        "job into N-segment frontier shards unless its "
+                        "spec says otherwise")
+    p.add_argument("--quota-jobs", type=int, default=None, metavar="N",
+                   help="max active (queued+running) jobs per submitter")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a co-analysis job to a running "
+                            "`repro serve` instance")
+    _add_pair_args(p)
+    p.add_argument("--url", default="http://127.0.0.1:8351",
+                   help="service base URL (default: "
+                        "http://127.0.0.1:8351)")
+    p.add_argument("--csm", choices=sorted(CSM_STRATEGIES),
+                   default="uber")
+    p.add_argument("--engine",
+                   choices=["serial", "event", "parallel", "batch"],
+                   default=None)
+    p.add_argument("--strategy", choices=sorted(FRONTIER_STRATEGIES),
+                   default="dfs")
+    p.add_argument("--lanes", type=int, default=None, metavar="N")
+    p.add_argument("--workers", type=int, default=1, metavar="N")
+    p.add_argument("--no-constraints", action="store_true")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS")
+    p.add_argument("--max-rss-mb", type=float, default=None, metavar="MB")
+    p.add_argument("--max-frontier", type=int, default=None, metavar="N")
+    p.add_argument("--max-segments", type=int, default=None, metavar="N")
+    p.add_argument("--shard-segments", type=int, default=None,
+                   metavar="N",
+                   help="run as resumable N-segment frontier shards "
+                        "(work-stealing units) instead of one dispatch")
+    p.add_argument("--submitter", default="cli",
+                   help="tenant name for quota accounting")
+    p.add_argument("--no-dedup", action="store_true",
+                   help="force a fresh execution even when an identical "
+                        "job is in flight or already done")
+    p.add_argument("--resume", dest="resume_from", default=None,
+                   metavar="JOB",
+                   help="continue a PARTIAL/FAILED job's checkpoint as "
+                        "a new job")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job settles; exit 0/2/3/4 for "
+                        "DONE/FAILED/CANCELLED/PARTIAL")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS", help="give up --wait after this")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs",
+                       help="inspect a running job service: list/show "
+                            "jobs, stream traces, cancel, metrics")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="show one job instead of listing all")
+    p.add_argument("--url", default="http://127.0.0.1:8351")
+    p.add_argument("--cancel", metavar="JOB",
+                   help="cancel a queued or running job")
+    p.add_argument("--trace", metavar="JOB",
+                   help="stream the job's JSONL trace (follows a "
+                        "running job until it settles)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the service /metrics payload")
+    p.add_argument("--artifacts", action="store_true",
+                   help="with a job id: print artifact digests + summary")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("asm", help="assemble a program")
     p.add_argument("design", choices=["omsp430", "bm32", "dr5"])

@@ -444,6 +444,19 @@ class ExplorationKernel:
             raise ResumeMismatch(
                 f"checkpoint activity arrays do not fit this netlist: "
                 f"{exc}") from exc
+        if self.segment_cache is not None \
+                and payload["activity"].get("repr") == "sim":
+            # capture mode skips finalize()'s sim-plane absorption (the
+            # kernel folds per-segment activity instead), so activity
+            # restored into the *sim* would otherwise never reach the
+            # profile: fold it in now, before any new segment does
+            import numpy as np
+            planes = payload["activity"]
+            val = np.asarray(planes["val"])
+            known = np.asarray(planes["known"])
+            result.profile.absorb(np.asarray(planes["toggled"]),
+                                  np.asarray(planes["ever_x"]),
+                                  val & known, known)
         counters = dict(payload["counters"])
         self.batches_done = counters.pop("batches_done", 0)
         for key, value in counters.items():

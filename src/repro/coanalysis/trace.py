@@ -97,13 +97,21 @@ class TraceSink:
 
 
 class JsonlTraceSink(TraceSink):
-    """Appends one JSON object per event to ``path`` (JSON Lines)."""
+    """Appends one JSON object per event to ``path`` (JSON Lines).
 
-    def __init__(self, path):
+    ``mode="a"`` continues an existing file instead of truncating it --
+    a resumed (or re-sharded) run then leaves one trace whose ``resume``
+    events mark each attempt boundary.
+    """
+
+    def __init__(self, path, mode: str = "w"):
         from pathlib import Path
+        if mode not in ("w", "a"):
+            raise ValueError(f"JsonlTraceSink mode must be 'w' or 'a', "
+                             f"not {mode!r}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: Optional[IO[str]] = open(self.path, "w")
+        self._fh: Optional[IO[str]] = open(self.path, mode)
 
     def emit(self, event: TraceEvent) -> None:
         if self._fh is None:

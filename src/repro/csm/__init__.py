@@ -5,9 +5,20 @@ from .constraints import (ConstraintError, ConstraintSet, MemConstraint,
 from .manager import (CSMDecision, CSMStats, ConservativeStateManager)
 from .strategies import Clustered, ExactSet, MergeStrategy, UberConservative
 
+#: merge strategies by their user-facing name (``--csm`` on the CLI,
+#: ``"csm"`` in a service :class:`~repro.service.jobs.JobSpec`) -- one
+#: registry so every submission surface accepts the same vocabulary
+CSM_STRATEGIES = {
+    "uber": UberConservative,
+    "clustered2": lambda: Clustered(k=2),
+    "clustered4": lambda: Clustered(k=4),
+    "exact": ExactSet,
+}
+
 __all__ = [
     "ConservativeStateManager", "CSMDecision", "CSMStats",
     "MergeStrategy", "UberConservative", "Clustered", "ExactSet",
+    "CSM_STRATEGIES",
     "ConstraintSet", "ConstraintError", "NetConstraint", "MemConstraint",
     "parse_constraints", "load_constraints",
 ]

@@ -40,8 +40,11 @@ ENGINES = ("serial", "event", "parallel", "batch")
 
 
 def _make_tracer(trace, progress: bool) -> Optional[Tracer]:
+    from ..coanalysis.trace import TraceSink
     sinks = []
-    if trace:
+    if isinstance(trace, TraceSink):
+        sinks.append(trace)            # caller-configured sink (service)
+    elif trace:
         sinks.append(JsonlTraceSink(trace))
     if progress:
         sinks.append(ProgressLine())
@@ -65,6 +68,40 @@ def _pair_fingerprint(design: str, benchmark: str,
         engine=engine, frontier=frontier,
         max_cycles_per_path=max_cycles_per_path,
         max_total_cycles=max_total_cycles, lanes=lanes)
+
+
+def pair_fingerprint(design: str, benchmark: str,
+                     strategy: Optional[MergeStrategy] = None,
+                     use_constraints: bool = True,
+                     engine: str = "serial", frontier: str = "dfs",
+                     lanes: Optional[int] = None,
+                     max_cycles_per_path: int = 20000,
+                     max_total_cycles: Optional[int] = 2_000_000,
+                     ) -> RunFingerprint:
+    """Fingerprint a (design, benchmark) run the way :func:`run_one`
+    would key its caches.
+
+    Builds the target and constraint set itself and applies the same
+    normalizations ``run_one`` applies before hashing (the parallel
+    engine runs without a total-cycle budget; the lane width defaults to
+    64 on the batch engine and is ``None`` elsewhere), so a submission
+    keyed on this digest shares segment caches and run manifests with a
+    direct ``repro run --cache`` of the same configuration.
+    """
+    workload = WORKLOADS[benchmark]
+    target = build_target(design, workload)
+    constraints = None
+    text = workload.constraints.get(design) if use_constraints else None
+    if text:
+        constraints = ConstraintSet(parse_constraints(text),
+                                    target.state_net_positions())
+    return _pair_fingerprint(
+        design, benchmark, strategy or UberConservative(),
+        target, constraints, engine=engine, frontier=frontier,
+        max_cycles_per_path=max_cycles_per_path,
+        max_total_cycles=(None if engine == "parallel"
+                          else max_total_cycles),
+        lanes=((lanes or 64) if engine == "batch" else None))
 
 
 def _register_run(store: ContentStore, fp: RunFingerprint,

@@ -93,6 +93,51 @@ def atomic_write_bytes(path: PathLike, blob: bytes) -> None:
         fh.write(blob)
 
 
+def atomic_publish_bytes(path: PathLike, blob: bytes) -> bool:
+    """Atomically create ``path`` with ``blob`` -- but never replace it.
+
+    The write-once variant of :func:`atomic_write_bytes` for
+    content-addressed objects, where the destination name *is* the
+    content digest: once any writer has published the file, every other
+    writer holds identical bytes, so losing the race is success.  The
+    temporary file is linked to the destination with ``os.link`` (an
+    O_EXCL-style create: it fails with ``EEXIST`` instead of replacing),
+    which closes the window where two concurrent ``os.replace`` calls
+    would re-expose a blob mid-read or bump its inode under a reader.
+
+    Returns ``True`` when this call created the file, ``False`` when
+    another writer got there first.  Filesystems without hard links
+    fall back to the (still atomic, last-writer-wins) rename.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        except OSError:
+            # no hard links here (some network/FAT mounts): degrade to
+            # the rename recipe -- atomic, identical content either way
+            os.replace(tmp, path)
+            tmp = None
+        fsync_dir(path.parent)
+        return True
+    finally:
+        if tmp is not None:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
 def atomic_write_text(path: PathLike, text: str) -> None:
     """Atomically replace ``path`` with ``text`` (UTF-8)."""
     atomic_write_bytes(path, text.encode("utf-8"))

@@ -25,7 +25,8 @@ import re
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..resilience.artifacts import atomic_write_bytes, atomic_write_json
+from ..resilience.artifacts import (atomic_publish_bytes,
+                                    atomic_write_bytes, atomic_write_json)
 
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 
@@ -84,22 +85,31 @@ class ContentStore:
         return self.objects_dir / digest[:2] / digest
 
     def put_bytes(self, blob: bytes) -> str:
-        """Store ``blob``; return its digest.  Idempotent.
+        """Store ``blob``; return its digest.  Idempotent and safe
+        under concurrent writers.
 
-        An existing object is only trusted if its content still hashes
-        to its name -- re-putting over a bit-rotted blob repairs it, so
-        evict-and-rerun cache healing actually converges.
+        A missing object is *published* (O_EXCL-style ``os.link``
+        create, :func:`~repro.resilience.artifacts.atomic_publish_bytes`):
+        two processes putting the same content race harmlessly -- the
+        loser observes the winner's identical file instead of replacing
+        it, so a concurrent reader never sees the blob's inode change
+        underneath it.  An existing object is only trusted if its
+        content still hashes to its name -- re-putting over a bit-rotted
+        blob repairs it (rename, last-writer-wins), so evict-and-rerun
+        cache healing actually converges.
         """
         digest = hashlib.sha256(blob).hexdigest()
         path = self.object_path(digest)
-        fresh = True
         try:
-            fresh = hashlib.sha256(
-                path.read_bytes()).hexdigest() != digest
+            if hashlib.sha256(path.read_bytes()).hexdigest() == digest:
+                return digest
+            corrupt = True
         except OSError:
-            pass
-        if fresh:
+            corrupt = False
+        if corrupt:
             atomic_write_bytes(path, blob)
+        else:
+            atomic_publish_bytes(path, blob)
         return digest
 
     def has(self, digest: str) -> bool:

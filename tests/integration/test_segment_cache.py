@@ -60,6 +60,26 @@ def test_caching_does_not_change_the_answer(engine, tmp_path):
     assert_identical(uncached, cached)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_governed_resume_with_cache_is_bit_identical(engine, tmp_path):
+    """Resuming a governed stop under a segment cache must not lose the
+    pre-stop activity: capture mode routes per-segment planes through
+    the kernel, so the checkpoint's restored union has to be folded
+    into the profile explicitly (regression -- it used to be dropped,
+    and every resumed cached run under-reported exercised gates)."""
+    from repro.resilience.governor import RunBudget
+    direct = run_one("dr5", "mult", engine=engine)
+    ck, cache = tmp_path / "ck.journal", tmp_path / "store"
+    partial = run_one("dr5", "mult", engine=engine, cache=cache,
+                      checkpoint=str(ck),
+                      budget=RunBudget(max_segments=3))
+    assert not partial.complete
+    final = run_one("dr5", "mult", engine=engine, cache=cache,
+                    checkpoint=str(ck), resume=True)
+    assert final.complete
+    assert_identical(direct, final)
+
+
 def test_netlist_mutation_invalidates_cache(tmp_path):
     """A structurally different netlist must produce a different run
     fingerprint -- no stale replay, no version constant required."""
